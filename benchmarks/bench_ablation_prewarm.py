@@ -1,0 +1,59 @@
+"""Design ablation: prewarm size (Algorithm 1's PrewarmHeap).
+
+The prewarm stage seeds each query's top-K heap so the dimension
+pipeline has a finite pruning threshold from its first boundary. This
+sweep shows the design constraint DESIGN.md calls out: with fewer than
+``k`` prewarmed candidates the heap never fills before the pipeline
+runs, so no pruning happens at all; beyond a few multiples of ``k``
+the returns flatten while client-side prewarm work keeps growing.
+"""
+
+import numpy as np
+
+import _common as c
+
+PREWARM_SIZES = [0, 8, 16, 32, 128]
+DATASET = "sift1m"
+
+
+def run_experiment():
+    dataset = c.get_dataset(DATASET)
+    rows = []
+    for size in PREWARM_SIZES:
+        db = c.deploy(
+            DATASET,
+            c.Mode.DIMENSION,
+            prewarm_size=size,
+        )
+        _, report = db.search(dataset.queries, k=c.K)
+        assert report.pruning is not None
+        rows.append(
+            (
+                size,
+                round(report.pruning.average_ratio() * 100, 1),
+                round(report.qps),
+            )
+        )
+    return rows
+
+
+def test_ablation_prewarm(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = c.format_table(
+        ["prewarm size", "avg pruning %", "QPS"],
+        rows,
+        title=f"ablation: prewarm heap size ({DATASET}, k={c.K}, 1x4 grid)",
+    )
+    c.save_result("ablation_prewarm.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    by_size = {r[0]: r for r in rows}
+    # Below k the heap never fills: zero pruning.
+    assert by_size[0][1] == 0.0
+    assert by_size[8][1] == 0.0  # 8 < k = 10
+    # At and beyond k pruning engages and throughput improves.
+    assert by_size[16][1] > 20.0
+    assert by_size[32][2] > by_size[0][2]
+    # Returns flatten: quadrupling past 32 changes little.
+    assert abs(by_size[128][1] - by_size[32][1]) < 15.0

@@ -1,0 +1,94 @@
+"""Design ablation: dimension-order scheduling policies on a straggler.
+
+DESIGN.md's engine offers three slice-ordering policies: load-aware
+adaptive (Harmony's, defers the busiest machine's slice to late,
+heavily-pruned pipeline positions), rotation staggering (static), and
+canonical order (naive). This experiment injects a straggler — one
+worker at a quarter of the others' compute rate — and measures how
+much each policy recovers, plus the exactness invariant throughout.
+"""
+
+import numpy as np
+
+import _common as c
+from repro.cluster.cluster import Cluster
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+
+DATASET = "sift1m"
+RATES = [1e9, 1e9, 1e9, 0.25e9]  # worker 3 is the straggler
+
+
+def run_policy(load_balance: bool, pipeline: bool):
+    dataset = c.get_dataset(DATASET)
+    config = HarmonyConfig(
+        n_machines=4,
+        nlist=c.NLIST,
+        nprobe=c.NPROBE,
+        mode=Mode.DIMENSION,
+        enable_load_balance=load_balance,
+        enable_pipeline=pipeline,
+        seed=0,
+    )
+    db = HarmonyDB.from_trained_index(
+        c.get_index(DATASET),
+        config=config,
+        cluster=Cluster(4, compute_rate=RATES),
+        sample_queries=dataset.queries,
+        k=c.K,
+    )
+    result, report = db.search(dataset.queries, k=c.K)
+    reference = c.get_index(DATASET).search(
+        dataset.queries, k=c.K, nprobe=c.NPROBE
+    )[1]
+    assert np.array_equal(result.ids, reference)
+    return report
+
+
+def run_experiment():
+    rows = []
+    for label, lb, pipe in (
+        ("adaptive (Harmony)", True, True),
+        ("staggered rotation", False, True),
+        ("canonical (naive)", False, False),
+    ):
+        report = run_policy(lb, pipe)
+        # worker_loads are seconds; convert to processed elements so the
+        # share reflects how much *work* the slow machine was handed.
+        elements = report.worker_loads * np.asarray(RATES)
+        straggler_share = elements[3] / elements.sum()
+        rows.append(
+            (
+                label,
+                round(report.qps),
+                round(report.normalized_imbalance, 3),
+                round(float(straggler_share), 3),
+            )
+        )
+    return rows
+
+
+def test_ablation_scheduling(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = c.format_table(
+        ["policy", "QPS", "time imbalance (CV)", "straggler work share"],
+        rows,
+        title="ablation: slice scheduling with a 4x-slower straggler",
+    )
+    c.save_result("ablation_scheduling.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    by_policy = {r[0]: r for r in rows}
+    adaptive = by_policy["adaptive (Harmony)"]
+    staggered = by_policy["staggered rotation"]
+    naive = by_policy["canonical (naive)"]
+    # Adaptive scheduling recovers the most throughput on a straggler.
+    assert adaptive[1] > staggered[1]
+    assert adaptive[1] > naive[1]
+    # Versus uniform rotation (25% each), adaptive hands the slow
+    # machine a smaller share of the work. (Canonical order happens to
+    # put the straggler's slice last here, giving it little work too —
+    # but it funnels every query's heavy first position through one
+    # machine, which is why its QPS is still the worst.)
+    assert adaptive[3] < staggered[3]

@@ -1,0 +1,91 @@
+"""Figure 11(a): impact of dimensionality and dataset size on speedup.
+
+Paper setting: Gaussian datasets, dimensions 64-512 and sizes
+250K-1M (scaled down 100x here), on four nodes. Findings reproduced:
+
+1. speedup grows with both dimensionality and dataset size
+   (paper: +26.8% per dim doubling, +25.9% per size doubling),
+2. the largest configuration exceeds the 4x machine count,
+3. small datasets benefit least (communication overhead dominates).
+"""
+
+import numpy as np
+
+import _common as c
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import DEFAULT_COMPUTE_RATE, PHYSICAL_COMPUTE_RATE
+from repro.core.config import HarmonyConfig
+from repro.core.database import HarmonyDB
+from repro.data.synthetic import gaussian_blobs
+from repro.index.ivf import IVFFlatIndex
+
+DIMS = [64, 128, 256, 512]
+SIZES = [2_500, 5_000, 10_000]  # paper: 250K / 500K / 1M (scaled 100x)
+N_QUERIES = 40
+
+
+def speedup_for(size: int, dim: int) -> float:
+    # "Datasets that follow a Gaussian distribution": a mixture of
+    # Gaussian blobs, like the paper's clustered synthetic data.
+    combined = gaussian_blobs(
+        size + N_QUERIES, dim, n_blobs=32, cluster_std=0.5, seed=21
+    )
+    base, queries = combined[:size], combined[size:]
+    index = IVFFlatIndex(dim=dim, nlist=c.NLIST, seed=0)
+    index.train(base)
+    index.add(base)
+    probes = index.probe(queries, c.NPROBE)
+    candidates = sum(
+        index.candidates(probes[i]).size for i in range(N_QUERIES)
+    )
+    faiss_seconds = (
+        candidates * dim / DEFAULT_COMPUTE_RATE
+        + N_QUERIES * c.NLIST * dim / PHYSICAL_COMPUTE_RATE
+    )
+    config = HarmonyConfig(
+        n_machines=4, nlist=c.NLIST, nprobe=c.NPROBE, seed=0
+    )
+    db = HarmonyDB.from_trained_index(
+        index, config=config, cluster=Cluster(4), sample_queries=queries
+    )
+    _, report = db.search(queries, k=c.K)
+    return (N_QUERIES / faiss_seconds) and report.qps / (
+        N_QUERIES / faiss_seconds
+    )
+
+
+def run_experiment():
+    grid = {}
+    for size in SIZES:
+        for dim in DIMS:
+            grid[(size, dim)] = speedup_for(size, dim)
+    return grid
+
+
+def test_fig11a_dims_and_size(benchmark, capsys):
+    grid = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        (size, *(round(grid[(size, dim)], 2) for dim in DIMS))
+        for size in SIZES
+    ]
+    text = c.format_table(
+        ["size", *(f"dim={d}" for d in DIMS)],
+        rows,
+        title="fig11a harmony speedup over single node (4 workers)",
+    )
+    c.save_result("fig11a_dims_and_size.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    # Speedup grows with dimension (averaged over sizes)...
+    dim_means = [
+        float(np.mean([grid[(s, d)] for s in SIZES])) for d in DIMS
+    ]
+    assert dim_means[-1] > dim_means[0]
+    # ...and with dataset size (averaged over dims).
+    size_means = [
+        float(np.mean([grid[(s, d)] for d in DIMS])) for s in SIZES
+    ]
+    assert size_means[-1] > size_means[0]
+    # Largest configuration exceeds the machine count.
+    assert grid[(SIZES[-1], DIMS[-1])] > 4.0

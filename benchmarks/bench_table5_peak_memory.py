@@ -1,0 +1,74 @@
+"""Table 5: peak memory usage during query execution.
+
+Paper setting: peak per-node resident memory while serving queries on
+four nodes. Findings reproduced:
+
+1. ordering vector <= harmony <= dimension (intermediate partial-result
+   buffers),
+2. the relative gap shrinks as dimensionality grows (workspace bytes
+   are dimension-independent while block bytes scale with dims).
+"""
+
+import _common as c
+
+MODES = [c.Mode.VECTOR, c.Mode.HARMONY, c.Mode.DIMENSION]
+
+
+def run_experiment():
+    rows = []
+    for name in c.SMALL_DATASETS:
+        dataset = c.get_dataset(name)
+        row = {"dataset": name, "dim": dataset.dim}
+        for mode in MODES:
+            db = c.deploy(name, mode)
+            _, report = db.search(dataset.queries, k=c.K)
+            # Per-node peak averaged over workers: robust to uneven
+            # shard sizes, matching the paper's per-node reporting.
+            row[mode.value] = report.mean_peak_memory_bytes
+        rows.append(row)
+    return rows
+
+
+def test_table5_peak_memory(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = c.format_table(
+        ["dataset", "dim", "vector (MB)", "harmony (MB)", "dimension (MB)"],
+        [
+            (
+                r["dataset"],
+                r["dim"],
+                round(r[c.Mode.VECTOR.value] / 1e6, 3),
+                round(r[c.Mode.HARMONY.value] / 1e6, 3),
+                round(r[c.Mode.DIMENSION.value] / 1e6, 3),
+            )
+            for r in rows
+        ],
+        title="table5 peak worker memory during queries",
+    )
+    c.save_result("table5_peak_memory.txt", table)
+    with capsys.disabled():
+        print("\n" + table)
+
+    ordered = 0
+    for r in rows:
+        if (
+            r[c.Mode.VECTOR.value]
+            <= r[c.Mode.HARMONY.value] * 1.05
+            and r[c.Mode.HARMONY.value]
+            <= r[c.Mode.DIMENSION.value] * 1.05
+        ):
+            ordered += 1
+    # The vector <= harmony <= dimension ordering holds broadly
+    # (harmony often picks the pure dimension grid here, collapsing
+    # the middle column onto the right one).
+    assert ordered >= len(rows) - 1
+
+    # Relative dimension-vs-vector overhead shrinks with dimensionality
+    # (paper: 30.9% at Deep1M's dims vs 1.17% at HandOutlines' 2709).
+    low_dim = min(rows, key=lambda r: r["dim"])
+    high_dim = max(rows, key=lambda r: r["dim"])
+
+    def overhead(r):
+        return r[c.Mode.DIMENSION.value] / r[c.Mode.VECTOR.value] - 1.0
+
+    assert overhead(high_dim) < overhead(low_dim)

@@ -1,0 +1,62 @@
+"""Image retrieval: recall/throughput trade-off on a SIFT-like corpus.
+
+A visual-search service must pick its operating point: more probed
+clusters means better recall but more scan work. This example sweeps
+``nprobe`` on the Sift1M analogue, measuring exact recall@10 against
+brute-force ground truth and simulated throughput on a 4-node HARMONY
+deployment vs a single-node baseline — the paper's Figure 6 story.
+
+Run:  python examples/image_retrieval.py
+"""
+
+from repro import HarmonyConfig, HarmonyDB
+from repro.bench.recall import recall_at_k
+from repro.data import exact_knn, load_dataset
+from repro.index import FaissLikeIVF
+from repro.bench.harness import simulated_faiss_seconds
+
+
+def main() -> None:
+    dataset = load_dataset("sift1m", size=10_000, n_queries=100, seed=3)
+    print(
+        f"corpus: {dataset.size} SIFT-like descriptors "
+        f"(dim {dataset.dim}), {dataset.n_queries} queries"
+    )
+    _, truth = exact_knn(dataset.base, dataset.queries, k=10)
+
+    baseline = FaissLikeIVF(dim=dataset.dim, nlist=64, seed=0)
+    baseline.train(dataset.base)
+    baseline.add(dataset.base)
+
+    header = (
+        f"{'nprobe':>6} {'recall@10':>10} {'1-node QPS':>11} "
+        f"{'harmony QPS':>12} {'speedup':>8} {'plan':>14}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for nprobe in (1, 2, 4, 8, 16):
+        baseline.search(dataset.queries, k=10, nprobe=nprobe)
+        faiss_qps = dataset.n_queries / simulated_faiss_seconds(baseline)
+
+        config = HarmonyConfig(n_machines=4, nlist=64, nprobe=nprobe)
+        db = HarmonyDB(dim=dataset.dim, config=config)
+        db.build(dataset.base, sample_queries=dataset.queries)
+        result, report = db.search(dataset.queries, k=10)
+
+        recall = recall_at_k(result.ids, truth)
+        grid = f"{db.plan.n_vector_shards}x{db.plan.n_dim_blocks}"
+        print(
+            f"{nprobe:>6} {recall:>10.3f} {faiss_qps:>11,.0f} "
+            f"{report.qps:>12,.0f} {report.qps / faiss_qps:>7.2f}x {grid:>14}"
+        )
+
+    print(
+        "\nat low recall the cost model favors vector-leaning grids "
+        "(fewer messages);\nat high recall it shifts to dimension "
+        "slicing, where early-stop pruning\npushes the speedup past "
+        "the worker count."
+    )
+
+
+if __name__ == "__main__":
+    main()

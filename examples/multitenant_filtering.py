@@ -1,0 +1,69 @@
+"""Multi-tenant serving with metadata-filtered search.
+
+A shared vector database often hosts several tenants' embeddings in one
+index, with every query restricted to its tenant's vectors. This
+example labels each base vector with a tenant id, serves filtered
+queries through the distributed engine, and verifies both isolation
+(no cross-tenant results, ever) and exactness against a per-tenant
+brute-force scan.
+
+Run:  python examples/multitenant_filtering.py
+"""
+
+import numpy as np
+
+from repro import HarmonyConfig, HarmonyDB
+from repro.data import load_dataset
+from repro.index import FlatIndex
+
+N_TENANTS = 4
+
+
+def main() -> None:
+    dataset = load_dataset("deep1m", size=8000, n_queries=60, seed=23)
+    rng = np.random.default_rng(23)
+    tenants = rng.integers(0, N_TENANTS, size=dataset.size).astype(np.int64)
+
+    db = HarmonyDB(
+        dim=dataset.dim, config=HarmonyConfig(n_machines=4, nlist=64, nprobe=8)
+    )
+    db.build(dataset.base, sample_queries=dataset.queries, labels=tenants)
+    counts = np.bincount(tenants, minlength=N_TENANTS)
+    print(
+        f"one index, {N_TENANTS} tenants: "
+        + ", ".join(f"tenant {t}: {n:,}" for t, n in enumerate(counts))
+    )
+
+    for tenant in range(N_TENANTS):
+        result, report = db.search(
+            dataset.queries, k=10, filter_labels=[tenant]
+        )
+        found = result.ids[result.ids >= 0]
+        assert np.all(tenants[found] == tenant), "tenant isolation violated"
+
+        # Exactness check against brute force over the tenant's slice
+        # (full probe makes IVF exhaustive over the filtered subset).
+        subset = np.flatnonzero(tenants == tenant)
+        flat = FlatIndex(dim=dataset.dim)
+        flat.add(dataset.base[subset])
+        full_probe, _ = db.search(
+            dataset.queries, k=10, nprobe=64, filter_labels=[tenant]
+        )
+        _, local = flat.search(dataset.queries, k=10)
+        assert np.array_equal(full_probe.ids, subset[local])
+
+        print(
+            f"tenant {tenant}: {report.qps:>9,.0f} QPS, isolation + "
+            "exactness verified"
+        )
+
+    _, unfiltered = db.search(dataset.queries, k=10)
+    print(
+        f"\nfiltering scans ~1/{N_TENANTS} of the candidates: "
+        f"{unfiltered.breakdown.computation * 1e3:.1f} ms unfiltered vs "
+        f"{report.breakdown.computation * 1e3:.1f} ms filtered compute"
+    )
+
+
+if __name__ == "__main__":
+    main()

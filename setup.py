@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Allows ``pip install -e . --no-use-pep517`` (and plain ``python
+setup.py develop``) in offline environments that lack the ``wheel``
+package required by PEP 517 editable builds. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Comparator systems re-implemented for the evaluation.
+
+- :class:`~repro.baselines.auncel.AuncelLike` — a stand-in for Auncel
+  (Zhang et al., NSDI'23), the error-bounded distributed vector query
+  engine the paper compares against in Section 6.5.4. It uses a fixed
+  vector-based partition plus per-query adaptive termination, which is
+  why it behaves like Harmony-vector under skewed workloads.
+- :class:`~repro.baselines.distributed_graph.DistributedGraphANN` — an
+  HNSW graph sharded across machines, quantifying the paper's Section 1
+  argument that graph indexes distribute poorly (sequential
+  cross-machine hops on every query path).
+
+The single-node Faiss baseline lives in :mod:`repro.index.faiss_like`.
+"""
+
+from repro.baselines.auncel import AuncelLike
+from repro.baselines.distributed_graph import (
+    DistributedGraphANN,
+    GraphSearchReport,
+)
+
+__all__ = ["AuncelLike", "DistributedGraphANN", "GraphSearchReport"]

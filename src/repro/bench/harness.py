@@ -1,0 +1,167 @@
+"""Shared experiment plumbing for the benchmark scripts.
+
+Every benchmark builds the same shapes: a dataset analogue, a Harmony
+deployment in one of the three modes (plus the single-node Faiss-like
+baseline), a workload, and a simulated-performance report. This module
+centralizes those steps so the per-figure scripts stay small and
+
+deterministic (fixed seeds everywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import NetworkModel
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.core.results import ExecutionReport, SearchResult
+from repro.data.datasets import Dataset, load_dataset
+from repro.data.ground_truth import exact_knn
+from repro.index.faiss_like import FaissLikeIVF
+
+
+@dataclass
+class BenchSetup:
+    """A dataset plus the cluster/config parameters of one experiment.
+
+    Attributes:
+        dataset: materialized dataset analogue.
+        n_machines / nlist / nprobe / k: deployment parameters.
+        seed: seed shared by clustering and workload sampling.
+    """
+
+    dataset: Dataset
+    n_machines: int = 4
+    nlist: int = 64
+    nprobe: int = 8
+    k: int = 10
+    seed: int = 0
+    _ground_truth: np.ndarray | None = field(default=None, repr=False)
+
+    def ground_truth(self) -> np.ndarray:
+        """Exact top-``k`` ids for the dataset's queries (cached)."""
+        if self._ground_truth is None:
+            _, ids = exact_knn(
+                self.dataset.base, self.dataset.queries, k=self.k
+            )
+            self._ground_truth = ids
+        return self._ground_truth
+
+
+def make_setup(
+    dataset_name: str,
+    n_machines: int = 4,
+    nlist: int = 64,
+    nprobe: int = 8,
+    k: int = 10,
+    size: int | None = None,
+    n_queries: int | None = None,
+    seed: int = 0,
+) -> BenchSetup:
+    """Materialize a dataset analogue and experiment parameters."""
+    dataset = load_dataset(dataset_name, size=size, n_queries=n_queries, seed=seed)
+    return BenchSetup(
+        dataset=dataset,
+        n_machines=n_machines,
+        nlist=nlist,
+        nprobe=nprobe,
+        k=k,
+        seed=seed,
+    )
+
+
+def build_db(
+    setup: BenchSetup,
+    mode: "Mode | str" = Mode.HARMONY,
+    network: NetworkModel | None = None,
+    sample_queries: np.ndarray | None = None,
+    **config_overrides: object,
+) -> HarmonyDB:
+    """Build a HarmonyDB for a setup in the given mode."""
+    config = HarmonyConfig(
+        n_machines=setup.n_machines,
+        nlist=setup.nlist,
+        nprobe=setup.nprobe,
+        mode=mode,  # type: ignore[arg-type]
+        seed=setup.seed,
+        **config_overrides,  # type: ignore[arg-type]
+    )
+    cluster = Cluster(n_workers=setup.n_machines, network=network)
+    db = HarmonyDB(dim=setup.dataset.dim, config=config, cluster=cluster)
+    sample = (
+        sample_queries if sample_queries is not None else setup.dataset.queries
+    )
+    db.build(setup.dataset.base, sample_queries=sample, k=setup.k)
+    return db
+
+
+def run_mode(
+    setup: BenchSetup,
+    mode: "Mode | str" = Mode.HARMONY,
+    queries: np.ndarray | None = None,
+    network: NetworkModel | None = None,
+    nprobe: int | None = None,
+    **config_overrides: object,
+) -> tuple[SearchResult, ExecutionReport, HarmonyDB]:
+    """Build + search in one step; returns results, report and the DB."""
+    queries = queries if queries is not None else setup.dataset.queries
+    db = build_db(
+        setup,
+        mode=mode,
+        network=network,
+        sample_queries=queries,
+        **config_overrides,
+    )
+    result, report = db.search(queries, k=setup.k, nprobe=nprobe)
+    return result, report, db
+
+
+def simulated_faiss_seconds(
+    engine: FaissLikeIVF, compute_rate: float | None = None
+) -> float:
+    """Simulated single-node time of the last Faiss-like search.
+
+    The baseline runs on one machine with no communication. Its scan
+    work is priced at the (scale-derated) worker rate Harmony's workers
+    use, while centroid ranking — whose cost does not scale with
+    dataset size — is priced at the physical rate, mirroring how the
+    Harmony client is modeled. See ``repro.cluster.node``.
+    """
+    from repro.cluster.node import (
+        DEFAULT_COMPUTE_RATE,
+        PHYSICAL_COMPUTE_RATE,
+    )
+
+    rate = compute_rate if compute_rate is not None else DEFAULT_COMPUTE_RATE
+    cost = engine.last_search_cost
+    return (
+        cost.scan_elements / rate
+        + cost.centroid_elements / PHYSICAL_COMPUTE_RATE
+    )
+
+
+def run_faiss_baseline(
+    setup: BenchSetup,
+    queries: np.ndarray | None = None,
+    nprobe: int | None = None,
+    compute_rate: float | None = None,
+) -> tuple[SearchResult, float]:
+    """Run the single-node baseline and return (results, simulated s)."""
+    from repro.cluster.node import DEFAULT_COMPUTE_RATE
+    from repro.core.results import SearchResult as SR
+
+    queries = queries if queries is not None else setup.dataset.queries
+    nprobe = nprobe if nprobe is not None else setup.nprobe
+    rate = compute_rate if compute_rate is not None else DEFAULT_COMPUTE_RATE
+    engine = FaissLikeIVF(
+        dim=setup.dataset.dim, nlist=setup.nlist, seed=setup.seed
+    )
+    engine.train(setup.dataset.base)
+    engine.add(setup.dataset.base)
+    distances, ids = engine.search(queries, k=setup.k, nprobe=nprobe)
+    seconds = simulated_faiss_seconds(engine, rate)
+    return SR(distances=distances, ids=ids), seconds

@@ -1,0 +1,55 @@
+"""Plain-text table/series formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row value sequences (same length as headers).
+        title: optional caption printed above the table.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """Render an (x, y) series as ``name: (x1, y1) (x2, y2) ...``."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    pairs = " ".join(f"({_cell(x)}, {_cell(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

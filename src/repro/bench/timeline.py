@@ -1,0 +1,77 @@
+"""ASCII utilization timelines from cluster traces.
+
+Enable tracing on a cluster, run a batch, and render what every node
+was doing over simulated time::
+
+    db.cluster.enable_tracing()
+    db.search(queries, k=10)
+    print(render_timeline(db.cluster))
+
+Each row is one node; each column a time bucket shaded by the node's
+busy fraction within it (`` .:-=#`` from idle to saturated). Invaluable
+for seeing pipeline bubbles, stragglers, and dispatch bottlenecks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import CLIENT_NODE, Cluster
+
+#: Shade characters from idle to fully busy.
+SHADES = " .:-=#"
+
+
+def utilization_grid(
+    cluster: Cluster, buckets: int = 60
+) -> tuple[list[int], np.ndarray]:
+    """Busy fraction per (node, time bucket) from the recorded trace.
+
+    Returns:
+        ``(node_ids, grid)`` where ``grid[i, j]`` is node
+        ``node_ids[i]``'s busy fraction in bucket ``j``.
+
+    Raises:
+        RuntimeError: when tracing was not enabled.
+        ValueError: for a non-positive bucket count.
+    """
+    if cluster.events is None:
+        raise RuntimeError(
+            "tracing is not enabled; call cluster.enable_tracing() first"
+        )
+    if buckets <= 0:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    node_ids = [CLIENT_NODE] + [w.node_id for w in cluster.workers]
+    index_of = {nid: i for i, nid in enumerate(node_ids)}
+    grid = np.zeros((len(node_ids), buckets), dtype=np.float64)
+    if not cluster.events:
+        return node_ids, grid
+    horizon = max(end for _, _, _, end in cluster.events)
+    if horizon <= 0:
+        return node_ids, grid
+    width = horizon / buckets
+    for _, node_id, start, end in cluster.events:
+        row = index_of[node_id]
+        first = int(start / width)
+        last = min(int(end / width), buckets - 1)
+        for b in range(first, last + 1):
+            lo = max(start, b * width)
+            hi = min(end, (b + 1) * width)
+            grid[row, b] += max(0.0, hi - lo) / width
+    np.clip(grid, 0.0, 1.0, out=grid)
+    return node_ids, grid
+
+
+def render_timeline(cluster: Cluster, buckets: int = 60) -> str:
+    """Render the utilization grid as aligned ASCII rows."""
+    node_ids, grid = utilization_grid(cluster, buckets)
+    lines = []
+    for node_id, row in zip(node_ids, grid):
+        name = "client" if node_id == CLIENT_NODE else f"worker {node_id}"
+        shades = "".join(
+            SHADES[min(int(v * (len(SHADES) - 1) + 0.5), len(SHADES) - 1)]
+            for v in row
+        )
+        busy = float(row.mean())
+        lines.append(f"{name:>9} |{shades}| {busy:4.0%}")
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""Command-line interface mirroring the paper's parameters (Section 5).
+
+The paper's binary exposes ``-NMachine``, ``-Mode``,
+``-Pruning_Configuration``, ``-Indexing_Parameters`` and ``-alpha``;
+this CLI exposes the same knobs over the dataset analogues::
+
+    python -m repro run --dataset sift1m --nmachine 4 --mode harmony \
+        --nlist 64 --nprobe 8 --k 10
+
+    python -m repro datasets          # list available analogues
+    python -m repro plan --dataset msong --nmachine 4   # planner view
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.recall import recall_at_k
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.data.datasets import DATASET_REGISTRY, available_datasets, load_dataset
+from repro.data.ground_truth import exact_knn
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HARMONY reproduction: distributed ANN search",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="build a deployment and run queries")
+    run.add_argument("--dataset", default="sift1m", help="dataset analogue")
+    run.add_argument("--size", type=int, default=None, help="base vectors")
+    run.add_argument("--queries", type=int, default=None, help="query count")
+    run.add_argument(
+        "--nmachine", type=int, default=4, help="worker nodes (-NMachine)"
+    )
+    run.add_argument(
+        "--mode",
+        default="harmony",
+        choices=[m.value for m in Mode],
+        help="partitioning mode (-Mode)",
+    )
+    run.add_argument("--nlist", type=int, default=64)
+    run.add_argument("--nprobe", type=int, default=8)
+    run.add_argument("--k", type=int, default=10)
+    run.add_argument(
+        "--alpha", type=float, default=4.0, help="imbalance weight (-alpha)"
+    )
+    run.add_argument(
+        "--no-pruning",
+        action="store_true",
+        help="disable dimension-level pruning (-Pruning_Configuration)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("datasets", help="list dataset analogues")
+
+    plan = sub.add_parser("plan", help="show the cost model's grid choices")
+    plan.add_argument("--dataset", default="sift1m")
+    plan.add_argument("--size", type=int, default=None)
+    plan.add_argument("--nmachine", type=int, default=4)
+    plan.add_argument("--nlist", type=int, default=64)
+    plan.add_argument("--nprobe", type=int, default=8)
+    plan.add_argument("--alpha", type=float, default=4.0)
+    plan.add_argument("--seed", type=int, default=0)
+
+    tune = sub.add_parser(
+        "tune", help="pick the smallest nprobe for a recall target"
+    )
+    tune.add_argument("--dataset", default="sift1m")
+    tune.add_argument("--size", type=int, default=None)
+    tune.add_argument("--nlist", type=int, default=64)
+    tune.add_argument("--k", type=int, default=10)
+    tune.add_argument(
+        "--target-recall", type=float, default=0.95, dest="target_recall"
+    )
+    tune.add_argument("--seed", type=int, default=0)
+
+    capacity = sub.add_parser(
+        "capacity",
+        help="size the smallest cluster for a recall + QPS target",
+    )
+    capacity.add_argument("--dataset", default="sift1m")
+    capacity.add_argument("--size", type=int, default=None)
+    capacity.add_argument("--nlist", type=int, default=64)
+    capacity.add_argument("--k", type=int, default=10)
+    capacity.add_argument(
+        "--target-recall", type=float, default=0.95, dest="target_recall"
+    )
+    capacity.add_argument(
+        "--target-qps", type=float, required=True, dest="target_qps"
+    )
+    capacity.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_datasets() -> int:
+    print(f"{'name':<18} {'paper size':>13} {'dim':>5} {'type':<12} scaled default")
+    for name in available_datasets():
+        spec = DATASET_REGISTRY[name]
+        print(
+            f"{name:<18} {spec.paper_size:>13,} {spec.paper_dim:>5} "
+            f"{spec.data_type:<12} {spec.default_size:,}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dataset = load_dataset(
+        args.dataset, size=args.size, n_queries=args.queries, seed=args.seed
+    )
+    config = HarmonyConfig(
+        n_machines=args.nmachine,
+        nlist=args.nlist,
+        nprobe=args.nprobe,
+        mode=args.mode,
+        alpha=args.alpha,
+        enable_pruning=not args.no_pruning,
+        seed=args.seed,
+    )
+    print(
+        f"dataset {dataset.name}: {dataset.size:,} x {dataset.dim} vectors, "
+        f"{dataset.n_queries} queries"
+    )
+    db = HarmonyDB(dim=dataset.dim, config=config)
+    build = db.build(dataset.base, sample_queries=dataset.queries)
+    print(f"plan: {db.plan.describe()}")
+    print(
+        f"build (simulated): train {build.train_seconds * 1e3:.1f} ms, "
+        f"add {build.add_seconds * 1e3:.1f} ms, "
+        f"pre-assign {build.preassign_seconds * 1e3:.1f} ms"
+    )
+    result, report = db.search(dataset.queries, k=args.k)
+    _, truth = exact_knn(dataset.base, dataset.queries, k=args.k)
+    print(f"recall@{args.k}: {recall_at_k(result.ids, truth):.3f}")
+    print(f"simulated QPS: {report.qps:,.0f}")
+    print(
+        f"latency (simulated): mean {report.mean_latency * 1e6:.0f} us, "
+        f"p99 {report.latency_percentile(99) * 1e6:.0f} us"
+    )
+    print(f"load imbalance (CV): {report.normalized_imbalance:.3f}")
+    if report.pruning is not None:
+        ratios = " ".join(f"{r:.0%}" for r in report.pruning.ratios())
+        print(f"pruned per slice: {ratios}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.core.cost_model import CostParameters
+    from repro.core.planner import QueryPlanner
+    from repro.index.ivf import IVFFlatIndex
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    index = IVFFlatIndex(dim=dataset.dim, nlist=args.nlist, seed=args.seed)
+    index.train(dataset.base)
+    index.add(dataset.base)
+    cluster = Cluster(args.nmachine)
+    planner = QueryPlanner(
+        index, CostParameters.from_cluster(cluster, alpha=args.alpha)
+    )
+    profile = planner.profile(dataset.queries, args.nprobe)
+    decision = planner.choose(args.nmachine, Mode.HARMONY, profile)
+    print(f"dataset {dataset.name}, {args.nmachine} machines:")
+    for (b_vec, b_dim), cost in decision.evaluated:
+        chosen = (
+            " <== chosen"
+            if (b_vec, b_dim)
+            == (decision.plan.n_vector_shards, decision.plan.n_dim_blocks)
+            else ""
+        )
+        print(
+            f"  {b_vec} x {b_dim}: comp {cost.computation_seconds * 1e3:8.2f} ms  "
+            f"comm {cost.communication_seconds * 1e3:7.2f} ms  "
+            f"imbalance {cost.imbalance_seconds * 1e3:7.3f} ms  "
+            f"total {cost.total * 1e3:8.2f} ms{chosen}"
+        )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.bench.tuning import tune_nprobe
+    from repro.index.ivf import IVFFlatIndex
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    index = IVFFlatIndex(dim=dataset.dim, nlist=args.nlist, seed=args.seed)
+    index.train(dataset.base)
+    index.add(dataset.base)
+    result = tune_nprobe(
+        index, dataset.queries, target_recall=args.target_recall, k=args.k
+    )
+    print(f"dataset {dataset.name}, target recall@{args.k} >= "
+          f"{args.target_recall}:")
+    for nprobe, recall in result.trace:
+        marker = " <== chosen" if nprobe == result.nprobe else ""
+        print(f"  nprobe {nprobe:4d}: recall {recall:.3f}{marker}")
+    if not result.target_met:
+        print("  target not reachable; best candidate reported")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.core.capacity import plan_capacity
+    from repro.index.ivf import IVFFlatIndex
+
+    dataset = load_dataset(args.dataset, size=args.size, seed=args.seed)
+    index = IVFFlatIndex(dim=dataset.dim, nlist=args.nlist, seed=args.seed)
+    index.train(dataset.base)
+    index.add(dataset.base)
+    plan = plan_capacity(
+        index,
+        dataset.queries,
+        target_recall=args.target_recall,
+        target_qps=args.target_qps,
+        k=args.k,
+        seed=args.seed,
+    )
+    print(
+        f"target: recall@{args.k} >= {args.target_recall}, "
+        f">= {args.target_qps:,.0f} QPS"
+    )
+    for machines, qps in plan.trace:
+        marker = " <== chosen" if machines == plan.n_machines else ""
+        print(f"  {machines:3d} machines: {qps:>12,.0f} QPS{marker}")
+    print(
+        f"recommendation: {plan.n_machines} machines, nprobe "
+        f"{plan.nprobe} ({plan.plan_summary})"
+    )
+    print(
+        f"achieves recall {plan.achieved_recall:.3f} at "
+        f"{plan.achieved_qps:,.0f} QPS"
+        + ("" if plan.target_met else "  [target NOT met]")
+    )
+    return 0 if plan.target_met else 2
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
+    if args.command == "capacity":
+        return _cmd_capacity(args)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Discrete-event cluster simulator.
+
+The paper evaluates HARMONY on a 20-node cluster (56-thread Xeon nodes,
+100 Gb/s links, OpenMPI with blocking and non-blocking modes). This
+package reproduces that platform's *cost structure* deterministically:
+
+- :class:`~repro.cluster.node.WorkerNode` charges compute time as
+  ``elements / compute_rate`` to a per-node timeline,
+- :class:`~repro.cluster.network.NetworkModel` charges transfers as
+  ``latency + bytes / bandwidth``, with blocking transfers occupying the
+  sender and non-blocking ones overlapping with computation,
+- :class:`~repro.cluster.cluster.Cluster` tracks per-node timelines,
+  computation/communication/other breakdowns, per-node load, and peak
+  memory — everything the paper's Figures 2(b), 8 and Tables 5 report.
+
+Simulated QPS is ``queries / makespan`` where the makespan emerges from
+queueing on the node timelines, so load imbalance and pruning both show
+up exactly as they would on real hardware.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.messages import (
+    MESSAGE_HEADER_BYTES,
+    partial_result_bytes,
+    query_chunk_bytes,
+    result_set_bytes,
+)
+from repro.cluster.network import CommMode, NetworkModel
+from repro.cluster.node import WorkerNode
+from repro.cluster.stats import TimeBreakdown
+
+__all__ = [
+    "Cluster",
+    "CommMode",
+    "MESSAGE_HEADER_BYTES",
+    "NetworkModel",
+    "TimeBreakdown",
+    "WorkerNode",
+    "partial_result_bytes",
+    "query_chunk_bytes",
+    "result_set_bytes",
+]

@@ -1,0 +1,64 @@
+"""Time-breakdown accounting (computation / communication / other).
+
+Matches the categories of the paper's Figures 2(b) and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulated simulated seconds per activity category.
+
+    Attributes:
+        computation: time spent in distance kernels.
+        communication: time spent transferring data (including latency).
+        other: everything else (planning, heap maintenance, dispatch).
+    """
+
+    computation: float = 0.0
+    communication: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.computation + self.communication + self.other
+
+    def add(self, other: "TimeBreakdown") -> None:
+        """Accumulate another breakdown into this one in place."""
+        self.computation += other.computation
+        self.communication += other.communication
+        self.other += other.other
+
+    def charge(self, category: str, seconds: float) -> None:
+        """Add ``seconds`` to the named category.
+
+        Raises:
+            ValueError: for negative durations or unknown categories.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds}")
+        if category == "computation":
+            self.computation += seconds
+        elif category == "communication":
+            self.communication += seconds
+        elif category == "other":
+            self.other += seconds
+        else:
+            raise ValueError(f"unknown time category {category!r}")
+
+    def fractions(self) -> dict[str, float]:
+        """Category shares of the total (all zero for an empty breakdown)."""
+        total = self.total
+        if total <= 0.0:
+            return {"computation": 0.0, "communication": 0.0, "other": 0.0}
+        return {
+            "computation": self.computation / total,
+            "communication": self.communication / total,
+            "other": self.other / total,
+        }
+
+    def copy(self) -> "TimeBreakdown":
+        return TimeBreakdown(self.computation, self.communication, self.other)

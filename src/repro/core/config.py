@@ -1,0 +1,125 @@
+"""HARMONY configuration.
+
+Mirrors the user-facing parameters of the paper's implementation
+(Section 5): ``-NMachine``, ``-Pruning_Configuration``,
+``-Indexing_Parameters`` (nlist / nprobe / dim), ``-alpha`` and
+``-Mode``, plus the ablation switches used in Section 6.3.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.distance.metrics import Metric, resolve_metric
+
+
+class Mode(str, enum.Enum):
+    """Partitioning mode (the paper's ``-Mode`` parameter).
+
+    ``HARMONY`` lets the cost model pick the hybrid grid;
+    ``VECTOR`` forces pure vector-based partitioning (Harmony-vector);
+    ``DIMENSION`` forces pure dimension-based partitioning
+    (Harmony-dimension).
+    """
+
+    HARMONY = "harmony"
+    VECTOR = "harmony-vector"
+    DIMENSION = "harmony-dimension"
+
+
+def resolve_mode(mode: "Mode | str") -> Mode:
+    """Coerce a mode name (``"harmony-vector"`` etc.) into :class:`Mode`."""
+    if isinstance(mode, Mode):
+        return mode
+    try:
+        return Mode(str(mode).lower())
+    except ValueError as exc:
+        supported = ", ".join(m.value for m in Mode)
+        raise ValueError(
+            f"unknown mode {mode!r}; supported modes: {supported}"
+        ) from exc
+
+
+@dataclass
+class HarmonyConfig:
+    """All tunables of a HARMONY deployment.
+
+    Attributes:
+        n_machines: worker nodes in the cluster (``-NMachine``).
+        nlist: IVF cluster count.
+        nprobe: probed clusters per query.
+        metric: similarity metric.
+        mode: partition-mode selection (see :class:`Mode`).
+        alpha: weight of the imbalance term in the overall cost
+            function ``C(pi, Q) = sum C_q + alpha * I(pi)``.
+        enable_pruning: dimension-level early-stop pruning (Section 4.3).
+        enable_pipeline: pipelined inter-slice execution; when off,
+            partial results synchronize through the client with barrier
+            semantics (the paper's non-pipelined strawman).
+        enable_load_balance: load-aware list-to-shard assignment plus
+            adaptive dimension-order scheduling.
+        prewarm_size: candidates scored on the client to seed the top-K
+            heap before distributed scanning (Algorithm 1, PrewarmHeap).
+        forced_grid: pin the partition grid to ``(B_vec, B_dim)``
+            instead of letting the cost model choose (used by ablation
+            experiments to isolate one optimization at a time).
+        replicas: copies of every grid block (1 = none). Replication is
+            the classic alternative remedy for hot shards — it buys
+            read scaling at ``replicas``x the per-node index memory,
+            the trade-off ``bench_replication_tradeoff.py`` quantifies
+            against Harmony's memory-free hybrid grids.
+        plan_sample: query-sample size fed to the cost model.
+        kmeans_iterations: training iteration cap.
+        seed: RNG seed for clustering and sampling.
+    """
+
+    n_machines: int = 4
+    nlist: int = 64
+    nprobe: int = 8
+    metric: Metric = Metric.L2
+    mode: Mode = Mode.HARMONY
+    alpha: float = 4.0
+    enable_pruning: bool = True
+    enable_pipeline: bool = True
+    enable_load_balance: bool = True
+    prewarm_size: int = 32
+    plan_sample: int = 128
+    kmeans_iterations: int = 20
+    seed: int = 0
+    forced_grid: "tuple[int, int] | None" = None
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        self.metric = resolve_metric(self.metric)
+        self.mode = resolve_mode(self.mode)
+        if self.n_machines <= 0:
+            raise ValueError(f"n_machines must be positive, got {self.n_machines}")
+        if self.nlist <= 0:
+            raise ValueError(f"nlist must be positive, got {self.nlist}")
+        if self.nprobe <= 0:
+            raise ValueError(f"nprobe must be positive, got {self.nprobe}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.prewarm_size < 0:
+            raise ValueError(
+                f"prewarm_size must be non-negative, got {self.prewarm_size}"
+            )
+        if self.plan_sample <= 0:
+            raise ValueError(f"plan_sample must be positive, got {self.plan_sample}")
+        if self.forced_grid is not None:
+            b_vec, b_dim = self.forced_grid
+            if b_vec <= 0 or b_dim <= 0:
+                raise ValueError(
+                    f"forced_grid entries must be positive, got {self.forced_grid}"
+                )
+        if not 1 <= self.replicas <= self.n_machines:
+            raise ValueError(
+                f"replicas must be in [1, n_machines], got {self.replicas}"
+            )
+
+    def replace(self, **changes: object) -> "HarmonyConfig":
+        """Copy of this config with the given fields replaced."""
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)  # type: ignore[arg-type]

@@ -1,0 +1,462 @@
+"""HarmonyDB: the public facade of the distributed vector database.
+
+Typical usage::
+
+    from repro import HarmonyConfig, HarmonyDB
+
+    config = HarmonyConfig(n_machines=4, nlist=64, nprobe=8)
+    db = HarmonyDB(dim=128, config=config)
+    build = db.build(base_vectors, sample_queries=queries[:128])
+    result, report = db.search(queries, k=10)
+    print(report.qps, report.plan_summary)
+
+``build`` trains the shared IVF clustering, lets the cost-model planner
+choose the partition grid for the configured mode, and distributes the
+index blocks onto the simulated cluster. ``search`` executes the
+pipelined engine and returns exact-for-the-probed-lists answers plus a
+full simulated-performance report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.cost_model import CostParameters, WorkloadProfile
+from repro.core.partition import PartitionPlan
+from repro.core.pipeline import PipelineEngine
+from repro.core.planner import PlanDecision, QueryPlanner
+from repro.core.results import BuildReport, ExecutionReport, SearchResult
+
+
+class HarmonyDB:
+    """A HARMONY deployment: index + planner + cluster + engine.
+
+    Args:
+        dim: vector dimensionality.
+        config: deployment configuration (see :class:`HarmonyConfig`).
+        cluster: simulated cluster to run on; a default one with
+            ``config.n_machines`` workers is created when omitted.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        config: HarmonyConfig | None = None,
+        cluster: Cluster | None = None,
+    ) -> None:
+        self.config = config or HarmonyConfig()
+        if cluster is None:
+            cluster = Cluster(n_workers=self.config.n_machines)
+        if cluster.n_workers < self.config.n_machines:
+            raise ValueError(
+                f"config wants {self.config.n_machines} machines but the "
+                f"cluster has {cluster.n_workers} workers"
+            )
+        self.cluster = cluster
+        from repro.index.ivf import IVFFlatIndex
+
+        self.index = IVFFlatIndex(
+            dim=dim,
+            nlist=self.config.nlist,
+            metric=self.config.metric,
+            seed=self.config.seed,
+            max_iterations=self.config.kmeans_iterations,
+        )
+        self._engine: PipelineEngine | None = None
+        self._decision: PlanDecision | None = None
+        self._placement = None
+
+    @classmethod
+    def from_trained_index(
+        cls,
+        index: "IVFFlatIndex",
+        config: HarmonyConfig | None = None,
+        cluster: Cluster | None = None,
+        sample_queries: np.ndarray | None = None,
+        k: int = 10,
+    ) -> "HarmonyDB":
+        """Deploy an already trained+populated IVF index.
+
+        All HARMONY variants in the paper's evaluation share one
+        clustering (Section 6.1); this constructor lets callers build
+        that index once and attach it to several deployments without
+        re-running k-means. Planning and data placement run
+        immediately, so the returned DB is ready to search.
+
+        Raises:
+            RuntimeError: if the index is untrained or empty.
+            ValueError: if the config disagrees with the index's
+                nlist or metric.
+        """
+        from repro.index.ivf import IVFFlatIndex  # noqa: F811
+
+        if not index.is_trained or index.ntotal == 0:
+            raise RuntimeError("index must be trained and populated")
+        config = config or HarmonyConfig(nlist=index.nlist, metric=index.metric)
+        if config.nlist != index.nlist:
+            raise ValueError(
+                f"config nlist {config.nlist} != index nlist {index.nlist}"
+            )
+        if config.metric is not index.metric:
+            raise ValueError(
+                f"config metric {config.metric} != index metric {index.metric}"
+            )
+        db = cls(dim=index.dim, config=config, cluster=cluster)
+        db.index = index
+        db._plan_and_place(sample_queries, k)
+        return db
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @property
+    def is_built(self) -> bool:
+        return self._engine is not None
+
+    @property
+    def ntotal(self) -> int:
+        return self.index.ntotal
+
+    @property
+    def plan(self) -> PartitionPlan:
+        """The active partition plan."""
+        if self._decision is None:
+            raise RuntimeError("build() has not been called")
+        return self._decision.plan
+
+    @property
+    def plan_decision(self) -> PlanDecision:
+        """The full planning outcome, including rejected grid shapes."""
+        if self._decision is None:
+            raise RuntimeError("build() has not been called")
+        return self._decision
+
+    def build(
+        self,
+        base: np.ndarray,
+        sample_queries: np.ndarray | None = None,
+        k: int = 10,
+        labels: np.ndarray | None = None,
+    ) -> BuildReport:
+        """Train, populate, plan, and distribute the index.
+
+        Args:
+            base: ``(n, dim)`` base vectors.
+            sample_queries: workload sample for the cost model; when
+                omitted the planner assumes uniform probe frequencies.
+            k: top-K size assumed when pricing result messages.
+            labels: optional per-vector metadata labels for filtered
+                search.
+
+        Returns:
+            A :class:`BuildReport` with simulated Train / Add /
+            Pre-assign stage times (paper Figure 10).
+        """
+        base = np.atleast_2d(np.asarray(base, dtype=np.float32))
+        self.index.train(base)
+        self.index.add(base, labels=labels)
+        stats = self.index.build_stats()
+        client_rate = self.cluster.client.compute_rate
+        train_seconds = stats.train_elements / client_rate
+        add_seconds = stats.add_elements / client_rate
+
+        self._plan_and_place(sample_queries, k)
+        assert self._placement is not None
+        return BuildReport(
+            train_seconds=train_seconds,
+            add_seconds=add_seconds,
+            preassign_seconds=self._placement.preassign_seconds,
+            placement=self._placement,
+        )
+
+    def add(self, vectors: np.ndarray, labels: np.ndarray | None = None):
+        """Insert vectors into a built deployment (streaming ingest).
+
+        New vectors join their nearest centroid's inverted list under
+        the existing clustering and partition plan; the affected grid
+        blocks are re-shipped to their machines. Subsequent searches
+        see the new vectors immediately and remain exact w.r.t. a
+        single-node scan. Optional per-vector metadata ``labels`` are
+        usable as search filters.
+
+        Returns:
+            The refreshed :class:`PlacementReport`.
+        """
+        if not self.is_built:
+            raise RuntimeError("build() must be called before add()")
+        assert self._engine is not None
+        self.index.add(vectors, labels=labels)
+        return self._refresh_engine()
+
+    def remove(self, ids: np.ndarray) -> int:
+        """Delete vectors by id (tombstoned, never returned again).
+
+        Returns:
+            Number of vectors newly deleted.
+        """
+        if not self.is_built:
+            raise RuntimeError("build() must be called before remove()")
+        removed = self.index.remove_ids(ids)
+        if removed:
+            self._refresh_engine()
+        return removed
+
+    def _refresh_engine(self):
+        """Rebuild the engine/placement after an index mutation."""
+        assert self._engine is not None and self._decision is not None
+        self._engine.release_data()
+        self._engine = PipelineEngine(
+            index=self.index,
+            plan=self._decision.plan,
+            cluster=self.cluster,
+            config=self.config,
+        )
+        self._placement = self._engine.place_data()
+        return self._placement
+
+    def replan(
+        self, sample_queries: np.ndarray, k: int = 10
+    ) -> PlanDecision:
+        """Re-run the planner for a new workload and redistribute.
+
+        This is HARMONY's adaptation path: when the observed workload
+        shifts (e.g. becomes skewed), the cost model may select a
+        different grid; blocks are re-placed accordingly.
+        """
+        if not self.is_built:
+            raise RuntimeError("build() has not been called")
+        assert self._engine is not None
+        self._engine.release_data()
+        self._plan_and_place(sample_queries, k)
+        assert self._decision is not None
+        return self._decision
+
+    def _plan_and_place(
+        self, sample_queries: np.ndarray | None, k: int
+    ) -> None:
+        config = self.config
+        params = CostParameters.from_cluster(self.cluster, alpha=config.alpha)
+        planner = QueryPlanner(self.index, params, k=k)
+
+        # Every strategy calibrates its partition against a *typical*
+        # workload (a sample of the base distribution), as deployed
+        # systems do. Only HARMONY additionally adapts to the observed
+        # query sample — that adaptivity is the paper's contribution;
+        # the vector/dimension baselines stay static (Section 6.1).
+        adapt = config.mode is Mode.HARMONY and sample_queries is not None
+        if adapt:
+            sample = np.atleast_2d(np.asarray(sample_queries, dtype=np.float32))
+            if sample.shape[0] > config.plan_sample:
+                rng = np.random.default_rng(config.seed)
+                picks = rng.choice(
+                    sample.shape[0], size=config.plan_sample, replace=False
+                )
+                sample = sample[picks]
+        else:
+            rng = np.random.default_rng(config.seed)
+            picks = rng.choice(
+                self.index.ntotal,
+                size=min(config.plan_sample, self.index.ntotal),
+                replace=False,
+            )
+            sample = self.index.base[picks]
+        profile: WorkloadProfile | None = planner.profile(
+            sample, config.nprobe
+        )
+        self._decision = planner.choose(
+            n_machines=config.n_machines,
+            mode=config.mode,
+            profile=profile,
+            load_aware=config.enable_load_balance,
+            balanced=config.enable_load_balance,
+            pruning=config.enable_pruning,
+            forced_grid=config.forced_grid,
+            replicas=config.replicas,
+        )
+        self._engine = PipelineEngine(
+            index=self.index,
+            plan=self._decision.plan,
+            cluster=self.cluster,
+            config=config,
+        )
+        self._placement = self._engine.place_data()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: int | None = None,
+        arrival_times: np.ndarray | None = None,
+        filter_labels: "np.ndarray | list[int] | None" = None,
+    ) -> tuple[SearchResult, ExecutionReport]:
+        """Distributed top-K search for a batch of queries.
+
+        Returns the exact same result sets a single-node IVF scan with
+        identical nlist/nprobe (and the same label filter) would
+        produce, plus the simulated performance report of the
+        distributed execution.
+
+        Pass ``arrival_times`` (ascending simulated timestamps, one per
+        query) for open-loop load experiments: latencies then include
+        queueing delay behind earlier queries. Pass ``filter_labels``
+        to restrict the search to vectors carrying one of the given
+        metadata labels (see ``IVFFlatIndex.add``'s ``labels``).
+        """
+        if not self.is_built:
+            raise RuntimeError("build() must be called before search()")
+        assert self._engine is not None
+        return self._engine.run(
+            queries,
+            k=k,
+            nprobe=nprobe,
+            arrival_times=arrival_times,
+            filter_labels=filter_labels,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: "str | object") -> None:
+        """Serialize the deployment (index + config + plan) to ``.npz``.
+
+        :meth:`load` reconstructs a ready-to-search deployment on a
+        fresh simulated cluster that returns identical results.
+        """
+        if not self.is_built:
+            raise RuntimeError("build() must be called before save()")
+        import json
+
+        plan = self.plan
+        config = self.config
+        config_json = json.dumps(
+            {
+                "n_machines": config.n_machines,
+                "nlist": config.nlist,
+                "nprobe": config.nprobe,
+                "metric": config.metric.value,
+                "mode": config.mode.value,
+                "alpha": config.alpha,
+                "enable_pruning": config.enable_pruning,
+                "enable_pipeline": config.enable_pipeline,
+                "enable_load_balance": config.enable_load_balance,
+                "prewarm_size": config.prewarm_size,
+                "plan_sample": config.plan_sample,
+                "kmeans_iterations": config.kmeans_iterations,
+                "seed": config.seed,
+            }
+        )
+        assignment = np.full(self.index.ntotal, -1, dtype=np.int64)
+        for list_id in range(self.index.nlist):
+            assignment[self.index._list_ids[list_id]] = list_id
+        np.savez_compressed(
+            path,
+            base=self.index.base,
+            centroids=self.index.centroids,
+            assignment=assignment,
+            deleted=self.index._deleted,
+            labels=self.index._labels,
+            config=np.array(config_json),
+            shard_of_list=plan.shard_of_list,
+            placement=plan.placement,
+            slice_boundaries=np.array(plan.slices.boundaries, dtype=np.int64),
+        )
+
+    @classmethod
+    def load(
+        cls, path: "str | object", cluster: Cluster | None = None
+    ) -> "HarmonyDB":
+        """Reconstruct a deployment saved with :meth:`save`."""
+        import json
+
+        from repro.core.partition import PartitionPlan
+        from repro.distance.partial import DimensionSlices
+        from repro.index.ivf import IVFFlatIndex
+
+        with np.load(path, allow_pickle=False) as data:
+            config_dict = json.loads(str(data["config"]))
+            config = HarmonyConfig(**config_dict)
+            index = IVFFlatIndex(
+                dim=int(data["base"].shape[1]),
+                nlist=config.nlist,
+                metric=config.metric,
+                seed=config.seed,
+                max_iterations=config.kmeans_iterations,
+            )
+            index._centroids = data["centroids"]
+            index._base = data["base"]
+            index._deleted = data["deleted"]
+            index._labels = data["labels"]
+            assignment = data["assignment"]
+            for list_id in range(index.nlist):
+                index._list_ids[list_id] = np.flatnonzero(
+                    assignment == list_id
+                ).astype(np.int64)
+            shard_of_list = data["shard_of_list"]
+            placement = data["placement"]
+            boundaries = tuple(int(b) for b in data["slice_boundaries"])
+
+        db = cls(dim=index.dim, config=config, cluster=cluster)
+        db.index = index
+        plan = PartitionPlan(
+            n_machines=config.n_machines,
+            n_vector_shards=int(placement.shape[0]),
+            n_dim_blocks=int(placement.shape[1]),
+            slices=DimensionSlices(boundaries),
+            shard_of_list=shard_of_list,
+            placement=placement,
+        )
+        # Re-score the saved plan so plan_decision stays meaningful.
+        params = CostParameters.from_cluster(db.cluster, alpha=config.alpha)
+        planner = QueryPlanner(index, params)
+        profile = planner.profile(
+            index.base[: min(64, index.ntotal)], config.nprobe
+        )
+        from repro.core.cost_model import plan_cost
+
+        cost = plan_cost(plan, index, profile, params)
+        db._decision = PlanDecision(
+            plan=plan,
+            cost=cost,
+            evaluated=(
+                ((plan.n_vector_shards, plan.n_dim_blocks), cost),
+            ),
+        )
+        db._engine = PipelineEngine(
+            index=index, plan=plan, cluster=db.cluster, config=config
+        )
+        db._placement = db._engine.place_data()
+        return db
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def index_memory_report(self) -> dict[str, object]:
+        """Per-machine index memory vs the single-node equivalent.
+
+        Substrate for the paper's Table 4: ``per_machine`` maps worker
+        id to resident index bytes under the active plan;
+        ``single_node_total`` is what one Faiss-style node would hold.
+        """
+        if self._placement is None:
+            raise RuntimeError("build() has not been called")
+        single = self.index.memory_report()
+        return {
+            "per_machine": dict(self._placement.per_machine_bytes),
+            "max_machine_bytes": self._placement.max_machine_bytes,
+            "mean_machine_bytes": self._placement.mean_machine_bytes,
+            "total_bytes": self._placement.total_bytes,
+            "single_node_total": single["total"],
+            "plan": self.plan.describe(),
+        }
+
+    def mode(self) -> Mode:
+        return self.config.mode

@@ -1,0 +1,63 @@
+"""Bounded top-K heap with a pruning threshold.
+
+The max-heap of Algorithm 1: it retains the K best (smallest-score)
+candidates seen so far, and its worst retained score is the pruning
+threshold ``tau``. Ties are broken by candidate id so every engine in
+the library produces byte-identical result sets.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+
+class TopKHeap:
+    """Keeps the ``k`` lexicographically smallest ``(score, id)`` pairs.
+
+    Scores follow the library convention: smaller is better (squared L2,
+    or negated similarity). ``threshold`` is ``+inf`` until the heap is
+    full, after which it equals the worst retained score — the value
+    partial distances are compared against for early-stop pruning.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        # heapq is a min-heap; store (-score, -id) so the root is the
+        # lexicographically largest retained (score, id) pair.
+        self._heap: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """Current pruning threshold ``tau`` (``+inf`` until full)."""
+        if not self.is_full:
+            return math.inf
+        return -self._heap[0][0]
+
+    def push(self, score: float, candidate_id: int) -> bool:
+        """Offer a candidate; returns True if it was retained.
+
+        A candidate displaces the current worst entry when its
+        ``(score, id)`` pair is lexicographically smaller.
+        """
+        entry = (-float(score), -int(candidate_id))
+        if not self.is_full:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def items(self) -> list[tuple[float, int]]:
+        """Retained ``(score, id)`` pairs, best first."""
+        return sorted((-s, -i) for s, i in self._heap)

@@ -1,0 +1,123 @@
+"""Online workload-drift monitoring and automatic re-planning.
+
+HARMONY "adapts its partitioning strategies to dynamic query
+workloads" (paper Section 4.1). The deployment's plan is chosen from a
+workload sample at build time; when live traffic drifts — a region of
+the embedding space heats up — the old plan can become imbalanced.
+:class:`DriftMonitor` watches served queries, estimates the current
+plan's load imbalance from probe statistics, and triggers
+``HarmonyDB.replan`` when a rebalance would help:
+
+    monitor = DriftMonitor(db, window=256, imbalance_threshold=0.25)
+    for batch in stream:
+        results, report = db.search(batch, k=10)
+        monitor.observe(batch)
+        if monitor.maybe_replan():
+            log.info("re-planned: %s", db.plan.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost_model import (
+    CostParameters,
+    WorkloadProfile,
+    node_loads,
+)
+from repro.core.database import HarmonyDB
+
+
+@dataclass(frozen=True)
+class DriftStatus:
+    """Snapshot of the monitor's view of the live workload.
+
+    Attributes:
+        n_observed: queries currently in the window.
+        imbalance: coefficient of variation of the active plan's
+            estimated per-node loads under the windowed workload.
+        drifted: whether the imbalance exceeds the threshold.
+    """
+
+    n_observed: int
+    imbalance: float
+    drifted: bool
+
+
+class DriftMonitor:
+    """Watches served queries and re-plans when load drifts.
+
+    Args:
+        db: the deployment to watch (must be built).
+        window: recent queries kept for drift estimation.
+        imbalance_threshold: coefficient-of-variation of estimated
+            per-node loads above which the workload counts as drifted.
+        min_observations: don't judge drift before this many queries.
+    """
+
+    def __init__(
+        self,
+        db: HarmonyDB,
+        window: int = 256,
+        imbalance_threshold: float = 0.25,
+        min_observations: int = 64,
+    ) -> None:
+        if not db.is_built:
+            raise RuntimeError("monitor requires a built deployment")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if imbalance_threshold < 0:
+            raise ValueError("imbalance_threshold must be non-negative")
+        if not 0 < min_observations <= window:
+            raise ValueError(
+                "need 0 < min_observations <= window, got "
+                f"{min_observations} / {window}"
+            )
+        self.db = db
+        self.window = window
+        self.imbalance_threshold = imbalance_threshold
+        self.min_observations = min_observations
+        self._recent = np.empty((0, db.index.dim), dtype=np.float32)
+        self.replan_count = 0
+
+    def observe(self, queries: np.ndarray) -> None:
+        """Record served queries into the sliding window."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        self._recent = np.vstack([self._recent, queries])[-self.window :]
+
+    def status(self) -> DriftStatus:
+        """Estimate the active plan's imbalance on the windowed traffic."""
+        n = self._recent.shape[0]
+        if n < self.min_observations:
+            return DriftStatus(n_observed=n, imbalance=0.0, drifted=False)
+        profile = WorkloadProfile.measure(
+            self.db.index, self._recent, self.db.config.nprobe
+        )
+        params = CostParameters.from_cluster(
+            self.db.cluster, alpha=self.db.config.alpha
+        )
+        loads = node_loads(self.db.plan, self.db.index, profile, params)
+        mean = float(loads.mean())
+        imbalance = float(loads.std() / mean) if mean > 0 else 0.0
+        return DriftStatus(
+            n_observed=n,
+            imbalance=imbalance,
+            drifted=imbalance > self.imbalance_threshold,
+        )
+
+    def maybe_replan(self) -> bool:
+        """Re-plan on drift; returns True when a re-plan happened.
+
+        The window is kept (not cleared) so a re-plan that failed to
+        balance the load — e.g. a single giant hot list that no
+        partitioning can split at vector granularity — will keep
+        pushing toward dimension-including grids on later checks.
+        """
+        current = self.status()
+        if not current.drifted:
+            return False
+        self.db.replan(self._recent)
+        self.replan_count += 1
+        return True

@@ -1,0 +1,265 @@
+"""Multi-granularity partition plans (paper Sections 4.1-4.2).
+
+A partition plan is a grid: ``n_vector_shards`` vector-based shards
+(each a group of IVF inverted lists) crossed with ``n_dim_blocks``
+dimension slices. Grid block ``(v, d)`` — shard ``v`` restricted to
+slice ``d`` — is placed on one machine, exactly as in the paper's
+Figure 4(a) where blocks ``V1D1 .. V2D3`` land on machines ``M1..M6``.
+
+Pure vector partitioning is the ``(N, 1)`` grid; pure dimension
+partitioning is ``(1, N)``; everything in between is a hybrid plan the
+cost model can choose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.partial import DimensionSlices
+from repro.index.ivf import IVFFlatIndex
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A fully materialized partition plan ``pi``.
+
+    Attributes:
+        n_machines: workers the plan targets.
+        n_vector_shards: ``B_vec`` — vector-based shard count.
+        n_dim_blocks: ``B_dim`` — dimension-slice count.
+        slices: the dimension slicing shared by all shards.
+        shard_of_list: ``(nlist,)`` map from inverted list to shard.
+        placement: ``(n_vector_shards, n_dim_blocks)`` map from grid
+            block to its *primary* machine id.
+        replica_placement: optional ``(n_vector_shards, n_dim_blocks,
+            R)`` map to every replica's machine (column 0 must equal
+            ``placement``); replication trades memory for read
+            scaling, the alternative skew remedy the benchmark suite
+            compares against Harmony's hybrid grids.
+    """
+
+    n_machines: int
+    n_vector_shards: int
+    n_dim_blocks: int
+    slices: DimensionSlices
+    shard_of_list: np.ndarray
+    placement: np.ndarray
+    replica_placement: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_vector_shards <= 0 or self.n_dim_blocks <= 0:
+            raise ValueError("shard and block counts must be positive")
+        if self.slices.n_slices != self.n_dim_blocks:
+            raise ValueError(
+                f"slices has {self.slices.n_slices} blocks, plan expects "
+                f"{self.n_dim_blocks}"
+            )
+        if self.placement.shape != (self.n_vector_shards, self.n_dim_blocks):
+            raise ValueError(
+                f"placement shape {self.placement.shape} does not match grid "
+                f"({self.n_vector_shards}, {self.n_dim_blocks})"
+            )
+        if self.shard_of_list.min(initial=0) < 0 or (
+            self.shard_of_list.max(initial=0) >= self.n_vector_shards
+        ):
+            raise ValueError("shard_of_list contains out-of-range shard ids")
+        if self.placement.min() < 0 or self.placement.max() >= self.n_machines:
+            raise ValueError("placement contains out-of-range machine ids")
+        if self.replica_placement is not None:
+            expected = (self.n_vector_shards, self.n_dim_blocks)
+            if self.replica_placement.shape[:2] != expected:
+                raise ValueError(
+                    "replica_placement grid shape "
+                    f"{self.replica_placement.shape[:2]} != {expected}"
+                )
+            if not np.array_equal(
+                self.replica_placement[:, :, 0], self.placement
+            ):
+                raise ValueError(
+                    "replica_placement[..., 0] must equal placement"
+                )
+            if (
+                self.replica_placement.min() < 0
+                or self.replica_placement.max() >= self.n_machines
+            ):
+                raise ValueError(
+                    "replica_placement contains out-of-range machine ids"
+                )
+
+    @property
+    def replicas(self) -> int:
+        """Copies of every grid block (1 = no replication)."""
+        if self.replica_placement is None:
+            return 1
+        return int(self.replica_placement.shape[2])
+
+    @property
+    def kind(self) -> str:
+        """``"vector"``, ``"dimension"`` or ``"hybrid"``."""
+        if self.n_dim_blocks == 1:
+            return "vector"
+        if self.n_vector_shards == 1:
+            return "dimension"
+        return "hybrid"
+
+    def machine_of(self, shard: int, block: int) -> int:
+        """Primary machine hosting grid block ``(shard, block)``."""
+        return int(self.placement[shard, block])
+
+    def replica_machines(self, shard: int, block: int) -> np.ndarray:
+        """Every machine holding a copy of grid block ``(shard, block)``."""
+        if self.replica_placement is None:
+            return np.array([self.placement[shard, block]], dtype=np.int64)
+        return self.replica_placement[shard, block].astype(np.int64)
+
+    def lists_of_shard(self, shard: int) -> np.ndarray:
+        """Inverted-list ids assigned to ``shard``."""
+        return np.flatnonzero(self.shard_of_list == shard)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.kind} plan: {self.n_vector_shards} vector shard(s) x "
+            f"{self.n_dim_blocks} dimension block(s) on {self.n_machines} "
+            f"machine(s)"
+        )
+
+
+def grid_shapes(n_machines: int) -> list[tuple[int, int]]:
+    """All ``(B_vec, B_dim)`` factor pairs with ``B_vec * B_dim == N``.
+
+    These are the candidate grids the planner scores; the list always
+    contains the pure-vector ``(N, 1)`` and pure-dimension ``(1, N)``
+    extremes.
+    """
+    if n_machines <= 0:
+        raise ValueError(f"n_machines must be positive, got {n_machines}")
+    shapes = []
+    for b_vec in range(1, n_machines + 1):
+        if n_machines % b_vec == 0:
+            shapes.append((b_vec, n_machines // b_vec))
+    return shapes
+
+
+def assign_lists_balanced(
+    list_weights: np.ndarray, n_shards: int
+) -> np.ndarray:
+    """Greedy balanced assignment of inverted lists to shards.
+
+    Lists are placed heaviest-first onto the currently lightest shard
+    (longest-processing-time scheduling), which keeps expected per-shard
+    work within a small factor of optimal. ``list_weights`` is usually
+    ``list_size * expected_probe_frequency`` — the load-aware weighting
+    of Section 4.2.
+
+    Returns:
+        ``(nlist,)`` array of shard ids.
+    """
+    weights = np.asarray(list_weights, dtype=np.float64)
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    order = np.argsort(-weights, kind="stable")
+    shard_totals = np.zeros(n_shards, dtype=np.float64)
+    assignment = np.empty(weights.shape[0], dtype=np.int64)
+    for list_id in order:
+        shard = int(np.argmin(shard_totals))
+        assignment[list_id] = shard
+        shard_totals[shard] += weights[list_id]
+    return assignment
+
+
+def assign_lists_contiguous(nlist: int, n_shards: int) -> np.ndarray:
+    """Naive contiguous assignment: list ``l`` goes to shard ``l*S//nlist``.
+
+    The load-oblivious baseline used when ``enable_load_balance`` is
+    off (Section 6.3.2's "balanced load" ablation lever).
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    return (np.arange(nlist, dtype=np.int64) * n_shards) // nlist
+
+
+def round_robin_placement(
+    n_vector_shards: int, n_dim_blocks: int, n_machines: int
+) -> np.ndarray:
+    """Grid-block to machine placement.
+
+    When the grid size equals the machine count every block gets its own
+    machine (the paper's standard deployment). Larger grids wrap around
+    round-robin; smaller grids leave machines idle.
+    """
+    total = n_vector_shards * n_dim_blocks
+    flat = np.arange(total, dtype=np.int64) % n_machines
+    return flat.reshape(n_vector_shards, n_dim_blocks)
+
+
+def replicated_placement(
+    primary: np.ndarray, n_machines: int, replicas: int
+) -> np.ndarray:
+    """Extend a primary placement with rotated replica machines.
+
+    Replica ``r`` of a block lands ``r`` machines after its primary
+    (mod ``n_machines``), so all copies live on distinct machines.
+
+    Raises:
+        ValueError: when ``replicas`` exceeds the machine count.
+    """
+    if replicas <= 0:
+        raise ValueError(f"replicas must be positive, got {replicas}")
+    if replicas > n_machines:
+        raise ValueError(
+            f"cannot place {replicas} replicas on {n_machines} machines"
+        )
+    stacked = np.stack(
+        [(primary + r) % n_machines for r in range(replicas)], axis=-1
+    )
+    return stacked.astype(np.int64)
+
+
+def build_plan(
+    index: IVFFlatIndex,
+    n_machines: int,
+    n_vector_shards: int,
+    n_dim_blocks: int,
+    list_weights: np.ndarray | None = None,
+    balanced: bool = True,
+    replicas: int = 1,
+) -> PartitionPlan:
+    """Materialize a plan for a trained index.
+
+    Args:
+        index: trained IVF index whose lists are being distributed.
+        n_machines: target machine count.
+        n_vector_shards / n_dim_blocks: grid shape.
+        list_weights: per-list expected work (defaults to list sizes).
+        balanced: use load-aware balanced assignment (True) or naive
+            contiguous assignment (False).
+        replicas: copies per grid block (read scaling at a memory cost).
+    """
+    if not index.is_trained:
+        raise RuntimeError("cannot build a plan for an untrained index")
+    if list_weights is None:
+        list_weights = index.list_sizes().astype(np.float64)
+    if balanced:
+        shard_of_list = assign_lists_balanced(list_weights, n_vector_shards)
+    else:
+        shard_of_list = assign_lists_contiguous(index.nlist, n_vector_shards)
+    placement = round_robin_placement(
+        n_vector_shards, n_dim_blocks, n_machines
+    )
+    replica_placement = None
+    if replicas > 1:
+        replica_placement = replicated_placement(
+            placement, n_machines, replicas
+        )
+    return PartitionPlan(
+        n_machines=n_machines,
+        n_vector_shards=n_vector_shards,
+        n_dim_blocks=n_dim_blocks,
+        slices=DimensionSlices.even(index.dim, n_dim_blocks),
+        shard_of_list=shard_of_list,
+        placement=placement,
+        replica_placement=replica_placement,
+    )

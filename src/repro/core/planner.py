@@ -1,0 +1,198 @@
+"""Fine-grained query planner (paper Section 4.2).
+
+Enumerates candidate partition grids, scores each with the cost model,
+and returns the cheapest plan. Pure vector / pure dimension modes skip
+the search and materialize their fixed grid directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import Mode, resolve_mode
+from repro.core.cost_model import (
+    CostParameters,
+    PlanCost,
+    WorkloadProfile,
+    estimate_survival,
+    plan_cost,
+)
+from repro.distance.metrics import Metric
+from repro.core.partition import PartitionPlan, build_plan, grid_shapes
+from repro.index.ivf import IVFFlatIndex
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """Outcome of planning.
+
+    Attributes:
+        plan: the chosen partition plan.
+        cost: its scored cost.
+        evaluated: every (grid shape, cost) pair considered, so callers
+            can inspect why the winner won.
+    """
+
+    plan: PartitionPlan
+    cost: PlanCost
+    evaluated: tuple[tuple[tuple[int, int], PlanCost], ...]
+
+
+class QueryPlanner:
+    """Chooses a partition plan for an index / workload / cluster triple.
+
+    Args:
+        index: trained IVF index to distribute.
+        params: hardware cost parameters (usually derived from the
+            simulated cluster).
+        k: top-K size assumed when pricing result messages.
+    """
+
+    def __init__(
+        self, index: IVFFlatIndex, params: CostParameters, k: int = 10
+    ) -> None:
+        if not index.is_trained:
+            raise RuntimeError("planner requires a trained index")
+        self.index = index
+        self.params = params
+        self.k = k
+
+    def profile(self, queries: np.ndarray, nprobe: int) -> WorkloadProfile:
+        """Measure probe statistics for a workload sample."""
+        return WorkloadProfile.measure(self.index, queries, nprobe)
+
+    def list_weights(
+        self, profile: WorkloadProfile | None, load_aware: bool
+    ) -> np.ndarray:
+        """Per-list expected work used for shard assignment.
+
+        Load-aware weighting multiplies list size by its probe
+        frequency (plus-one smoothed so unprobed lists still carry
+        their storage weight); the oblivious variant uses sizes alone.
+        """
+        sizes = self.index.list_sizes().astype(np.float64)
+        if not load_aware or profile is None:
+            return sizes
+        return sizes * (profile.list_frequency + 1.0)
+
+    def choose(
+        self,
+        n_machines: int,
+        mode: "Mode | str",
+        profile: WorkloadProfile | None = None,
+        load_aware: bool = True,
+        balanced: bool = True,
+        pruning: bool = True,
+        forced_grid: "tuple[int, int] | None" = None,
+        replicas: int = 1,
+    ) -> PlanDecision:
+        """Select a plan.
+
+        Args:
+            n_machines: worker count.
+            mode: ``harmony`` (cost-model search), ``harmony-vector``
+                or ``harmony-dimension`` (fixed grids).
+            profile: workload sample statistics; when None a uniform
+                probe distribution over lists is assumed.
+            load_aware: weight shard assignment by probe frequency.
+            balanced: use balanced (vs naive contiguous) assignment.
+            pruning: price dimension-including plans with a pilot
+                pruning-survival measurement (L2 only; the engine's
+                early-stop pruning must be enabled for this to be
+                faithful).
+            forced_grid: pin the grid to ``(B_vec, B_dim)`` instead of
+                searching (ablation experiments).
+            replicas: copies per grid block. The cost model prices the
+                primaries; replica routing is a runtime load-balancing
+                lever handled by the engine.
+        """
+        mode = resolve_mode(mode)
+        if profile is None:
+            profile = self._uniform_profile()
+        weights = self.list_weights(profile, load_aware)
+        survival_cache: dict[int, np.ndarray | None] = {1: None}
+
+        if forced_grid is not None:
+            shapes = [forced_grid]
+        elif mode is Mode.VECTOR:
+            shapes = [(n_machines, 1)]
+        elif mode is Mode.DIMENSION:
+            shapes = [(1, n_machines)]
+        else:
+            shapes = [
+                (b_vec, b_dim)
+                for b_vec, b_dim in grid_shapes(n_machines)
+                if b_dim <= self.index.dim
+            ]
+
+        evaluated: list[tuple[tuple[int, int], PlanCost]] = []
+        best: tuple[PartitionPlan, PlanCost] | None = None
+        for b_vec, b_dim in shapes:
+            plan = build_plan(
+                self.index,
+                n_machines=n_machines,
+                n_vector_shards=b_vec,
+                n_dim_blocks=b_dim,
+                list_weights=weights,
+                balanced=balanced,
+                replicas=replicas,
+            )
+            survival = self._survival_for(
+                b_dim, profile, pruning, survival_cache
+            )
+            cost = plan_cost(
+                plan,
+                self.index,
+                profile,
+                self.params,
+                k=self.k,
+                survival=survival,
+            )
+            evaluated.append(((b_vec, b_dim), cost))
+            if best is None or cost.total < best[1].total:
+                best = (plan, cost)
+        assert best is not None  # shapes is never empty
+        return PlanDecision(
+            plan=best[0], cost=best[1], evaluated=tuple(evaluated)
+        )
+
+    def _survival_for(
+        self,
+        n_blocks: int,
+        profile: WorkloadProfile,
+        pruning: bool,
+        cache: dict[int, np.ndarray | None],
+    ) -> np.ndarray | None:
+        """Pilot-measured pruning survival for a block count (cached)."""
+        if n_blocks not in cache:
+            usable = (
+                pruning
+                and profile.queries.size > 0
+                and self.index.metric is Metric.L2
+            )
+            if usable:
+                cache[n_blocks] = estimate_survival(
+                    self.index,
+                    profile.queries,
+                    nprobe=profile.nprobe,
+                    n_blocks=n_blocks,
+                    k=self.k,
+                )
+            else:
+                cache[n_blocks] = None
+        return cache[n_blocks]
+
+    def _uniform_profile(self) -> WorkloadProfile:
+        """Fallback profile: every list equally likely to be probed."""
+        nlist = self.index.nlist
+        nprobe = min(8, nlist)
+        probes = np.tile(np.arange(nprobe, dtype=np.int64), (1, 1))
+        return WorkloadProfile(
+            n_queries=1,
+            nprobe=nprobe,
+            probes=probes,
+            list_frequency=np.full(nlist, nprobe / nlist, dtype=np.float64),
+            queries=np.empty((0, self.index.dim), dtype=np.float32),
+        )

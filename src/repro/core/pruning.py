@@ -1,0 +1,194 @@
+"""Dimension-level early-stop pruning (paper Sections 3.1 and 4.3).
+
+:class:`ShardScan` tracks one (query, shard) candidate batch through
+the dimension pipeline: it accumulates per-slice partial scores,
+maintains the alive mask, and exposes the lossless lower bound compared
+against the top-K threshold. :class:`PruningStats` aggregates the
+per-slice pruning ratios reported in the paper's Figure 2(a) and
+Table 3.
+
+Score convention: smaller is better. For L2 the accumulated partial sum
+itself lower-bounds the final score; for inner product the bound
+subtracts the Cauchy-Schwarz cap on the remaining slices' contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.metrics import Metric
+from repro.distance.partial import (
+    DimensionSlices,
+    partial_inner_product,
+    partial_squared_l2,
+    remaining_ip_bound,
+)
+
+
+class PruningStats:
+    """Cumulative pruning ratios per pipeline position.
+
+    ``ratio(p)`` is the fraction of candidates already pruned when the
+    pipeline reaches slice position ``p`` (position 0 is always 0.0,
+    matching the "First Slice" column of Table 3).
+    """
+
+    def __init__(self, n_slices: int) -> None:
+        if n_slices <= 0:
+            raise ValueError(f"n_slices must be positive, got {n_slices}")
+        self.n_slices = n_slices
+        self.pruned_before = np.zeros(n_slices, dtype=np.float64)
+        self.totals = np.zeros(n_slices, dtype=np.float64)
+
+    def record(self, position: int, n_pruned: int, n_total: int) -> None:
+        """Record that ``n_pruned`` of ``n_total`` candidates were already
+        pruned when slice position ``position`` started."""
+        if not 0 <= position < self.n_slices:
+            raise IndexError(
+                f"position {position} out of range [0, {self.n_slices})"
+            )
+        if n_total < 0 or n_pruned < 0 or n_pruned > n_total:
+            raise ValueError(
+                f"invalid counts: pruned={n_pruned}, total={n_total}"
+            )
+        self.pruned_before[position] += n_pruned
+        self.totals[position] += n_total
+
+    def merge(self, other: "PruningStats") -> None:
+        """Accumulate another stats object (same slice count) in place."""
+        if other.n_slices != self.n_slices:
+            raise ValueError("cannot merge stats with different slice counts")
+        self.pruned_before += other.pruned_before
+        self.totals += other.totals
+
+    def ratios(self) -> np.ndarray:
+        """Per-position pruning fractions in ``[0, 1]``."""
+        out = np.zeros(self.n_slices, dtype=np.float64)
+        mask = self.totals > 0
+        out[mask] = self.pruned_before[mask] / self.totals[mask]
+        return out
+
+    def average_ratio(self) -> float:
+        """Mean of the per-position ratios (Table 3's last column)."""
+        return float(np.mean(self.ratios()))
+
+
+class ShardScan:
+    """Pipelined partial-distance scan of one (query, shard) batch.
+
+    Args:
+        base: full base-vector matrix (rows indexed by global id).
+        candidate_ids: global ids of this shard's candidates, ascending.
+        query: the query vector, full dimensionality.
+        slices: the plan's dimension slicing.
+        metric: L2 or inner-product family.
+        base_slice_norms: per-candidate per-slice norms (IP only),
+            shape ``(n_candidates, n_slices)``.
+    """
+
+    def __init__(
+        self,
+        base: np.ndarray,
+        candidate_ids: np.ndarray,
+        query: np.ndarray,
+        slices: DimensionSlices,
+        metric: Metric = Metric.L2,
+        base_slice_norms: np.ndarray | None = None,
+    ) -> None:
+        self.candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        self.query = np.asarray(query, dtype=np.float32)
+        self.slices = slices
+        self.metric = metric
+        self._rows = base[self.candidate_ids]
+        n = self.candidate_ids.size
+        self.accumulated = np.zeros(n, dtype=np.float64)
+        self.alive = np.ones(n, dtype=bool)
+        self.done: list[int] = []
+        if metric is Metric.L2:
+            self._base_norms = None
+            self._query_norms = None
+        else:
+            if base_slice_norms is None:
+                raise ValueError(
+                    "inner-product pruning requires base_slice_norms"
+                )
+            self._base_norms = np.asarray(base_slice_norms, dtype=np.float64)
+            self._query_norms = np.array(
+                [
+                    float(np.linalg.norm(slices.take(self.query, j)))
+                    for j in range(slices.n_slices)
+                ]
+            )
+
+    @property
+    def n_candidates(self) -> int:
+        return self.candidate_ids.size
+
+    @property
+    def n_alive(self) -> int:
+        return int(self.alive.sum())
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every slice has been accumulated."""
+        return len(self.done) == self.slices.n_slices
+
+    def process_slice(self, slice_id: int) -> int:
+        """Accumulate slice ``slice_id`` for the alive candidates.
+
+        Returns:
+            Number of candidate rows actually processed (the compute
+            volume the simulator should charge for this stage).
+        """
+        if slice_id in self.done:
+            raise ValueError(f"slice {slice_id} already processed")
+        alive_idx = np.flatnonzero(self.alive)
+        if alive_idx.size:
+            rows = self.slices.take(self._rows[alive_idx], slice_id)
+            q_slice = self.slices.take(self.query, slice_id)
+            if self.metric is Metric.L2:
+                partial = partial_squared_l2(rows, q_slice)
+            else:
+                partial = -partial_inner_product(rows, q_slice)
+            self.accumulated[alive_idx] += partial
+        self.done.append(slice_id)
+        return int(alive_idx.size)
+
+    def lower_bounds(self) -> np.ndarray:
+        """Lossless lower bound on every candidate's final score.
+
+        For L2 the accumulated sum is itself the bound (remaining
+        slices only add non-negative terms). For inner product the
+        remaining slices can still *decrease* the score by at most the
+        Cauchy-Schwarz cap, which is subtracted.
+        """
+        if self.metric is Metric.L2 or self.is_complete:
+            return self.accumulated
+        assert self._base_norms is not None and self._query_norms is not None
+        cap = remaining_ip_bound(
+            self._base_norms,
+            self._query_norms,
+            self.done,
+            self.slices.n_slices,
+        )
+        return self.accumulated - cap
+
+    def prune(self, threshold: float) -> int:
+        """Kill candidates whose lower bound exceeds ``threshold``.
+
+        Uses a strict comparison so boundary ties survive to the heap,
+        keeping results identical to an unpruned scan. Returns the
+        number of candidates pruned by this call.
+        """
+        if not np.isfinite(threshold):
+            return 0
+        before = self.n_alive
+        self.alive &= self.lower_bounds() <= threshold
+        return before - self.n_alive
+
+    def survivors(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ids, final scores) of alive candidates; requires completion."""
+        if not self.is_complete:
+            raise RuntimeError("scan has unprocessed slices")
+        alive_idx = np.flatnonzero(self.alive)
+        return self.candidate_ids[alive_idx], self.accumulated[alive_idx]

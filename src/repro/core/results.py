@@ -1,0 +1,199 @@
+"""Result and report types returned by the execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.stats import TimeBreakdown
+from repro.core.pruning import PruningStats
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Top-K answers for a query batch.
+
+    Attributes:
+        distances: ``(nq, k)`` scores, ascending per row (squared L2, or
+            negated similarity); padded with ``+inf`` when fewer than
+            ``k`` candidates exist.
+        ids: ``(nq, k)`` global vector ids, padded with ``-1``.
+    """
+
+    distances: np.ndarray
+    ids: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def k(self) -> int:
+        return int(self.ids.shape[1])
+
+
+@dataclass
+class ExecutionReport:
+    """Simulated-performance record of one search batch.
+
+    Attributes:
+        n_queries / k / nprobe: batch parameters.
+        simulated_seconds: cluster makespan for the batch.
+        breakdown: computation / communication / other seconds summed
+            over all nodes (these exceed the makespan when work
+            overlaps across machines — that is the parallelism).
+        worker_loads: computation seconds per worker, the measured
+            ``Load(n, pi)``.
+        pruning: per-slice pruning statistics (None when the plan has a
+            single dimension block and pruning is structural no-op).
+        peak_memory_bytes: maximum resident bytes on any worker,
+            including the statically placed index blocks.
+        mean_peak_memory_bytes: per-worker peak bytes averaged over
+            workers (robust to uneven shard sizes).
+        plan_summary: human-readable plan description.
+        latencies: per-query simulated latency (dispatch to final
+            result merge), seconds; empty when not recorded.
+    """
+
+    n_queries: int
+    k: int
+    nprobe: int
+    simulated_seconds: float
+    breakdown: TimeBreakdown
+    worker_loads: np.ndarray
+    pruning: PruningStats | None
+    peak_memory_bytes: int
+    mean_peak_memory_bytes: float = 0.0
+    plan_summary: str = ""
+    latencies: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
+
+    @property
+    def qps(self) -> float:
+        """Simulated queries per second."""
+        if self.simulated_seconds <= 0.0:
+            return float("inf")
+        return self.n_queries / self.simulated_seconds
+
+    @property
+    def load_imbalance(self) -> float:
+        """Standard deviation of worker loads (paper's ``I(pi)``)."""
+        return float(np.std(self.worker_loads))
+
+    @property
+    def normalized_imbalance(self) -> float:
+        """Coefficient of variation of worker loads (scale-free skew)."""
+        mean = float(np.mean(self.worker_loads))
+        if mean <= 0.0:
+            return 0.0
+        return float(np.std(self.worker_loads) / mean)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Simulated per-query latency percentile in seconds.
+
+        ANN serving is latency-sensitive (the paper's "milliseconds
+        matter" motivation); ``latency_percentile(99)`` gives the tail.
+
+        Raises:
+            ValueError: for percentiles outside [0, 100].
+            RuntimeError: when latencies were not recorded.
+        """
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(
+                f"percentile must be in [0, 100], got {percentile}"
+            )
+        if self.latencies.size == 0:
+            raise RuntimeError("no per-query latencies were recorded")
+        return float(np.percentile(self.latencies, percentile))
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean simulated per-query latency in seconds."""
+        if self.latencies.size == 0:
+            raise RuntimeError("no per-query latencies were recorded")
+        return float(np.mean(self.latencies))
+
+    def worker_utilization(self) -> np.ndarray:
+        """Per-worker computation busy fraction of the makespan."""
+        if self.simulated_seconds <= 0.0:
+            return np.zeros_like(self.worker_loads)
+        return self.worker_loads / self.simulated_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (for dashboards / logging)."""
+        out = {
+            "n_queries": self.n_queries,
+            "k": self.k,
+            "nprobe": self.nprobe,
+            "simulated_seconds": self.simulated_seconds,
+            "qps": self.qps,
+            "plan": self.plan_summary,
+            "breakdown": {
+                "computation": self.breakdown.computation,
+                "communication": self.breakdown.communication,
+                "other": self.breakdown.other,
+            },
+            "worker_loads": self.worker_loads.tolist(),
+            "load_imbalance": self.load_imbalance,
+            "normalized_imbalance": self.normalized_imbalance,
+            "peak_memory_bytes": int(self.peak_memory_bytes),
+            "mean_peak_memory_bytes": float(self.mean_peak_memory_bytes),
+        }
+        if self.latencies.size:
+            out["latency"] = {
+                "mean": self.mean_latency,
+                "p50": self.latency_percentile(50),
+                "p95": self.latency_percentile(95),
+                "p99": self.latency_percentile(99),
+            }
+        if self.pruning is not None:
+            out["pruning_ratios"] = self.pruning.ratios().tolist()
+        return out
+
+
+@dataclass
+class PlacementReport:
+    """Outcome of distributing index blocks to machines.
+
+    Attributes:
+        per_machine_bytes: resident index bytes per worker.
+        preassign_seconds: simulated time to ship and prepare blocks
+            (the "Pre-assign" stage of the paper's Figure 10).
+    """
+
+    per_machine_bytes: dict[int, int] = field(default_factory=dict)
+    preassign_seconds: float = 0.0
+
+    @property
+    def max_machine_bytes(self) -> int:
+        if not self.per_machine_bytes:
+            return 0
+        return max(self.per_machine_bytes.values())
+
+    @property
+    def mean_machine_bytes(self) -> float:
+        if not self.per_machine_bytes:
+            return 0.0
+        return sum(self.per_machine_bytes.values()) / len(
+            self.per_machine_bytes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.per_machine_bytes.values())
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Index construction timing (paper Figure 10's three stages)."""
+
+    train_seconds: float
+    add_seconds: float
+    preassign_seconds: float
+    placement: PlacementReport
+
+    @property
+    def total_seconds(self) -> float:
+        return self.train_seconds + self.add_seconds + self.preassign_seconds

@@ -1,0 +1,113 @@
+"""Dataset statistics that predict HARMONY's behaviour.
+
+The paper observes that pruning rates "vary significantly across
+different datasets ... mainly due to the differences in dataset
+distributions" (Section 6.3.3) without quantifying which property
+drives it. This module measures the three that do:
+
+- **leading variance share** — the fraction of total variance carried
+  by the first dimension slice; high values (time series) mean early
+  partial distances predict the final distance, so pruning bites early;
+- **distance contrast** — the ratio between a typical candidate's
+  distance and the k-th nearest neighbour's; high contrast gives the
+  top-K threshold room to prune;
+- **cluster imbalance** — the coefficient of variation of k-means
+  cluster populations; dominant clusters cap vector partitioning's
+  balance and throughput (the GloVe analogues here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.kernels import pairwise_squared_l2
+from repro.distance.partial import DimensionSlices
+from repro.index.ivf import IVFFlatIndex
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Measured distribution properties of a vector dataset.
+
+    Attributes:
+        leading_variance_share: variance fraction in the first of
+            ``n_slices`` dimension slices (1/n_slices = flat profile).
+        distance_contrast: median candidate distance divided by the
+            median k-th-NN distance over a query sample (>1; higher is
+            easier to prune).
+        cluster_imbalance: CV of k-means cluster sizes.
+    """
+
+    leading_variance_share: float
+    distance_contrast: float
+    cluster_imbalance: float
+
+
+def leading_variance_share(
+    data: np.ndarray, n_slices: int = 4
+) -> float:
+    """Variance fraction carried by the first dimension slice."""
+    data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    if data.shape[1] < n_slices:
+        raise ValueError(
+            f"need at least {n_slices} dimensions, got {data.shape[1]}"
+        )
+    variances = data.var(axis=0)
+    total = float(variances.sum())
+    if total <= 0:
+        return 1.0 / n_slices
+    slices = DimensionSlices.even(data.shape[1], n_slices)
+    start, stop = slices.slice_range(0)
+    return float(variances[start:stop].sum() / total)
+
+
+def distance_contrast(
+    base: np.ndarray,
+    queries: np.ndarray,
+    k: int = 10,
+    sample: int = 512,
+    seed: int = 0,
+) -> float:
+    """Median candidate distance over median k-NN distance.
+
+    Computed against a base sample for tractability; values near 1 mean
+    distances concentrate (hard to prune), large values mean the k-th
+    neighbour is far closer than the crowd (easy to prune).
+    """
+    base = np.atleast_2d(np.asarray(base, dtype=np.float32))
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    rng = np.random.default_rng(seed)
+    if base.shape[0] > sample:
+        base = base[rng.choice(base.shape[0], size=sample, replace=False)]
+    k = min(k, base.shape[0])
+    distances = pairwise_squared_l2(queries, base)
+    kth = np.partition(distances, k - 1, axis=1)[:, k - 1]
+    typical = np.median(distances, axis=1)
+    kth = np.maximum(kth, 1e-12)
+    return float(np.median(typical / kth))
+
+
+def cluster_imbalance(index: IVFFlatIndex) -> float:
+    """Coefficient of variation of the index's inverted-list sizes."""
+    sizes = index.list_sizes().astype(np.float64)
+    mean = float(sizes.mean())
+    if mean <= 0:
+        return 0.0
+    return float(sizes.std() / mean)
+
+
+def profile_dataset(
+    base: np.ndarray,
+    queries: np.ndarray,
+    index: IVFFlatIndex,
+    n_slices: int = 4,
+    k: int = 10,
+) -> DatasetProfile:
+    """Measure all three behaviour-predicting properties."""
+    return DatasetProfile(
+        leading_variance_share=leading_variance_share(base, n_slices),
+        distance_contrast=distance_contrast(base, queries, k=k),
+        cluster_imbalance=cluster_imbalance(index),
+    )

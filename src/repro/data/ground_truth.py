@@ -1,0 +1,31 @@
+"""Exact nearest-neighbour ground truth for recall measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.metrics import Metric
+from repro.index.flat import FlatIndex
+
+
+def exact_knn(
+    base: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: "Metric | str" = Metric.L2,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact top-``k`` neighbours of every query by brute force.
+
+    Args:
+        base: ``(n, dim)`` base vectors.
+        queries: ``(nq, dim)`` query vectors.
+        k: neighbours per query.
+
+    Returns:
+        ``(distances, ids)`` of shape ``(nq, k)``; same distance
+        convention as :class:`repro.index.FlatIndex`.
+    """
+    base = np.atleast_2d(np.asarray(base, dtype=np.float32))
+    index = FlatIndex(dim=base.shape[1], metric=metric)
+    index.add(base)
+    return index.search(queries, k=k)

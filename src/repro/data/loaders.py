@@ -1,0 +1,66 @@
+"""Readers/writers for the classic ``.fvecs`` / ``.ivecs`` formats.
+
+The paper's datasets (SIFT, Deep, GloVe, ...) ship in these formats:
+each row is a little-endian int32 dimensionality followed by ``dim``
+values (float32 for fvecs, int32 for ivecs). Provided so users with the
+real files can run the benchmarks on them directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def _read_vecs(path: "str | os.PathLike", dtype: np.dtype) -> np.ndarray:
+    raw = np.fromfile(path, dtype=np.int32)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    dim = int(raw[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: invalid leading dimension {dim}")
+    row_width = dim + 1
+    if raw.size % row_width != 0:
+        raise ValueError(
+            f"{path}: file size is not a multiple of row width {row_width}"
+        )
+    rows = raw.reshape(-1, row_width)
+    if not np.all(rows[:, 0] == dim):
+        raise ValueError(f"{path}: inconsistent per-row dimensions")
+    return rows[:, 1:].view(np.float32 if dtype == np.float32 else np.int32).astype(
+        dtype, copy=True
+    )
+
+
+def read_fvecs(path: "str | os.PathLike") -> np.ndarray:
+    """Read an ``.fvecs`` file into an ``(n, dim)`` float32 array."""
+    return _read_vecs(path, np.dtype(np.float32))
+
+
+def read_ivecs(path: "str | os.PathLike") -> np.ndarray:
+    """Read an ``.ivecs`` file into an ``(n, dim)`` int32 array."""
+    return _read_vecs(path, np.dtype(np.int32))
+
+
+def _write_vecs(path: "str | os.PathLike", data: np.ndarray, kind: str) -> None:
+    data = np.atleast_2d(data)
+    n, dim = data.shape
+    if dim == 0:
+        raise ValueError("cannot write zero-dimensional vectors")
+    dims = np.full((n, 1), dim, dtype=np.int32)
+    if kind == "f":
+        payload = data.astype(np.float32).view(np.int32)
+    else:
+        payload = data.astype(np.int32)
+    np.hstack([dims, payload]).astype(np.int32).tofile(path)
+
+
+def write_fvecs(path: "str | os.PathLike", data: np.ndarray) -> None:
+    """Write a float array as ``.fvecs``."""
+    _write_vecs(path, data, "f")
+
+
+def write_ivecs(path: "str | os.PathLike", data: np.ndarray) -> None:
+    """Write an int array as ``.ivecs``."""
+    _write_vecs(path, data, "i")

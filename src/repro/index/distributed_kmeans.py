@@ -1,0 +1,222 @@
+"""Distributed (data-parallel) k-means on the simulated cluster.
+
+The paper builds its index on one node (Figure 10's Train/Add stages
+are identical across strategies). At billion scale, training itself
+wants distribution; this module provides the standard data-parallel
+Lloyd formulation as an extension:
+
+- base rows are range-partitioned across the workers;
+- each iteration broadcasts the centroids, computes local assignments
+  and per-cluster partial sums on every worker in parallel, and
+  reduces the partials on the client;
+- the client updates centroids (with the same empty-cluster repair as
+  the single-node trainer) and checks convergence.
+
+Computation and communication are charged to the simulated cluster, so
+build-time scaling can be measured the same way query time is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import CLIENT_NODE, Cluster
+from repro.cluster.messages import MESSAGE_HEADER_BYTES
+from repro.distance.kernels import pairwise_squared_l2
+from repro.index.kmeans import KMeansResult
+
+
+@dataclass(frozen=True)
+class DistributedTrainReport:
+    """Timing of a distributed k-means fit.
+
+    Attributes:
+        simulated_seconds: makespan of the whole fit.
+        n_iterations: Lloyd iterations run.
+        broadcast_bytes: centroid bytes shipped over all iterations.
+        reduce_bytes: partial-sum bytes shipped over all iterations.
+    """
+
+    simulated_seconds: float
+    n_iterations: int
+    broadcast_bytes: int
+    reduce_bytes: int
+
+
+class DistributedKMeans:
+    """Data-parallel Lloyd's algorithm.
+
+    Args:
+        n_clusters: centroid count.
+        cluster: simulated cluster to run on.
+        max_iterations / tolerance / seed: as for
+            :class:`repro.index.kmeans.KMeans`.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        cluster: Cluster,
+        max_iterations: int = 20,
+        tolerance: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters <= 0:
+            raise ValueError(f"n_clusters must be positive, got {n_clusters}")
+        self.n_clusters = n_clusters
+        self.cluster = cluster
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+
+    def fit(
+        self, data: np.ndarray
+    ) -> tuple[KMeansResult, DistributedTrainReport]:
+        """Cluster ``data``; returns the result plus simulated timing."""
+        data = np.ascontiguousarray(np.asarray(data, dtype=np.float32))
+        n, dim = data.shape
+        if n < self.n_clusters:
+            raise ValueError(
+                f"cannot fit {self.n_clusters} clusters to {n} points"
+            )
+        cluster = self.cluster
+        cluster.reset_time()
+        rng = np.random.default_rng(self.seed)
+        workers = cluster.n_workers
+        bounds = np.linspace(0, n, workers + 1).astype(int)
+        row_ranges = [
+            (int(bounds[w]), int(bounds[w + 1])) for w in range(workers)
+        ]
+
+        k = self.n_clusters
+        centroid_bytes = k * dim * 4 + MESSAGE_HEADER_BYTES
+        partial_bytes = k * dim * 8 + k * 8 + MESSAGE_HEADER_BYTES
+        broadcast_total = 0
+        reduce_total = 0
+
+        # k-means++ seeding on the client (it holds the raw data before
+        # distribution anyway); charged at the client's rate.
+        centroids = self._init_plus_plus(data, rng)
+        cluster.compute(CLIENT_NODE, k * n * dim)
+
+        inertia = math.inf
+        iterations = 0
+        elements = k * n * dim  # seeding work
+        for iterations in range(1, self.max_iterations + 1):
+            # Broadcast centroids; every worker computes local partials.
+            reduce_ready = 0.0
+            sums = np.zeros((k, dim), dtype=np.float64)
+            counts = np.zeros(k, dtype=np.float64)
+            new_inertia = 0.0
+            for w, (lo, hi) in enumerate(row_ranges):
+                rows = hi - lo
+                if rows == 0:
+                    continue
+                arrival = cluster.transfer(
+                    CLIENT_NODE, w, centroid_bytes
+                )
+                broadcast_total += centroid_bytes
+                _, end = cluster.compute(
+                    w, rows * k * dim, earliest=arrival
+                )
+                elements += rows * k * dim
+                local = data[lo:hi]
+                distances = pairwise_squared_l2(local, centroids)
+                labels = np.argmin(distances, axis=1)
+                new_inertia += float(
+                    distances[np.arange(rows), labels].sum()
+                )
+                np.add.at(sums, labels, local.astype(np.float64))
+                counts += np.bincount(labels, minlength=k)
+                reduce_ready = max(
+                    reduce_ready,
+                    cluster.transfer(w, CLIENT_NODE, partial_bytes,
+                                     earliest=end),
+                )
+                reduce_total += partial_bytes
+            # Client reduces and updates centroids.
+            cluster.overhead(
+                CLIENT_NODE, k * dim * 1e-9, earliest=reduce_ready
+            )
+            centroids = self._update(data, centroids, sums, counts, rng)
+            converged = math.isfinite(inertia) and (
+                inertia - new_inertia <= self.tolerance * inertia
+            )
+            inertia = new_inertia
+            if converged:
+                break
+
+        # Final full assignment (the Add stage reuses this), parallel.
+        assignments = np.empty(n, dtype=np.int64)
+        for w, (lo, hi) in enumerate(row_ranges):
+            rows = hi - lo
+            if rows == 0:
+                continue
+            cluster.compute(w, rows * k * dim)
+            elements += rows * k * dim
+            distances = pairwise_squared_l2(data[lo:hi], centroids)
+            assignments[lo:hi] = np.argmin(distances, axis=1)
+        inertia = float(
+            pairwise_squared_l2(data, centroids)[
+                np.arange(n), assignments
+            ].sum()
+        )
+
+        result = KMeansResult(
+            centroids=centroids.astype(np.float32),
+            assignments=assignments,
+            inertia=inertia,
+            n_iterations=iterations,
+            elements_processed=elements,
+        )
+        report = DistributedTrainReport(
+            simulated_seconds=cluster.makespan(),
+            n_iterations=iterations,
+            broadcast_bytes=broadcast_total,
+            reduce_bytes=reduce_total,
+        )
+        return result, report
+
+    def _init_plus_plus(
+        self, data: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        n, dim = data.shape
+        centroids = np.empty((self.n_clusters, dim), dtype=np.float64)
+        centroids[0] = data[int(rng.integers(n))]
+        closest = pairwise_squared_l2(data, centroids[0:1])[:, 0]
+        for i in range(1, self.n_clusters):
+            total = float(closest.sum())
+            if total <= 0.0:
+                pick = int(rng.integers(n))
+            else:
+                pick = int(rng.choice(n, p=closest / total))
+            centroids[i] = data[pick]
+            np.minimum(
+                closest,
+                pairwise_squared_l2(data, centroids[i : i + 1])[:, 0],
+                out=closest,
+            )
+        return centroids
+
+    def _update(
+        self,
+        data: np.ndarray,
+        previous: np.ndarray,
+        sums: np.ndarray,
+        counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Mean update with farthest-point empty-cluster repair."""
+        centroids = previous.copy()
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+        empty = np.flatnonzero(~nonempty)
+        if empty.size:
+            residual = pairwise_squared_l2(data, centroids).min(axis=1)
+            worst = np.argsort(-residual)
+            for rank, cid in enumerate(empty):
+                centroids[cid] = data[worst[rank % data.shape[0]]]
+        return centroids

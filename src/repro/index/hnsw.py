@@ -1,0 +1,318 @@
+"""HNSW graph index (Malkov & Yashunin, TPAMI'20), from scratch.
+
+The paper's related work divides ANN indexes into partition-based
+(HARMONY's substrate) and graph-based families, and motivates the
+partition choice with a distribution argument: "the popular graph-based
+segmentation ... is not well compatible with distributed features, as
+query paths for vectors tend to introduce edges across machines,
+resulting in high latency" (Section 1). This module provides the graph
+family so that claim can be *measured*: searches can return their full
+hop trace, which `repro.baselines.distributed_graph` replays against a
+machine partition to count cross-machine traversals.
+
+The implementation is a compact, standard HNSW: geometric level
+assignment, greedy descent through upper layers, beam (ef) search on
+the base layer, and simple closest-first neighbour selection.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.kernels import pairwise_squared_l2
+from repro.distance.metrics import Metric, normalize_rows, resolve_metric
+
+
+@dataclass(frozen=True)
+class SearchTrace:
+    """Hop-level record of one HNSW search.
+
+    Attributes:
+        visited: node ids in first-visit order (all layers).
+        edges: traversed graph edges ``(u, v)`` in traversal order —
+            every neighbour expansion, which is what a distributed
+            deployment would turn into messages when ``u`` and ``v``
+            live on different machines.
+    """
+
+    visited: tuple[int, ...]
+    edges: tuple[tuple[int, int], ...]
+
+
+class HNSWIndex:
+    """Hierarchical Navigable Small World graph.
+
+    Args:
+        dim: vector dimensionality.
+        m: max neighbours per node on upper layers (layer 0 keeps 2M).
+        ef_construction: beam width while inserting.
+        metric: ``l2``, ``ip`` or ``cosine``.
+        seed: RNG seed for level assignment.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 16,
+        ef_construction: int = 100,
+        metric: "Metric | str" = Metric.L2,
+        seed: int = 0,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if m <= 1:
+            raise ValueError(f"m must be > 1, got {m}")
+        if ef_construction < m:
+            raise ValueError("ef_construction must be >= m")
+        self.dim = dim
+        self.m = m
+        self.ef_construction = ef_construction
+        self.metric = resolve_metric(metric)
+        self._rng = np.random.default_rng(seed)
+        self._level_mult = 1.0 / math.log(m)
+        self._base = np.empty((0, dim), dtype=np.float32)
+        self._levels: list[int] = []
+        # adjacency[level][node] -> list of neighbour ids
+        self._adjacency: list[dict[int, list[int]]] = []
+        self._entry_point: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+
+    @property
+    def ntotal(self) -> int:
+        return self._base.shape[0]
+
+    @property
+    def max_level(self) -> int:
+        return len(self._adjacency) - 1
+
+    @property
+    def base(self) -> np.ndarray:
+        return self._base
+
+    def neighbors(self, node: int, level: int = 0) -> list[int]:
+        """Neighbour ids of ``node`` at ``level``."""
+        if not 0 <= level < len(self._adjacency):
+            raise IndexError(f"level {level} out of range")
+        return list(self._adjacency[level].get(node, ()))
+
+    def _score(self, query: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Smaller-is-better scores of ``ids`` against ``query``."""
+        rows = self._base[ids]
+        if self.metric is Metric.L2:
+            return pairwise_squared_l2(query[None, :], rows)[0]
+        return -(rows.astype(np.float64) @ query.astype(np.float64))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Insert vectors one by one (standard HNSW construction)."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(
+                f"expected dim {self.dim}, got vectors of dim {vectors.shape[1]}"
+            )
+        if self.metric is Metric.COSINE:
+            vectors = normalize_rows(vectors)
+        for row in vectors:
+            self._insert(row)
+
+    def _insert(self, vector: np.ndarray) -> None:
+        node = self.ntotal
+        self._base = np.vstack([self._base, vector[None, :]])
+        level = int(-math.log(self._rng.random() + 1e-300) * self._level_mult)
+        self._levels.append(level)
+        while len(self._adjacency) <= level:
+            self._adjacency.append({})
+        for lvl in range(level + 1):
+            self._adjacency[lvl].setdefault(node, [])
+
+        if self._entry_point is None:
+            self._entry_point = node
+            return
+
+        entry = self._entry_point
+        # Greedy descent through layers above the node's level.
+        for lvl in range(self.max_level, level, -1):
+            entry = self._greedy_step(vector, entry, lvl)
+        # Beam search + connect on the node's layers.
+        for lvl in range(min(level, self.max_level), -1, -1):
+            candidates = self._search_layer(
+                vector, [entry], lvl, self.ef_construction
+            )
+            max_degree = self.m if lvl > 0 else 2 * self.m
+            chosen = [nid for _, nid in candidates[: self.m]]
+            self._adjacency[lvl][node] = list(chosen)
+            for neighbour in chosen:
+                links = self._adjacency[lvl].setdefault(neighbour, [])
+                links.append(node)
+                if len(links) > max_degree:
+                    scores = self._score(
+                        self._base[neighbour], np.asarray(links)
+                    )
+                    keep = np.argsort(scores, kind="stable")[:max_degree]
+                    self._adjacency[lvl][neighbour] = [
+                        links[i] for i in keep
+                    ]
+            entry = candidates[0][1]
+
+        if self._levels[node] > self._levels[self._entry_point]:
+            self._entry_point = node
+
+    def _greedy_step(
+        self, query: np.ndarray, entry: int, level: int
+    ) -> int:
+        """Greedy walk at one layer until no neighbour improves."""
+        current = entry
+        current_score = float(self._score(query, np.asarray([current]))[0])
+        improved = True
+        while improved:
+            improved = False
+            links = self._adjacency[level].get(current, [])
+            if links:
+                scores = self._score(query, np.asarray(links))
+                best = int(np.argmin(scores))
+                if scores[best] < current_score:
+                    current = links[best]
+                    current_score = float(scores[best])
+                    improved = True
+        return current
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entries: list[int],
+        level: int,
+        ef: int,
+        trace_visited: list[int] | None = None,
+        trace_edges: list[tuple[int, int]] | None = None,
+    ) -> list[tuple[float, int]]:
+        """Beam search at one layer; returns (score, id) ascending."""
+        visited = set(entries)
+        entry_scores = self._score(query, np.asarray(entries))
+        candidates = [
+            (float(s), int(n)) for s, n in zip(entry_scores, entries)
+        ]
+        heapq.heapify(candidates)
+        # Max-heap of the ef best (store negated scores).
+        best = [(-s, n) for s, n in candidates]
+        heapq.heapify(best)
+        if trace_visited is not None:
+            trace_visited.extend(entries)
+
+        while candidates:
+            score, node = heapq.heappop(candidates)
+            if best and score > -best[0][0] and len(best) >= ef:
+                break
+            links = [
+                n for n in self._adjacency[level].get(node, []) if n not in visited
+            ]
+            if trace_edges is not None:
+                trace_edges.extend(
+                    (node, n) for n in self._adjacency[level].get(node, [])
+                )
+            if not links:
+                continue
+            visited.update(links)
+            if trace_visited is not None:
+                trace_visited.extend(links)
+            scores = self._score(query, np.asarray(links))
+            for s, n in zip(scores, links):
+                s = float(s)
+                if len(best) < ef or s < -best[0][0]:
+                    heapq.heappush(candidates, (s, int(n)))
+                    heapq.heappush(best, (-s, int(n)))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-s, n) for s, n in best)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(
+        self, queries: np.ndarray, k: int, ef_search: int = 64
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` search; returns ``(distances, ids)`` like the IVF."""
+        results = self._search_impl(queries, k, ef_search, want_trace=False)
+        return results[0], results[1]
+
+    def search_with_trace(
+        self, query: np.ndarray, k: int, ef_search: int = 64
+    ) -> tuple[np.ndarray, np.ndarray, SearchTrace]:
+        """Single-query search returning the full hop trace."""
+        dist, ids, traces = self._search_impl(
+            query, k, ef_search, want_trace=True
+        )
+        return dist[0], ids[0], traces[0]
+
+    def _search_impl(
+        self, queries: np.ndarray, k: int, ef_search: int, want_trace: bool
+    ):
+        if self._entry_point is None:
+            raise RuntimeError("search on empty index")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if ef_search < k:
+            raise ValueError("ef_search must be >= k")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if self.metric is Metric.COSINE:
+            queries = normalize_rows(queries)
+        nq = queries.shape[0]
+        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        traces: list[SearchTrace] = []
+        for i in range(nq):
+            visited: list[int] | None = [] if want_trace else None
+            edges: list[tuple[int, int]] | None = [] if want_trace else None
+            entry = self._entry_point
+            if visited is not None:
+                visited.append(entry)
+            for lvl in range(self.max_level, 0, -1):
+                previous = entry
+                entry = self._greedy_step(queries[i], entry, lvl)
+                if edges is not None and entry != previous:
+                    edges.append((previous, entry))
+                if visited is not None and entry != previous:
+                    visited.append(entry)
+            found = self._search_layer(
+                queries[i], [entry], 0, ef_search,
+                trace_visited=visited, trace_edges=edges,
+            )
+            take = min(k, len(found))
+            for rank in range(take):
+                out_dist[i, rank] = found[rank][0]
+                out_ids[i, rank] = found[rank][1]
+            if want_trace:
+                assert visited is not None and edges is not None
+                seen: set[int] = set()
+                ordered = [
+                    v for v in visited if not (v in seen or seen.add(v))
+                ]
+                traces.append(
+                    SearchTrace(visited=tuple(ordered), edges=tuple(edges))
+                )
+        if want_trace:
+            return out_dist, out_ids, traces
+        return out_dist, out_ids
+
+    def memory_report(self) -> dict[str, int]:
+        """Byte counts: vectors plus adjacency lists."""
+        adjacency_bytes = sum(
+            8 * len(links)
+            for layer in self._adjacency
+            for links in layer.values()
+        )
+        return {
+            "base_vectors": int(self._base.nbytes),
+            "adjacency": adjacency_bytes,
+            "total": int(self._base.nbytes) + adjacency_bytes,
+        }

@@ -1,0 +1,77 @@
+"""Deployment validation utilities.
+
+The library's central guarantee is that distributed execution —
+whatever the partition grid, machine count, pruning, or scheduling —
+returns exactly what a single-node IVF scan would. These helpers let
+users *check* that guarantee on their own deployment and data, e.g.
+after an upgrade or a custom configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.database import HarmonyDB
+
+
+@dataclass(frozen=True)
+class ExactnessReport:
+    """Outcome of an exactness check.
+
+    Attributes:
+        exact: True when every returned id and distance matched the
+            single-node reference scan.
+        n_queries: queries checked.
+        mismatched_queries: indices of queries whose result rows
+            differ (empty when exact).
+    """
+
+    exact: bool
+    n_queries: int
+    mismatched_queries: tuple[int, ...]
+
+    def __bool__(self) -> bool:
+        return self.exact
+
+
+def check_exactness(
+    db: HarmonyDB,
+    queries: np.ndarray,
+    k: int = 10,
+    nprobe: int | None = None,
+) -> ExactnessReport:
+    """Verify a deployment against the single-node reference scan.
+
+    Runs the distributed engine and a plain ``IVFFlatIndex.search``
+    with identical parameters and compares ids and distances row by
+    row.
+
+    Args:
+        db: a built deployment.
+        queries: query batch to verify with.
+        k / nprobe: search parameters (nprobe defaults to the config's).
+
+    Raises:
+        RuntimeError: if ``db`` is not built.
+    """
+    if not db.is_built:
+        raise RuntimeError("build() must be called before validation")
+    nprobe = nprobe if nprobe is not None else db.config.nprobe
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    result, _ = db.search(queries, k=k, nprobe=nprobe)
+    ref_dist, ref_ids = db.index.search(queries, k=k, nprobe=nprobe)
+    id_rows = np.all(result.ids == ref_ids, axis=1)
+    dist_rows = np.all(
+        np.isclose(result.distances, ref_dist, rtol=1e-9, atol=1e-12)
+        | (np.isinf(result.distances) & np.isinf(ref_dist)),
+        axis=1,
+    )
+    good = id_rows & dist_rows
+    mismatched = tuple(int(i) for i in np.flatnonzero(~good))
+    return ExactnessReport(
+        exact=not mismatched,
+        n_queries=queries.shape[0],
+        mismatched_queries=mismatched,
+    )

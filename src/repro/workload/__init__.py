@@ -1,0 +1,37 @@
+"""Query workload generation and skew control.
+
+The paper's skewed-workload experiments (Section 6.2.2) manipulate
+query sets "to ensure different load differences on each machine" and
+quantify the imbalance with the variance from Section 4.2.1. This
+package provides:
+
+- uniform query workloads,
+- skewed workloads whose queries concentrate on a controllable subset
+  of "hot" inverted lists (Zipf-weighted),
+- measurement helpers that compute the achieved per-node load variance
+  under any partition plan.
+"""
+
+from repro.workload.generators import (
+    Workload,
+    bursty_arrivals,
+    poisson_arrivals,
+    skewed_workload,
+    uniform_workload,
+)
+from repro.workload.skew import (
+    cluster_histogram,
+    load_imbalance,
+    normalized_imbalance,
+)
+
+__all__ = [
+    "Workload",
+    "bursty_arrivals",
+    "cluster_histogram",
+    "load_imbalance",
+    "normalized_imbalance",
+    "poisson_arrivals",
+    "skewed_workload",
+    "uniform_workload",
+]

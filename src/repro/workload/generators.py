@@ -1,0 +1,189 @@
+"""Workload generators: uniform and cluster-skewed query sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.ivf import IVFFlatIndex
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A query workload.
+
+    Attributes:
+        queries: ``(nq, dim)`` query matrix.
+        skew: the concentration parameter the workload was built with
+            (0 = uniform over clusters, 1 = maximally concentrated).
+        hot_lists: inverted-list ids the workload was concentrated on
+            (empty for uniform workloads).
+    """
+
+    queries: np.ndarray
+    skew: float = 0.0
+    hot_lists: tuple[int, ...] = ()
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+
+def poisson_arrivals(
+    n_queries: int, rate_qps: float, seed: int = 0
+) -> np.ndarray:
+    """Open-loop Poisson arrival timestamps.
+
+    Models clients issuing queries independently at an average offered
+    load of ``rate_qps`` queries per (simulated) second — the standard
+    open-loop methodology for latency-under-load curves.
+
+    Returns:
+        Ascending array of ``n_queries`` arrival times starting at 0.
+    """
+    if n_queries <= 0:
+        raise ValueError(f"n_queries must be positive, got {n_queries}")
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be positive, got {rate_qps}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_qps, size=n_queries)
+    gaps[0] = 0.0
+    return np.cumsum(gaps)
+
+
+def bursty_arrivals(
+    n_queries: int,
+    rate_qps: float,
+    burst_factor: float = 5.0,
+    burst_fraction: float = 0.2,
+    seed: int = 0,
+) -> np.ndarray:
+    """On/off bursty arrival timestamps (Markov-modulated Poisson).
+
+    The process alternates between a quiet state and a burst state
+    whose instantaneous rate is ``burst_factor`` times higher; state
+    flips are sampled per arrival so that roughly ``burst_fraction`` of
+    queries arrive inside bursts. The *average* rate is ``rate_qps``,
+    making latency directly comparable to :func:`poisson_arrivals` at
+    the same offered load — burstiness shows up purely in the tail.
+
+    Returns:
+        Ascending array of ``n_queries`` arrival times starting at 0.
+    """
+    if n_queries <= 0:
+        raise ValueError(f"n_queries must be positive, got {n_queries}")
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be positive, got {rate_qps}")
+    if burst_factor < 1.0:
+        raise ValueError(f"burst_factor must be >= 1, got {burst_factor}")
+    if not 0.0 <= burst_fraction < 1.0:
+        raise ValueError(
+            f"burst_fraction must be in [0, 1), got {burst_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    in_burst = rng.random(n_queries) < burst_fraction
+    # Rates chosen so the mixture's mean inter-arrival equals 1/rate:
+    # E[gap] = f/(c*q) + (1-f)/q = 1/rate  =>  q = rate*(f/c + 1 - f).
+    quiet_rate = rate_qps * (
+        burst_fraction / burst_factor + 1.0 - burst_fraction
+    )
+    burst_rate = quiet_rate * burst_factor
+    gaps = np.where(
+        in_burst,
+        rng.exponential(1.0 / burst_rate, size=n_queries),
+        rng.exponential(1.0 / quiet_rate, size=n_queries),
+    )
+    gaps[0] = 0.0
+    return np.cumsum(gaps)
+
+
+def uniform_workload(
+    queries_pool: np.ndarray, n_queries: int, seed: int = 0
+) -> Workload:
+    """Sample ``n_queries`` uniformly from a pool of candidate queries."""
+    pool = np.atleast_2d(np.asarray(queries_pool, dtype=np.float32))
+    if n_queries <= 0:
+        raise ValueError(f"n_queries must be positive, got {n_queries}")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(pool.shape[0], size=n_queries, replace=True)
+    return Workload(queries=pool[picks], skew=0.0)
+
+
+def skewed_workload(
+    queries_pool: np.ndarray,
+    index: IVFFlatIndex,
+    n_queries: int,
+    skew: float,
+    nprobe: int = 8,
+    n_hot_lists: int = 2,
+    hot_list_ids: "tuple[int, ...] | list[int] | np.ndarray | None" = None,
+    hot_fraction: float = 0.1,
+    seed: int = 0,
+) -> Workload:
+    """Build a workload concentrated on a hot set of inverted lists.
+
+    Every pool query is scored by its *probe-mass concentration*: the
+    fraction of its candidate mass (probed-list sizes over its
+    ``nprobe`` nearest lists) that falls inside the hot list set. The
+    most-concentrated ``hot_fraction`` of the pool forms the hot pool.
+    With probability ``skew`` a workload query is drawn from the hot
+    pool, otherwise uniformly from the whole pool. ``skew=0`` reduces
+    to a uniform workload; ``skew=1`` sends every query's work to the
+    machines hosting the hot lists — the adversarial case for
+    vector-based partitioning.
+
+    The paper's skewed-load experiments (Section 6.2.2) manipulate the
+    query set so particular *machines* become hot; passing the lists
+    hosted by one machine of a vector plan as ``hot_list_ids``
+    reproduces exactly that.
+
+    Args:
+        queries_pool: candidate queries, ``(n, dim)``.
+        index: trained IVF index supplying the clustering.
+        n_queries: queries to draw.
+        skew: concentration in ``[0, 1]``.
+        nprobe: probes per query used to compute probe mass.
+        n_hot_lists: how many of the most populous lists count as hot
+            (ignored when ``hot_list_ids`` is given).
+        hot_list_ids: explicit hot inverted-list ids.
+        hot_fraction: share of the pool forming the hot pool.
+        seed: RNG seed.
+    """
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError(f"skew must be in [0, 1], got {skew}")
+    if n_hot_lists <= 0:
+        raise ValueError(f"n_hot_lists must be positive, got {n_hot_lists}")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    pool = np.atleast_2d(np.asarray(queries_pool, dtype=np.float32))
+    if n_queries <= 0:
+        raise ValueError(f"n_queries must be positive, got {n_queries}")
+    rng = np.random.default_rng(seed)
+
+    sizes = index.list_sizes().astype(np.float64)
+    if hot_list_ids is not None:
+        hot = tuple(int(x) for x in hot_list_ids)
+        if not hot:
+            raise ValueError("hot_list_ids must be non-empty when given")
+    else:
+        hot = tuple(int(x) for x in np.argsort(-sizes)[:n_hot_lists])
+    hot_mask = np.zeros(index.nlist, dtype=bool)
+    hot_mask[list(hot)] = True
+
+    probes = index.probe(pool, nprobe=nprobe)
+    probe_mass = sizes[probes]
+    total_mass = probe_mass.sum(axis=1)
+    hot_mass = np.where(hot_mask[probes], probe_mass, 0.0).sum(axis=1)
+    concentration = hot_mass / np.maximum(total_mass, 1e-12)
+
+    n_hot_pool = max(1, int(round(pool.shape[0] * hot_fraction)))
+    hot_pool = np.argsort(-concentration, kind="stable")[:n_hot_pool]
+
+    picks = np.empty(n_queries, dtype=np.int64)
+    for i in range(n_queries):
+        if rng.random() < skew:
+            picks[i] = hot_pool[int(rng.integers(hot_pool.size))]
+        else:
+            picks[i] = int(rng.integers(pool.shape[0]))
+    return Workload(queries=pool[picks], skew=skew, hot_lists=hot)

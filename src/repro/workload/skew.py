@@ -1,0 +1,49 @@
+"""Load-imbalance measurement.
+
+Implements the imbalance metric of paper Section 4.2.1: the standard
+deviation of per-node load, where a node's load is the computation it
+performs for the workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.ivf import IVFFlatIndex
+
+
+def cluster_histogram(
+    index: IVFFlatIndex, queries: np.ndarray, nprobe: int
+) -> np.ndarray:
+    """Expected probe counts per inverted list for a workload.
+
+    Entry ``h[l]`` is the number of (query, probe) pairs that touch
+    list ``l``. Together with list sizes this determines the scan work
+    each list generates — the cost model's load estimator.
+    """
+    probes = index.probe(queries, nprobe)
+    return np.bincount(probes.ravel(), minlength=index.nlist).astype(np.float64)
+
+
+def load_imbalance(loads: np.ndarray) -> float:
+    """Standard deviation of per-node loads (the paper's ``I(pi)``)."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("loads must be non-empty")
+    return float(np.std(loads))
+
+
+def normalized_imbalance(loads: np.ndarray) -> float:
+    """Coefficient of variation of per-node loads.
+
+    Scale-free version of :func:`load_imbalance` used to compare
+    imbalance across datasets of different sizes; 0 means perfectly
+    balanced. Returns 0 when total load is 0.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("loads must be non-empty")
+    mean = float(np.mean(loads))
+    if mean <= 0.0:
+        return 0.0
+    return float(np.std(loads) / mean)

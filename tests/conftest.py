@@ -1,0 +1,75 @@
+"""Shared fixtures: small deterministic datasets, indexes, deployments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.data.synthetic import gaussian_blobs
+from repro.index.ivf import IVFFlatIndex
+
+
+@pytest.fixture(scope="session")
+def tiny_data() -> np.ndarray:
+    """400 x 32 clustered vectors; cheap enough for every unit test."""
+    return gaussian_blobs(400, 32, n_blobs=8, cluster_std=0.4, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_queries() -> np.ndarray:
+    """20 x 32 queries from the same distribution as ``tiny_data``."""
+    return gaussian_blobs(420, 32, n_blobs=8, cluster_std=0.4, seed=11)[400:]
+
+
+@pytest.fixture(scope="session")
+def trained_index(tiny_data: np.ndarray) -> IVFFlatIndex:
+    """A trained + populated IVF index over ``tiny_data`` (nlist=16)."""
+    index = IVFFlatIndex(dim=32, nlist=16, seed=0)
+    index.train(tiny_data)
+    index.add(tiny_data)
+    return index
+
+
+@pytest.fixture(scope="session")
+def medium_data() -> np.ndarray:
+    """1600 x 48 clustered vectors for integration-level tests."""
+    return gaussian_blobs(1600, 48, n_blobs=12, cluster_std=0.45, seed=5)
+
+
+@pytest.fixture(scope="session")
+def medium_queries() -> np.ndarray:
+    return gaussian_blobs(1640, 48, n_blobs=12, cluster_std=0.45, seed=5)[1600:]
+
+
+def make_db(
+    data: np.ndarray,
+    queries: np.ndarray | None = None,
+    mode: "Mode | str" = Mode.HARMONY,
+    n_machines: int = 4,
+    nlist: int = 16,
+    nprobe: int = 4,
+    **overrides: object,
+) -> HarmonyDB:
+    """Build a small HarmonyDB for tests (deterministic, seed 0)."""
+    config = HarmonyConfig(
+        n_machines=n_machines,
+        nlist=nlist,
+        nprobe=nprobe,
+        mode=mode,  # type: ignore[arg-type]
+        seed=0,
+        **overrides,  # type: ignore[arg-type]
+    )
+    db = HarmonyDB(
+        dim=data.shape[1], config=config, cluster=Cluster(n_workers=n_machines)
+    )
+    db.build(data, sample_queries=queries)
+    return db
+
+
+@pytest.fixture()
+def db_factory():
+    """Factory fixture exposing :func:`make_db` to tests."""
+    return make_db

@@ -1,0 +1,101 @@
+"""Unit tests for repro.bench (recall, reporting, harness)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    make_setup,
+    run_faiss_baseline,
+    run_mode,
+)
+from repro.bench.recall import recall_at_k
+from repro.bench.reporting import format_series, format_table
+
+
+class TestRecallAtK:
+    def test_perfect(self):
+        ids = np.array([[1, 2, 3], [4, 5, 6]])
+        assert recall_at_k(ids, ids) == 1.0
+
+    def test_order_irrelevant(self):
+        found = np.array([[3, 2, 1]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_at_k(found, truth) == 1.0
+
+    def test_partial(self):
+        found = np.array([[1, 2, 99]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_at_k(found, truth) == pytest.approx(2 / 3)
+
+    def test_padding_ignored(self):
+        found = np.array([[1, -1, -1]])
+        truth = np.array([[1, 2, 3]])
+        assert recall_at_k(found, truth) == pytest.approx(1 / 3)
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(ValueError):
+            recall_at_k(np.ones((2, 3)), np.ones((3, 3)))
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.5], ["long-name", 20]]
+        )
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "long-name" in lines[3]
+
+    def test_table_with_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_series(self):
+        out = format_series("qps", [1, 2], [10.0, 20.0])
+        assert out == "qps: (1, 10.00) (2, 20.00)"
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.00001], [12345.6], [0.5]])
+        assert "1e-05" in out
+        assert "0.50" in out
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return make_setup(
+            "sift1m", size=800, n_queries=20, nlist=16, nprobe=4, seed=0
+        )
+
+    def test_setup_ground_truth_cached(self, setup):
+        gt1 = setup.ground_truth()
+        gt2 = setup.ground_truth()
+        assert gt1 is gt2
+        assert gt1.shape == (20, 10)
+
+    def test_run_mode_returns_results(self, setup):
+        result, report, db = run_mode(setup, "harmony-vector")
+        assert result.ids.shape == (20, 10)
+        assert report.qps > 0
+        assert db.plan.kind == "vector"
+
+    def test_faiss_baseline(self, setup):
+        result, seconds = run_faiss_baseline(setup)
+        assert result.ids.shape == (20, 10)
+        assert seconds > 0
+
+    def test_modes_agree_with_baseline(self, setup):
+        """Harness-level invariant: all engines return identical ids."""
+        baseline, _ = run_faiss_baseline(setup)
+        for mode in ("harmony", "harmony-vector", "harmony-dimension"):
+            result, _, _ = run_mode(setup, mode)
+            np.testing.assert_array_equal(result.ids, baseline.ids)

@@ -1,0 +1,107 @@
+"""Tests for the capacity planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.capacity import plan_capacity
+from repro.data.synthetic import gaussian_blobs
+from repro.index.ivf import IVFFlatIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = gaussian_blobs(2500, 32, n_blobs=10, cluster_std=0.5, seed=25)
+    queries = gaussian_blobs(2560, 32, n_blobs=10, cluster_std=0.5, seed=25)[2500:]
+    index = IVFFlatIndex(dim=32, nlist=16, seed=0)
+    index.train(data)
+    index.add(data)
+    return index, queries
+
+
+class TestPlanCapacity:
+    def test_trivial_target_smallest_cluster(self, setup):
+        index, queries = setup
+        plan = plan_capacity(
+            index, queries, target_recall=0.5, target_qps=1.0
+        )
+        assert plan.n_machines == 2
+        assert plan.target_met
+        assert plan.achieved_qps >= 1.0
+
+    def test_higher_target_needs_more_machines(self, setup):
+        index, queries = setup
+        easy = plan_capacity(
+            index, queries, target_recall=0.9, target_qps=1.0
+        )
+        # Demand just beyond what the small cluster delivered.
+        hard = plan_capacity(
+            index,
+            queries,
+            target_recall=0.9,
+            target_qps=easy.achieved_qps * 1.3,
+        )
+        assert hard.n_machines >= easy.n_machines
+
+    def test_unreachable_reports_best_effort(self, setup):
+        index, queries = setup
+        plan = plan_capacity(
+            index,
+            queries,
+            target_recall=0.9,
+            target_qps=1e12,
+            machine_candidates=(2, 4),
+        )
+        assert not plan.target_met
+        assert plan.n_machines == 4
+        assert len(plan.trace) == 2
+
+    def test_recall_target_respected(self, setup):
+        index, queries = setup
+        plan = plan_capacity(
+            index, queries, target_recall=1.0, target_qps=1.0
+        )
+        assert plan.achieved_recall == pytest.approx(1.0)
+        assert plan.nprobe >= 1
+
+    def test_trace_ascending(self, setup):
+        index, queries = setup
+        plan = plan_capacity(
+            index,
+            queries,
+            target_recall=0.9,
+            target_qps=1e12,
+            machine_candidates=(2, 4, 8),
+        )
+        machines = [m for m, _ in plan.trace]
+        assert machines == sorted(machines)
+
+    def test_invalid_args(self, setup):
+        index, queries = setup
+        with pytest.raises(ValueError, match="target_qps"):
+            plan_capacity(index, queries, target_recall=0.9, target_qps=0)
+        with pytest.raises(ValueError, match="machine_candidates"):
+            plan_capacity(
+                index,
+                queries,
+                target_recall=0.9,
+                target_qps=1.0,
+                machine_candidates=[],
+            )
+
+
+class TestFailedNodeGuards:
+    def test_compute_on_failed_node_raises(self):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster(2)
+        cluster.fail_worker(0)
+        with pytest.raises(RuntimeError, match="failed"):
+            cluster.compute(0, 1e6)
+
+    def test_restored_node_computes_again(self):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster(2)
+        cluster.fail_worker(0)
+        cluster.restore_worker(0)
+        cluster.compute(0, 1e6)  # no raise

@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasetsCommand:
+    def test_lists_all_ten(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sift1m", "glove2.2m", "sift1b", "handoutlines"):
+            assert name in out
+
+    def test_shows_paper_sizes(self, capsys):
+        main(["datasets"])
+        out = capsys.readouterr().out
+        assert "1,000,000,000" in out  # the billion-scale rows
+
+
+class TestRunCommand:
+    def test_basic_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--dataset",
+                "sift1m",
+                "--size",
+                "600",
+                "--queries",
+                "10",
+                "--nlist",
+                "8",
+                "--nprobe",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "simulated QPS" in out
+        assert "recall@10" in out
+        assert "latency" in out
+
+    def test_mode_flag(self, capsys):
+        main(
+            [
+                "run",
+                "--dataset",
+                "sift1m",
+                "--size",
+                "600",
+                "--queries",
+                "10",
+                "--nlist",
+                "8",
+                "--mode",
+                "harmony-vector",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "vector plan" in out
+
+    def test_no_pruning_flag(self, capsys):
+        main(
+            [
+                "run",
+                "--dataset",
+                "sift1m",
+                "--size",
+                "600",
+                "--queries",
+                "10",
+                "--nlist",
+                "8",
+                "--mode",
+                "harmony-dimension",
+                "--no-pruning",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "pruned per slice: 0% 0% 0% 0%" in out
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--mode", "roundrobin"])
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "--dataset", "imagenet", "--size", "100"])
+
+
+class TestPlanCommand:
+    def test_plan_output(self, capsys):
+        code = main(
+            ["plan", "--dataset", "sift1m", "--size", "600", "--nlist", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<== chosen" in out
+        assert "4 x 1" in out
+        assert "1 x 4" in out
+
+
+class TestTuneCommand:
+    def test_tune_output(self, capsys):
+        code = main(
+            [
+                "tune",
+                "--dataset",
+                "sift1m",
+                "--size",
+                "600",
+                "--nlist",
+                "8",
+                "--target-recall",
+                "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<== chosen" in out
+        assert "target recall@10 >= 0.9" in out
+
+
+class TestCapacityCommand:
+    def test_trivial_target_met(self, capsys):
+        code = main(
+            [
+                "capacity",
+                "--dataset",
+                "sift1m",
+                "--size",
+                "600",
+                "--nlist",
+                "8",
+                "--target-recall",
+                "0.8",
+                "--target-qps",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommendation:" in out
+        assert "<== chosen" in out
+
+    def test_unreachable_target_exit_code(self, capsys):
+        code = main(
+            [
+                "capacity",
+                "--dataset",
+                "sift1m",
+                "--size",
+                "600",
+                "--nlist",
+                "8",
+                "--target-qps",
+                "1e15",
+            ]
+        )
+        assert code == 2
+        assert "target NOT met" in capsys.readouterr().out
+
+    def test_target_qps_required(self):
+        with pytest.raises(SystemExit):
+            main(["capacity", "--dataset", "sift1m"])
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

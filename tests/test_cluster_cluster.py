@@ -1,0 +1,118 @@
+"""Unit tests for repro.cluster.cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import CLIENT_NODE, Cluster
+from repro.cluster.network import CommMode, NetworkModel
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(
+        n_workers=4,
+        compute_rate=1e9,
+        network=NetworkModel(
+            bandwidth_bytes_per_s=1e9, latency_s=1e-6, mode=CommMode.NONBLOCKING
+        ),
+    )
+
+
+class TestTopology:
+    def test_worker_count(self, cluster):
+        assert cluster.n_workers == 4
+        assert len(cluster.all_nodes()) == 5
+
+    def test_node_lookup(self, cluster):
+        assert cluster.node(2).node_id == 2
+        assert cluster.node(CLIENT_NODE) is cluster.client
+
+    def test_node_out_of_range(self, cluster):
+        with pytest.raises(IndexError):
+            cluster.node(4)
+        with pytest.raises(IndexError):
+            cluster.node(-2)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            Cluster(n_workers=0)
+
+    def test_client_uses_physical_rate_by_default(self):
+        from repro.cluster.node import DEFAULT_CLIENT_COMPUTE_RATE
+
+        cluster = Cluster(n_workers=2)
+        assert cluster.client.compute_rate == DEFAULT_CLIENT_COMPUTE_RATE
+
+
+class TestWorkPrimitives:
+    def test_compute_charges_timeline(self, cluster):
+        start, end = cluster.compute(0, 1e9)
+        assert (start, end) == (0.0, 1.0)
+        assert cluster.workers[0].breakdown.computation == 1.0
+
+    def test_overhead_charges_other(self, cluster):
+        cluster.overhead(1, 0.5)
+        assert cluster.workers[1].breakdown.other == 0.5
+
+    def test_transfer_arrival_time(self, cluster):
+        arrival = cluster.transfer(0, 1, nbytes=int(1e9))
+        # latency + 1 second of payload.
+        assert arrival == pytest.approx(1.0 + 1e-6)
+
+    def test_transfer_nonblocking_sender_share(self, cluster):
+        cluster.transfer(0, 1, nbytes=int(1e9))
+        sender = cluster.workers[0]
+        assert sender.breakdown.communication == pytest.approx(
+            0.1 * (1.0 + 1e-6)
+        )
+
+    def test_transfer_blocking_occupies_sender(self):
+        cluster = Cluster(
+            n_workers=2,
+            network=NetworkModel(
+                bandwidth_bytes_per_s=1e9, latency_s=0.0, mode=CommMode.BLOCKING
+            ),
+        )
+        cluster.transfer(0, 1, nbytes=int(1e9))
+        assert cluster.workers[0].free_at == pytest.approx(1.0)
+
+    def test_self_transfer_free(self, cluster):
+        arrival = cluster.transfer(2, 2, nbytes=10**9, earliest=1.5)
+        assert arrival == 1.5
+        assert cluster.workers[2].breakdown.communication == 0.0
+
+    def test_transfer_respects_earliest(self, cluster):
+        arrival = cluster.transfer(0, 1, nbytes=0, earliest=2.0)
+        assert arrival >= 2.0
+
+
+class TestAggregation:
+    def test_makespan(self, cluster):
+        cluster.compute(0, 1e9)
+        cluster.compute(3, 2e9)
+        assert cluster.makespan() == pytest.approx(2.0)
+
+    def test_worker_loads(self, cluster):
+        cluster.compute(0, 1e9)
+        cluster.compute(2, 3e9)
+        np.testing.assert_allclose(
+            cluster.worker_loads(), [1.0, 0.0, 3.0, 0.0]
+        )
+
+    def test_breakdown_includes_client(self, cluster):
+        cluster.compute(CLIENT_NODE, cluster.client.compute_rate)
+        cluster.compute(0, 1e9)
+        assert cluster.breakdown().computation == pytest.approx(2.0)
+
+    def test_reset_time(self, cluster):
+        cluster.compute(0, 1e9)
+        cluster.allocate(0, 100)
+        cluster.reset_time()
+        assert cluster.makespan() == 0.0
+        assert cluster.workers[0].current_bytes == 100  # memory persists
+
+    def test_peak_memory(self, cluster):
+        cluster.allocate(0, 100)
+        cluster.allocate(1, 300)
+        cluster.release(1, 200)
+        assert cluster.peak_memory_bytes() == 300

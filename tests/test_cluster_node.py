@@ -1,0 +1,115 @@
+"""Unit tests for repro.cluster.node (timeline with backfilling)."""
+
+import pytest
+
+from repro.cluster.node import WorkerNode
+
+
+class TestComputeDuration:
+    def test_formula(self):
+        node = WorkerNode(node_id=0, compute_rate=1e6)
+        assert node.compute_duration(5e5) == pytest.approx(0.5)
+
+    def test_negative_elements_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerNode(node_id=0).compute_duration(-1)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError, match="compute_rate"):
+            WorkerNode(node_id=0, compute_rate=0)
+
+
+class TestOccupy:
+    def test_sequential_appends(self):
+        node = WorkerNode(node_id=0, compute_rate=1.0)
+        s1, e1 = node.occupy(1.0)
+        s2, e2 = node.occupy(2.0)
+        assert (s1, e1) == (0.0, 1.0)
+        assert (s2, e2) == (1.0, 3.0)
+        assert node.free_at == 3.0
+
+    def test_earliest_creates_gap(self):
+        node = WorkerNode(node_id=0)
+        node.occupy(1.0, earliest=5.0)
+        assert node.free_at == 6.0
+
+    def test_backfill_into_gap(self):
+        """A later-submitted item with early dependencies fills the gap."""
+        node = WorkerNode(node_id=0)
+        node.occupy(1.0, earliest=10.0)  # creates the [0, 10) gap
+        start, end = node.occupy(2.0, earliest=0.0)
+        assert (start, end) == (0.0, 2.0)
+        assert node.free_at == 11.0  # tail unchanged
+
+    def test_backfill_respects_earliest(self):
+        node = WorkerNode(node_id=0)
+        node.occupy(1.0, earliest=10.0)
+        start, _ = node.occupy(2.0, earliest=3.0)
+        assert start == 3.0
+
+    def test_gap_fragment_reuse(self):
+        node = WorkerNode(node_id=0)
+        node.occupy(1.0, earliest=10.0)  # gap [0, 10)
+        node.occupy(4.0, earliest=2.0)  # fills [2, 6), leaves [0,2) + [6,10)
+        start, end = node.occupy(2.0, earliest=0.0)
+        assert (start, end) == (0.0, 2.0)
+        start, end = node.occupy(3.0, earliest=0.0)
+        assert (start, end) == (6.0, 9.0)
+
+    def test_too_large_for_gap_appends(self):
+        node = WorkerNode(node_id=0)
+        node.occupy(1.0, earliest=2.0)  # gap [0, 2)
+        start, _ = node.occupy(5.0, earliest=0.0)
+        assert start == 3.0  # appended after the tail
+
+    def test_breakdown_charged(self):
+        node = WorkerNode(node_id=0)
+        node.occupy(1.0, category="computation")
+        node.occupy(0.5, category="communication")
+        assert node.breakdown.computation == 1.0
+        assert node.breakdown.communication == 0.5
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkerNode(node_id=0).occupy(-1.0)
+
+    def test_reset_time_clears_gaps(self):
+        node = WorkerNode(node_id=0)
+        node.occupy(1.0, earliest=10.0)
+        node.reset_time()
+        assert node.free_at == 0.0
+        start, _ = node.occupy(1.0, earliest=0.0)
+        assert start == 0.0
+        assert node.breakdown.total == 1.0
+
+
+class TestMemoryTracking:
+    def test_allocate_release(self):
+        node = WorkerNode(node_id=0)
+        node.allocate(100)
+        node.allocate(50)
+        assert node.current_bytes == 150
+        assert node.peak_bytes == 150
+        node.release(100)
+        assert node.current_bytes == 50
+        assert node.peak_bytes == 150
+
+    def test_release_floors_at_zero(self):
+        node = WorkerNode(node_id=0)
+        node.allocate(10)
+        node.release(100)
+        assert node.current_bytes == 0
+
+    def test_negative_amounts_raise(self):
+        node = WorkerNode(node_id=0)
+        with pytest.raises(ValueError):
+            node.allocate(-1)
+        with pytest.raises(ValueError):
+            node.release(-1)
+
+    def test_memory_survives_reset_time(self):
+        node = WorkerNode(node_id=0)
+        node.allocate(42)
+        node.reset_time()
+        assert node.current_bytes == 42
+        assert node.peak_bytes == 42

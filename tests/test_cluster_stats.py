@@ -1,0 +1,50 @@
+"""Unit tests for repro.cluster.stats."""
+
+import pytest
+
+from repro.cluster.stats import TimeBreakdown
+
+
+class TestTimeBreakdown:
+    def test_empty_total_zero(self):
+        assert TimeBreakdown().total == 0.0
+
+    def test_charge_categories(self):
+        bd = TimeBreakdown()
+        bd.charge("computation", 1.0)
+        bd.charge("communication", 0.5)
+        bd.charge("other", 0.25)
+        assert bd.computation == 1.0
+        assert bd.communication == 0.5
+        assert bd.other == 0.25
+        assert bd.total == 1.75
+
+    def test_charge_unknown_category_raises(self):
+        with pytest.raises(ValueError, match="unknown time category"):
+            TimeBreakdown().charge("sleep", 1.0)
+
+    def test_charge_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            TimeBreakdown().charge("computation", -1.0)
+
+    def test_add_accumulates(self):
+        a = TimeBreakdown(1.0, 2.0, 3.0)
+        b = TimeBreakdown(0.5, 0.5, 0.5)
+        a.add(b)
+        assert (a.computation, a.communication, a.other) == (1.5, 2.5, 3.5)
+
+    def test_fractions_sum_to_one(self):
+        bd = TimeBreakdown(3.0, 1.0, 1.0)
+        fracs = bd.fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+        assert fracs["computation"] == pytest.approx(0.6)
+
+    def test_fractions_of_empty(self):
+        fracs = TimeBreakdown().fractions()
+        assert all(v == 0.0 for v in fracs.values())
+
+    def test_copy_is_independent(self):
+        a = TimeBreakdown(1.0, 1.0, 1.0)
+        b = a.copy()
+        b.charge("computation", 5.0)
+        assert a.computation == 1.0

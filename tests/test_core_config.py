@@ -1,0 +1,63 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import HarmonyConfig, Mode, resolve_mode
+from repro.distance.metrics import Metric
+
+
+class TestMode:
+    def test_values_match_paper_cli(self):
+        assert Mode.HARMONY.value == "harmony"
+        assert Mode.VECTOR.value == "harmony-vector"
+        assert Mode.DIMENSION.value == "harmony-dimension"
+
+    def test_resolve_from_string(self):
+        assert resolve_mode("harmony") is Mode.HARMONY
+        assert resolve_mode("Harmony-Vector") is Mode.VECTOR
+
+    def test_resolve_passthrough(self):
+        assert resolve_mode(Mode.DIMENSION) is Mode.DIMENSION
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            resolve_mode("roundrobin")
+
+
+class TestHarmonyConfig:
+    def test_defaults(self):
+        config = HarmonyConfig()
+        assert config.n_machines == 4
+        assert config.mode is Mode.HARMONY
+        assert config.metric is Metric.L2
+        assert config.enable_pruning
+        assert config.enable_pipeline
+        assert config.enable_load_balance
+
+    def test_string_coercion(self):
+        config = HarmonyConfig(metric="cosine", mode="harmony-dimension")
+        assert config.metric is Metric.COSINE
+        assert config.mode is Mode.DIMENSION
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_machines": 0},
+            {"nlist": 0},
+            {"nprobe": 0},
+            {"alpha": -1.0},
+            {"prewarm_size": -1},
+            {"plan_sample": 0},
+        ],
+    )
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            HarmonyConfig(**kwargs)
+
+    def test_replace(self):
+        config = HarmonyConfig(nlist=32)
+        changed = config.replace(nprobe=2, enable_pruning=False)
+        assert changed.nlist == 32
+        assert changed.nprobe == 2
+        assert not changed.enable_pruning
+        assert config.nprobe == 8  # original untouched

@@ -1,0 +1,213 @@
+"""Unit tests for repro.core.cost_model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.network import CommMode, NetworkModel
+from repro.core.cost_model import (
+    CostParameters,
+    WorkloadProfile,
+    communication_seconds,
+    estimate_survival,
+    imbalance_factor,
+    node_loads,
+    plan_cost,
+)
+from repro.core.partition import build_plan
+
+
+@pytest.fixture()
+def params():
+    return CostParameters(
+        compute_rate=1e9,
+        bandwidth_bytes_per_s=1e9,
+        latency_s=1e-5,
+        alpha=2.0,
+        message_overlap=0.1,
+    )
+
+
+@pytest.fixture()
+def profile(trained_index, tiny_queries):
+    return WorkloadProfile.measure(trained_index, tiny_queries, nprobe=4)
+
+
+class TestCostParameters:
+    def test_from_cluster_nonblocking(self):
+        cluster = Cluster(4)
+        params = CostParameters.from_cluster(cluster, alpha=3.0)
+        assert params.alpha == 3.0
+        assert params.compute_rate == cluster.workers[0].compute_rate
+        assert params.message_overlap == pytest.approx(0.1)
+
+    def test_from_cluster_blocking(self):
+        cluster = Cluster(
+            2, network=NetworkModel(mode=CommMode.BLOCKING)
+        )
+        params = CostParameters.from_cluster(cluster)
+        assert params.message_overlap == 1.0
+
+
+class TestWorkloadProfile:
+    def test_measure_shapes(self, profile, trained_index, tiny_queries):
+        assert profile.n_queries == len(tiny_queries)
+        assert profile.probes.shape == (len(tiny_queries), 4)
+        assert profile.list_frequency.shape == (trained_index.nlist,)
+
+    def test_frequency_totals(self, profile, tiny_queries):
+        assert profile.list_frequency.sum() == len(tiny_queries) * 4
+
+    def test_keeps_queries(self, profile, tiny_queries):
+        np.testing.assert_array_equal(profile.queries, tiny_queries)
+
+
+class TestNodeLoads:
+    def test_total_work_invariant_across_grids(
+        self, trained_index, profile, params
+    ):
+        """The same scan work is just distributed differently."""
+        totals = []
+        for b_vec, b_dim in [(4, 1), (2, 2), (1, 4)]:
+            plan = build_plan(trained_index, 4, b_vec, b_dim)
+            totals.append(node_loads(plan, trained_index, profile, params).sum())
+        np.testing.assert_allclose(totals, totals[0], rtol=1e-9)
+
+    def test_dimension_plan_perfectly_balanced_widths(
+        self, trained_index, profile, params
+    ):
+        plan = build_plan(trained_index, 4, 1, 4)
+        loads = node_loads(plan, trained_index, profile, params)
+        # 32 dims over 4 slices: every machine gets exactly 1/4 width.
+        np.testing.assert_allclose(loads, loads[0], rtol=1e-9)
+
+    def test_survival_scales_dimension_loads(
+        self, trained_index, profile, params
+    ):
+        plan = build_plan(trained_index, 4, 1, 4)
+        full = node_loads(plan, trained_index, profile, params)
+        pruned = node_loads(
+            plan,
+            trained_index,
+            profile,
+            params,
+            survival=np.array([1.0, 0.5, 0.25, 0.25]),
+        )
+        np.testing.assert_allclose(pruned, full * 0.5, rtol=1e-9)
+
+    def test_survival_ignored_for_vector_plan(
+        self, trained_index, profile, params
+    ):
+        plan = build_plan(trained_index, 4, 4, 1)
+        a = node_loads(plan, trained_index, profile, params)
+        b = node_loads(
+            plan, trained_index, profile, params, survival=np.array([0.1])
+        )
+        np.testing.assert_allclose(a, b)
+
+
+class TestImbalanceFactor:
+    def test_zero_for_equal_loads(self):
+        assert imbalance_factor(np.ones(4)) == 0.0
+
+    def test_matches_std(self):
+        loads = np.array([1.0, 2.0, 3.0, 4.0])
+        assert imbalance_factor(loads) == pytest.approx(float(np.std(loads)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            imbalance_factor(np.array([]))
+
+
+class TestCommunication:
+    def test_dimension_plan_costs_more_messages(
+        self, trained_index, profile, params
+    ):
+        vector = build_plan(trained_index, 4, 4, 1)
+        dimension = build_plan(trained_index, 4, 1, 4)
+        cv = communication_seconds(vector, trained_index, profile, params)
+        cd = communication_seconds(dimension, trained_index, profile, params)
+        assert cd > cv
+
+    def test_survival_reduces_partial_transfers(
+        self, trained_index, profile, params
+    ):
+        plan = build_plan(trained_index, 4, 1, 4)
+        full = communication_seconds(plan, trained_index, profile, params)
+        pruned = communication_seconds(
+            plan,
+            trained_index,
+            profile,
+            params,
+            survival=np.array([1.0, 0.1, 0.05, 0.05]),
+        )
+        assert pruned < full
+
+    def test_overlap_scales_linearly(self, trained_index, profile, params):
+        from dataclasses import replace
+
+        plan = build_plan(trained_index, 4, 2, 2)
+        a = communication_seconds(plan, trained_index, profile, params)
+        blocking = replace(params, message_overlap=1.0)
+        b = communication_seconds(plan, trained_index, profile, blocking)
+        assert b == pytest.approx(a * 10.0)
+
+
+class TestPlanCost:
+    def test_total_combines_terms(self, trained_index, profile, params):
+        plan = build_plan(trained_index, 4, 2, 2)
+        cost = plan_cost(plan, trained_index, profile, params)
+        assert cost.total == pytest.approx(
+            cost.computation_seconds
+            + cost.communication_seconds
+            + params.alpha * cost.imbalance_seconds
+        )
+
+    def test_alpha_zero_ignores_imbalance(self, trained_index, profile):
+        params = CostParameters(
+            compute_rate=1e9,
+            bandwidth_bytes_per_s=1e9,
+            latency_s=1e-5,
+            alpha=0.0,
+        )
+        plan = build_plan(trained_index, 4, 4, 1, balanced=False)
+        cost = plan_cost(plan, trained_index, profile, params)
+        assert cost.total == pytest.approx(
+            cost.computation_seconds + cost.communication_seconds
+        )
+
+
+class TestEstimateSurvival:
+    def test_first_position_is_one(self, trained_index, tiny_queries):
+        survival = estimate_survival(
+            trained_index, tiny_queries, nprobe=4, n_blocks=4
+        )
+        assert survival[0] == pytest.approx(1.0)
+
+    def test_monotone_nonincreasing(self, trained_index, tiny_queries):
+        survival = estimate_survival(
+            trained_index, tiny_queries, nprobe=4, n_blocks=4
+        )
+        assert np.all(np.diff(survival) <= 1e-12)
+
+    def test_within_unit_interval(self, trained_index, tiny_queries):
+        survival = estimate_survival(
+            trained_index, tiny_queries, nprobe=4, n_blocks=2
+        )
+        assert np.all(survival >= 0.0)
+        assert np.all(survival <= 1.0)
+
+    def test_single_block_trivial(self, trained_index, tiny_queries):
+        survival = estimate_survival(
+            trained_index, tiny_queries, nprobe=4, n_blocks=1
+        )
+        np.testing.assert_array_equal(survival, [1.0])
+
+    def test_no_queries_gives_ones(self, trained_index):
+        survival = estimate_survival(
+            trained_index,
+            np.empty((0, trained_index.dim), dtype=np.float32),
+            nprobe=4,
+            n_blocks=4,
+        )
+        np.testing.assert_array_equal(survival, np.ones(4))

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.heap."""
+
+import math
+
+import pytest
+
+from repro.core.heap import TopKHeap
+
+
+class TestTopKHeap:
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError, match="k must be positive"):
+            TopKHeap(0)
+
+    def test_threshold_infinite_until_full(self):
+        heap = TopKHeap(3)
+        heap.push(1.0, 0)
+        heap.push(2.0, 1)
+        assert not heap.is_full
+        assert heap.threshold == math.inf
+        heap.push(3.0, 2)
+        assert heap.is_full
+        assert heap.threshold == 3.0
+
+    def test_retains_k_smallest(self):
+        heap = TopKHeap(3)
+        for i, score in enumerate([5.0, 1.0, 4.0, 2.0, 3.0]):
+            heap.push(score, i)
+        items = heap.items()
+        assert [s for s, _ in items] == [1.0, 2.0, 3.0]
+        assert [i for _, i in items] == [1, 3, 4]
+
+    def test_threshold_tightens(self):
+        heap = TopKHeap(2)
+        heap.push(10.0, 0)
+        heap.push(8.0, 1)
+        assert heap.threshold == 10.0
+        heap.push(5.0, 2)
+        assert heap.threshold == 8.0
+        heap.push(1.0, 3)
+        assert heap.threshold == 5.0
+
+    def test_push_returns_retained(self):
+        heap = TopKHeap(1)
+        assert heap.push(5.0, 0)
+        assert heap.push(3.0, 1)
+        assert not heap.push(7.0, 2)
+
+    def test_tie_broken_by_id(self):
+        heap = TopKHeap(2)
+        heap.push(1.0, 5)
+        heap.push(1.0, 3)
+        heap.push(1.0, 9)  # same score, larger id: rejected
+        heap.push(1.0, 1)  # same score, smaller id: displaces id 5
+        assert [i for _, i in heap.items()] == [1, 3]
+
+    def test_equal_to_threshold_not_retained_with_larger_id(self):
+        heap = TopKHeap(1)
+        heap.push(2.0, 4)
+        assert not heap.push(2.0, 7)
+        assert heap.push(2.0, 2)
+
+    def test_items_sorted_best_first(self):
+        heap = TopKHeap(4)
+        for i, s in enumerate([0.4, 0.1, 0.3, 0.2]):
+            heap.push(s, i)
+        scores = [s for s, _ in heap.items()]
+        assert scores == sorted(scores)
+
+    def test_len(self):
+        heap = TopKHeap(5)
+        assert len(heap) == 0
+        heap.push(1.0, 0)
+        assert len(heap) == 1
+
+    def test_matches_sorted_reference(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal(200)
+        heap = TopKHeap(10)
+        for i, s in enumerate(scores):
+            heap.push(float(s), i)
+        expected = sorted(zip(scores, range(200)))[:10]
+        got = heap.items()
+        for (es, ei), (gs, gi) in zip(expected, got):
+            assert gi == ei
+            assert gs == pytest.approx(float(es))

@@ -1,0 +1,181 @@
+"""Unit tests for repro.core.partition."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import (
+    PartitionPlan,
+    assign_lists_balanced,
+    assign_lists_contiguous,
+    build_plan,
+    grid_shapes,
+    round_robin_placement,
+)
+from repro.distance.partial import DimensionSlices
+
+
+class TestGridShapes:
+    def test_four_machines(self):
+        assert grid_shapes(4) == [(1, 4), (2, 2), (4, 1)]
+
+    def test_six_machines(self):
+        assert grid_shapes(6) == [(1, 6), (2, 3), (3, 2), (6, 1)]
+
+    def test_prime_machines(self):
+        assert grid_shapes(7) == [(1, 7), (7, 1)]
+
+    def test_one_machine(self):
+        assert grid_shapes(1) == [(1, 1)]
+
+    def test_contains_extremes(self):
+        for n in (2, 8, 12, 16):
+            shapes = grid_shapes(n)
+            assert (n, 1) in shapes
+            assert (1, n) in shapes
+
+    def test_products_equal_n(self):
+        for b_vec, b_dim in grid_shapes(16):
+            assert b_vec * b_dim == 16
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            grid_shapes(0)
+
+
+class TestListAssignment:
+    def test_balanced_covers_all_lists(self):
+        weights = np.arange(20, dtype=np.float64)
+        assignment = assign_lists_balanced(weights, 4)
+        assert assignment.shape == (20,)
+        assert set(np.unique(assignment)) <= set(range(4))
+
+    def test_balanced_is_actually_balanced(self):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(1, 10, size=64)
+        assignment = assign_lists_balanced(weights, 4)
+        totals = np.array(
+            [weights[assignment == s].sum() for s in range(4)]
+        )
+        assert totals.max() / totals.min() < 1.2
+
+    def test_balanced_beats_contiguous_on_skewed_weights(self):
+        weights = np.zeros(16)
+        weights[:4] = 100.0  # first four lists are hot
+        weights += 1.0
+        balanced = assign_lists_balanced(weights, 4)
+        contiguous = assign_lists_contiguous(16, 4)
+
+        def spread(assign):
+            totals = np.array(
+                [weights[assign == s].sum() for s in range(4)]
+            )
+            return float(np.std(totals))
+
+        assert spread(balanced) < spread(contiguous)
+
+    def test_contiguous_layout(self):
+        assignment = assign_lists_contiguous(8, 4)
+        np.testing.assert_array_equal(assignment, [0, 0, 1, 1, 2, 2, 3, 3])
+
+    def test_invalid_shards_raise(self):
+        with pytest.raises(ValueError):
+            assign_lists_balanced(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            assign_lists_contiguous(4, 0)
+
+
+class TestPlacement:
+    def test_exact_grid_unique_machines(self):
+        placement = round_robin_placement(2, 2, 4)
+        assert placement.shape == (2, 2)
+        assert set(placement.ravel()) == {0, 1, 2, 3}
+
+    def test_wraparound(self):
+        placement = round_robin_placement(3, 2, 4)
+        assert placement.max() < 4
+
+    def test_vector_grid(self):
+        placement = round_robin_placement(4, 1, 4)
+        np.testing.assert_array_equal(placement.ravel(), [0, 1, 2, 3])
+
+
+class TestPartitionPlan:
+    def test_kind_detection(self, trained_index):
+        vector = build_plan(trained_index, 4, 4, 1)
+        dimension = build_plan(trained_index, 4, 1, 4)
+        hybrid = build_plan(trained_index, 4, 2, 2)
+        assert vector.kind == "vector"
+        assert dimension.kind == "dimension"
+        assert hybrid.kind == "hybrid"
+
+    def test_lists_of_shard_partition(self, trained_index):
+        plan = build_plan(trained_index, 4, 4, 1)
+        all_lists = np.concatenate(
+            [plan.lists_of_shard(s) for s in range(4)]
+        )
+        np.testing.assert_array_equal(
+            np.sort(all_lists), np.arange(trained_index.nlist)
+        )
+
+    def test_machine_of(self, trained_index):
+        plan = build_plan(trained_index, 4, 2, 2)
+        machines = {
+            plan.machine_of(v, d) for v in range(2) for d in range(2)
+        }
+        assert machines == {0, 1, 2, 3}
+
+    def test_describe_mentions_grid(self, trained_index):
+        plan = build_plan(trained_index, 4, 2, 2)
+        assert "2 vector shard(s)" in plan.describe()
+        assert "hybrid" in plan.describe()
+
+    def test_untrained_index_raises(self):
+        from repro.index.ivf import IVFFlatIndex
+
+        with pytest.raises(RuntimeError, match="untrained"):
+            build_plan(IVFFlatIndex(dim=8, nlist=4), 4, 2, 2)
+
+    def test_validation_slice_count(self, trained_index):
+        with pytest.raises(ValueError, match="slices has"):
+            PartitionPlan(
+                n_machines=4,
+                n_vector_shards=2,
+                n_dim_blocks=2,
+                slices=DimensionSlices.even(32, 4),
+                shard_of_list=np.zeros(16, dtype=np.int64),
+                placement=np.zeros((2, 2), dtype=np.int64),
+            )
+
+    def test_validation_placement_shape(self, trained_index):
+        with pytest.raises(ValueError, match="placement shape"):
+            PartitionPlan(
+                n_machines=4,
+                n_vector_shards=2,
+                n_dim_blocks=2,
+                slices=DimensionSlices.even(32, 2),
+                shard_of_list=np.zeros(16, dtype=np.int64),
+                placement=np.zeros((2, 3), dtype=np.int64),
+            )
+
+    def test_validation_out_of_range_machine(self, trained_index):
+        with pytest.raises(ValueError, match="machine ids"):
+            PartitionPlan(
+                n_machines=2,
+                n_vector_shards=2,
+                n_dim_blocks=1,
+                slices=DimensionSlices.even(32, 1),
+                shard_of_list=np.zeros(16, dtype=np.int64),
+                placement=np.array([[0], [5]]),
+            )
+
+    def test_build_plan_balanced_vs_contiguous(self, trained_index):
+        balanced = build_plan(trained_index, 4, 4, 1, balanced=True)
+        contiguous = build_plan(trained_index, 4, 4, 1, balanced=False)
+        sizes = trained_index.list_sizes().astype(float)
+
+        def spread(plan):
+            return np.std(
+                [sizes[plan.lists_of_shard(s)].sum() for s in range(4)]
+            )
+
+        assert spread(balanced) <= spread(contiguous) + 1e-9

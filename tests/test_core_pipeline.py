@@ -1,0 +1,223 @@
+"""Unit tests for repro.core.pipeline (the execution engine)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.partition import build_plan
+from repro.core.pipeline import IN_FLIGHT_SCANS, PipelineEngine
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(n_workers=4)
+
+
+def make_engine(index, cluster, b_vec, b_dim, **overrides):
+    config = HarmonyConfig(
+        n_machines=4, nlist=index.nlist, nprobe=4, seed=0, **overrides
+    )
+    plan = build_plan(index, 4, b_vec, b_dim)
+    return PipelineEngine(index, plan, cluster, config)
+
+
+class TestEngineConstruction:
+    def test_untrained_index_raises(self, cluster):
+        from repro.index.ivf import IVFFlatIndex
+
+        index = IVFFlatIndex(dim=8, nlist=4)
+        config = HarmonyConfig(n_machines=4, nlist=4)
+        with pytest.raises(RuntimeError, match="trained"):
+            PipelineEngine(index, None, cluster, config)  # type: ignore[arg-type]
+
+    def test_plan_larger_than_cluster_raises(self, trained_index):
+        plan = build_plan(trained_index, 8, 8, 1)
+        config = HarmonyConfig(n_machines=8, nlist=trained_index.nlist)
+        with pytest.raises(ValueError, match="targets 8 machines"):
+            PipelineEngine(trained_index, plan, Cluster(4), config)
+
+
+class TestPlacement:
+    def test_place_data_charges_memory(self, trained_index, cluster):
+        engine = make_engine(trained_index, cluster, 4, 1)
+        report = engine.place_data()
+        assert set(report.per_machine_bytes) == {0, 1, 2, 3}
+        assert report.total_bytes > 0
+        for machine, nbytes in report.per_machine_bytes.items():
+            assert cluster.workers[machine].current_bytes == nbytes
+
+    def test_double_place_raises(self, trained_index, cluster):
+        engine = make_engine(trained_index, cluster, 4, 1)
+        engine.place_data()
+        with pytest.raises(RuntimeError, match="already placed"):
+            engine.place_data()
+
+    def test_release_then_place(self, trained_index, cluster):
+        engine = make_engine(trained_index, cluster, 4, 1)
+        engine.place_data()
+        engine.release_data()
+        assert all(w.current_bytes == 0 for w in cluster.workers)
+        engine.place_data()
+
+    def test_vector_and_dimension_hold_same_base_bytes(self, trained_index):
+        """Total stored data is NB x D either way (paper Section 4.2)."""
+        v_engine = make_engine(trained_index, Cluster(4), 4, 1)
+        d_engine = make_engine(trained_index, Cluster(4), 1, 4)
+        v_total = v_engine.place_data().total_bytes
+        d_total = d_engine.place_data().total_bytes
+        # Dimension plans add only small workspace + replicated ids.
+        assert d_total >= v_total
+        assert d_total < v_total * 1.5
+
+    def test_dimension_preassign_slower(self, trained_index):
+        """Restructuring makes dim-including plans pre-assign slower."""
+        v = make_engine(trained_index, Cluster(4), 4, 1).place_data()
+        d = make_engine(trained_index, Cluster(4), 1, 4).place_data()
+        assert d.preassign_seconds > v.preassign_seconds
+
+
+class TestRunCorrectness:
+    @pytest.mark.parametrize("grid", [(4, 1), (2, 2), (1, 4)])
+    def test_results_match_single_node_ivf(
+        self, trained_index, tiny_queries, grid
+    ):
+        engine = make_engine(trained_index, Cluster(4), *grid)
+        engine.place_data()
+        result, _ = engine.run(tiny_queries, k=5, nprobe=4)
+        ref_d, ref_i = trained_index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_i)
+        np.testing.assert_allclose(result.distances, ref_d, rtol=1e-9)
+
+    def test_pruning_off_same_results(self, trained_index, tiny_queries):
+        on = make_engine(trained_index, Cluster(4), 1, 4)
+        off = make_engine(
+            trained_index, Cluster(4), 1, 4, enable_pruning=False
+        )
+        r_on, _ = on.run(tiny_queries, k=5)
+        r_off, _ = off.run(tiny_queries, k=5)
+        np.testing.assert_array_equal(r_on.ids, r_off.ids)
+
+    def test_pipeline_off_same_results(self, trained_index, tiny_queries):
+        on = make_engine(trained_index, Cluster(4), 1, 4)
+        off = make_engine(
+            trained_index, Cluster(4), 1, 4, enable_pipeline=False
+        )
+        r_on, _ = on.run(tiny_queries, k=5)
+        r_off, _ = off.run(tiny_queries, k=5)
+        np.testing.assert_array_equal(r_on.ids, r_off.ids)
+
+    def test_load_balance_off_same_results(self, trained_index, tiny_queries):
+        on = make_engine(trained_index, Cluster(4), 1, 4)
+        off = make_engine(
+            trained_index, Cluster(4), 1, 4, enable_load_balance=False
+        )
+        r_on, _ = on.run(tiny_queries, k=5)
+        r_off, _ = off.run(tiny_queries, k=5)
+        np.testing.assert_array_equal(r_on.ids, r_off.ids)
+
+    def test_invalid_k_raises(self, trained_index, tiny_queries):
+        engine = make_engine(trained_index, Cluster(4), 4, 1)
+        with pytest.raises(ValueError, match="k must be positive"):
+            engine.run(tiny_queries, k=0)
+
+    def test_single_query_vector_input(self, trained_index, tiny_queries):
+        engine = make_engine(trained_index, Cluster(4), 2, 2)
+        result, report = engine.run(tiny_queries[0], k=3)
+        assert result.ids.shape == (1, 3)
+        assert report.n_queries == 1
+
+
+class TestRunReports:
+    def test_report_fields(self, trained_index, tiny_queries):
+        engine = make_engine(trained_index, Cluster(4), 1, 4)
+        _, report = engine.run(tiny_queries, k=5)
+        assert report.simulated_seconds > 0
+        assert report.qps > 0
+        assert report.worker_loads.shape == (4,)
+        assert report.pruning is not None
+        assert report.peak_memory_bytes >= 0
+        assert "dimension" in report.plan_summary
+
+    def test_vector_plan_has_no_pruning_stats(
+        self, trained_index, tiny_queries
+    ):
+        engine = make_engine(trained_index, Cluster(4), 4, 1)
+        _, report = engine.run(tiny_queries, k=5)
+        assert report.pruning is None
+
+    def test_pruning_reduces_computation(self, trained_index, tiny_queries):
+        on = make_engine(trained_index, Cluster(4), 1, 4)
+        off = make_engine(
+            trained_index, Cluster(4), 1, 4, enable_pruning=False
+        )
+        _, r_on = on.run(tiny_queries, k=5)
+        _, r_off = off.run(tiny_queries, k=5)
+        assert (
+            r_on.breakdown.computation < r_off.breakdown.computation
+        )
+
+    def test_pipeline_off_slower(self, trained_index, tiny_queries):
+        on = make_engine(trained_index, Cluster(4), 1, 4)
+        off = make_engine(
+            trained_index, Cluster(4), 1, 4, enable_pipeline=False
+        )
+        _, r_on = on.run(tiny_queries, k=5)
+        _, r_off = off.run(tiny_queries, k=5)
+        assert r_off.simulated_seconds > r_on.simulated_seconds
+
+    def test_first_pruning_position_zero(self, trained_index, tiny_queries):
+        engine = make_engine(trained_index, Cluster(4), 1, 4)
+        _, report = engine.run(tiny_queries, k=5)
+        assert report.pruning.ratios()[0] == 0.0
+
+    def test_pruning_ratios_nondecreasing(self, trained_index, tiny_queries):
+        engine = make_engine(trained_index, Cluster(4), 1, 4)
+        _, report = engine.run(tiny_queries, k=5)
+        ratios = report.pruning.ratios()
+        assert np.all(np.diff(ratios) >= -1e-12)
+
+    def test_run_resets_between_batches(self, trained_index, tiny_queries):
+        engine = make_engine(trained_index, Cluster(4), 2, 2)
+        _, first = engine.run(tiny_queries, k=5)
+        _, second = engine.run(tiny_queries, k=5)
+        assert second.simulated_seconds == pytest.approx(
+            first.simulated_seconds
+        )
+
+    def test_inflight_memory_bounded(self, trained_index, tiny_queries):
+        engine = make_engine(trained_index, Cluster(4), 1, 4)
+        engine.run(tiny_queries, k=5)
+        for window in engine._inflight.values():
+            assert len(window) <= IN_FLIGHT_SCANS
+
+    def test_dimension_peaks_higher_than_vector(
+        self, trained_index, tiny_queries
+    ):
+        """Paper Table 5 ordering: vector < dimension peak memory."""
+        v_cluster, d_cluster = Cluster(4), Cluster(4)
+        v_engine = make_engine(trained_index, v_cluster, 4, 1)
+        d_engine = make_engine(trained_index, d_cluster, 1, 4)
+        v_engine.place_data()
+        d_engine.place_data()
+        _, v_report = v_engine.run(tiny_queries, k=5)
+        _, d_report = d_engine.run(tiny_queries, k=5)
+        assert d_report.peak_memory_bytes > v_report.peak_memory_bytes
+
+
+class TestModesViaConfig:
+    def test_more_workers_not_slower(self, medium_data, medium_queries):
+        """Scaling from 2 to 4 workers must not reduce throughput."""
+        from repro.index.ivf import IVFFlatIndex
+
+        index = IVFFlatIndex(dim=48, nlist=16, seed=0)
+        index.train(medium_data)
+        index.add(medium_data)
+        qps = {}
+        for n in (2, 4):
+            config = HarmonyConfig(n_machines=n, nlist=16, nprobe=4, seed=0)
+            plan = build_plan(index, n, n, 1)
+            engine = PipelineEngine(index, plan, Cluster(n), config)
+            _, report = engine.run(medium_queries, k=5)
+            qps[n] = report.qps
+        assert qps[4] > qps[2]

@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.planner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Mode
+from repro.core.cost_model import CostParameters, WorkloadProfile
+from repro.core.planner import QueryPlanner
+
+
+@pytest.fixture()
+def params():
+    return CostParameters(
+        compute_rate=1e9,
+        bandwidth_bytes_per_s=2.5e8,
+        latency_s=1e-5,
+        alpha=4.0,
+        message_overlap=0.1,
+    )
+
+
+@pytest.fixture()
+def planner(trained_index, params):
+    return QueryPlanner(trained_index, params)
+
+
+@pytest.fixture()
+def profile(planner, tiny_queries):
+    return planner.profile(tiny_queries, nprobe=4)
+
+
+class TestPlannerBasics:
+    def test_untrained_index_raises(self, params):
+        from repro.index.ivf import IVFFlatIndex
+
+        with pytest.raises(RuntimeError, match="trained"):
+            QueryPlanner(IVFFlatIndex(dim=8, nlist=4), params)
+
+    def test_vector_mode_fixed_grid(self, planner, profile):
+        decision = planner.choose(4, Mode.VECTOR, profile)
+        assert decision.plan.n_vector_shards == 4
+        assert decision.plan.n_dim_blocks == 1
+        assert len(decision.evaluated) == 1
+
+    def test_dimension_mode_fixed_grid(self, planner, profile):
+        decision = planner.choose(4, Mode.DIMENSION, profile)
+        assert decision.plan.n_vector_shards == 1
+        assert decision.plan.n_dim_blocks == 4
+
+    def test_harmony_mode_evaluates_all_shapes(self, planner, profile):
+        decision = planner.choose(4, Mode.HARMONY, profile)
+        shapes = {shape for shape, _ in decision.evaluated}
+        assert shapes == {(1, 4), (2, 2), (4, 1)}
+
+    def test_harmony_picks_cheapest(self, planner, profile):
+        decision = planner.choose(4, Mode.HARMONY, profile)
+        best = min(cost.total for _, cost in decision.evaluated)
+        assert decision.cost.total == pytest.approx(best)
+
+    def test_none_profile_uses_uniform(self, planner):
+        decision = planner.choose(4, Mode.HARMONY, profile=None)
+        assert decision.plan is not None
+
+    def test_mode_as_string(self, planner, profile):
+        decision = planner.choose(4, "harmony-vector", profile)
+        assert decision.plan.kind == "vector"
+
+    def test_dim_blocks_capped_by_dimension(self, params, tiny_data):
+        """A 2-dim index cannot be split into 4 dimension blocks."""
+        from repro.index.ivf import IVFFlatIndex
+
+        index = IVFFlatIndex(dim=2, nlist=4, seed=0)
+        index.train(tiny_data[:, :2])
+        index.add(tiny_data[:, :2])
+        planner = QueryPlanner(index, params)
+        decision = planner.choose(4, Mode.HARMONY)
+        shapes = {shape for shape, _ in decision.evaluated}
+        assert (1, 4) not in shapes
+
+
+class TestListWeights:
+    def test_load_aware_uses_frequency(self, planner, profile):
+        oblivious = planner.list_weights(profile, load_aware=False)
+        aware = planner.list_weights(profile, load_aware=True)
+        sizes = planner.index.list_sizes().astype(float)
+        np.testing.assert_allclose(oblivious, sizes)
+        np.testing.assert_allclose(
+            aware, sizes * (profile.list_frequency + 1.0)
+        )
+
+    def test_load_aware_none_profile_falls_back(self, planner):
+        weights = planner.list_weights(None, load_aware=True)
+        np.testing.assert_allclose(
+            weights, planner.index.list_sizes().astype(float)
+        )
+
+
+class TestSkewResponse:
+    def test_skew_shifts_preference_from_vector(
+        self, planner, trained_index, tiny_queries
+    ):
+        """Under a concentrated workload, a pure vector plan must not
+        look cheaper than every alternative (the imbalance term bites).
+        Disabling the pruning pilot isolates the imbalance effect."""
+        hot_probe = np.zeros((40, 4), dtype=np.int64)
+        hot_probe[:] = [0, 1, 2, 3]
+        skewed = WorkloadProfile(
+            n_queries=40,
+            nprobe=4,
+            probes=hot_probe,
+            list_frequency=np.bincount(
+                hot_probe.ravel(), minlength=trained_index.nlist
+            ).astype(float),
+            queries=np.empty((0, trained_index.dim), dtype=np.float32),
+        )
+        decision = planner.choose(
+            4, Mode.HARMONY, skewed, load_aware=False, pruning=False
+        )
+        vector_cost = dict(decision.evaluated)[(4, 1)]
+        dim_cost = dict(decision.evaluated)[(1, 4)]
+        assert dim_cost.imbalance_seconds < vector_cost.imbalance_seconds

@@ -1,0 +1,205 @@
+"""Unit tests for repro.core.pruning (ShardScan + PruningStats)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import PruningStats, ShardScan
+from repro.distance.metrics import Metric, squared_l2
+from repro.distance.partial import DimensionSlices, slice_norms
+
+
+@pytest.fixture()
+def base():
+    return np.random.default_rng(0).standard_normal((60, 16)).astype(np.float32)
+
+
+@pytest.fixture()
+def query():
+    return np.random.default_rng(1).standard_normal(16).astype(np.float32)
+
+
+@pytest.fixture()
+def slices():
+    return DimensionSlices.even(16, 4)
+
+
+def make_scan(base, query, slices, metric=Metric.L2):
+    ids = np.arange(base.shape[0], dtype=np.int64)
+    norms = None
+    if metric is not Metric.L2:
+        norms = slice_norms(base, slices)
+    return ShardScan(
+        base=base,
+        candidate_ids=ids,
+        query=query,
+        slices=slices,
+        metric=metric,
+        base_slice_norms=norms,
+    )
+
+
+class TestShardScanAccumulation:
+    def test_full_scan_matches_direct_distance(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        for j in range(4):
+            scan.process_slice(j)
+        ids, scores = scan.survivors()
+        np.testing.assert_array_equal(ids, np.arange(60))
+        np.testing.assert_allclose(scores, squared_l2(base, query), rtol=1e-6)
+
+    def test_slice_order_irrelevant_for_totals(self, base, query, slices):
+        a = make_scan(base, query, slices)
+        b = make_scan(base, query, slices)
+        for j in (0, 1, 2, 3):
+            a.process_slice(j)
+        for j in (3, 1, 0, 2):
+            b.process_slice(j)
+        np.testing.assert_allclose(a.accumulated, b.accumulated, rtol=1e-9)
+
+    def test_double_process_raises(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        scan.process_slice(0)
+        with pytest.raises(ValueError, match="already processed"):
+            scan.process_slice(0)
+
+    def test_process_returns_alive_count(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        assert scan.process_slice(0) == 60
+        scan.alive[:30] = False
+        assert scan.process_slice(1) == 30
+
+    def test_survivors_before_completion_raises(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        scan.process_slice(0)
+        with pytest.raises(RuntimeError, match="unprocessed"):
+            scan.survivors()
+
+
+class TestShardScanPruningL2:
+    def test_prune_is_lossless(self, base, query, slices):
+        """Pruned candidates can never belong to the final top set."""
+        scan = make_scan(base, query, slices)
+        full = squared_l2(base, query)
+        threshold = float(np.median(full))
+        for j in range(4):
+            scan.process_slice(j)
+            scan.prune(threshold)
+        # Everything with final score <= threshold must have survived.
+        should_survive = full <= threshold
+        assert np.all(scan.alive[should_survive])
+
+    def test_prune_infinite_threshold_noop(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        scan.process_slice(0)
+        assert scan.prune(np.inf) == 0
+        assert scan.n_alive == 60
+
+    def test_prune_counts(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        for j in range(4):
+            scan.process_slice(j)
+        pruned = scan.prune(float(np.min(squared_l2(base, query))))
+        assert pruned == 59  # everything except the single minimum
+
+    def test_boundary_ties_survive(self, base, query, slices):
+        """Strict comparison keeps candidates exactly at the threshold."""
+        scan = make_scan(base, query, slices)
+        for j in range(4):
+            scan.process_slice(j)
+        full = squared_l2(base, query)
+        threshold = float(full[7])
+        scan.prune(threshold)
+        assert scan.alive[7]
+
+    def test_lower_bounds_never_exceed_final(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        final = squared_l2(base, query)
+        for j in range(4):
+            bounds = scan.lower_bounds()
+            assert np.all(bounds[scan.alive] <= final[scan.alive] + 1e-9)
+            scan.process_slice(j)
+
+
+class TestShardScanInnerProduct:
+    def test_requires_norms(self, base, query, slices):
+        with pytest.raises(ValueError, match="base_slice_norms"):
+            ShardScan(
+                base=base,
+                candidate_ids=np.arange(10),
+                query=query,
+                slices=slices,
+                metric=Metric.INNER_PRODUCT,
+            )
+
+    def test_final_scores_are_negated_dots(self, base, query, slices):
+        scan = make_scan(base, query, slices, metric=Metric.INNER_PRODUCT)
+        for j in range(4):
+            scan.process_slice(j)
+        _, scores = scan.survivors()
+        expected = -(base.astype(np.float64) @ query.astype(np.float64))
+        np.testing.assert_allclose(scores, expected, rtol=1e-6)
+
+    def test_ip_lower_bounds_valid(self, base, query, slices):
+        """Cauchy-Schwarz bound must never exceed the final score."""
+        scan = make_scan(base, query, slices, metric=Metric.INNER_PRODUCT)
+        final = -(base.astype(np.float64) @ query.astype(np.float64))
+        scan.process_slice(0)
+        bounds = scan.lower_bounds()
+        assert np.all(bounds <= final + 1e-9)
+        scan.process_slice(2)
+        bounds = scan.lower_bounds()
+        assert np.all(bounds <= final + 1e-9)
+
+    def test_ip_prune_lossless(self, base, query, slices):
+        scan = make_scan(base, query, slices, metric=Metric.INNER_PRODUCT)
+        final = -(base.astype(np.float64) @ query.astype(np.float64))
+        threshold = float(np.median(final))
+        for j in range(4):
+            scan.process_slice(j)
+            scan.prune(threshold)
+        should_survive = final <= threshold
+        assert np.all(scan.alive[should_survive])
+
+
+class TestPruningStats:
+    def test_record_and_ratios(self):
+        stats = PruningStats(3)
+        stats.record(0, 0, 100)
+        stats.record(1, 40, 100)
+        stats.record(2, 80, 100)
+        np.testing.assert_allclose(stats.ratios(), [0.0, 0.4, 0.8])
+
+    def test_average_ratio(self):
+        stats = PruningStats(2)
+        stats.record(0, 0, 10)
+        stats.record(1, 5, 10)
+        assert stats.average_ratio() == pytest.approx(0.25)
+
+    def test_merge(self):
+        a = PruningStats(2)
+        b = PruningStats(2)
+        a.record(1, 2, 10)
+        b.record(1, 8, 10)
+        a.merge(b)
+        np.testing.assert_allclose(a.ratios(), [0.0, 0.5])
+
+    def test_merge_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            PruningStats(2).merge(PruningStats(3))
+
+    def test_empty_positions_are_zero(self):
+        stats = PruningStats(4)
+        np.testing.assert_array_equal(stats.ratios(), np.zeros(4))
+
+    def test_invalid_record_raises(self):
+        stats = PruningStats(2)
+        with pytest.raises(IndexError):
+            stats.record(5, 0, 10)
+        with pytest.raises(ValueError):
+            stats.record(0, 11, 10)
+        with pytest.raises(ValueError):
+            stats.record(0, -1, 10)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            PruningStats(0)

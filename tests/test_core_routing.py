@@ -1,0 +1,125 @@
+"""Unit tests for repro.core.routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import build_plan
+from repro.core.routing import (
+    adaptive_order,
+    shard_candidate_lists,
+    slice_order,
+    staggered_order,
+    touched_shards,
+)
+
+
+@pytest.fixture()
+def hybrid_plan(trained_index):
+    return build_plan(trained_index, 4, 2, 2)
+
+
+@pytest.fixture()
+def dim_plan(trained_index):
+    return build_plan(trained_index, 4, 1, 4)
+
+
+class TestTouchedShards:
+    def test_unique_sorted(self, hybrid_plan):
+        probe_row = np.array([0, 1, 2, 3, 4, 5])
+        shards = touched_shards(hybrid_plan, probe_row)
+        assert np.all(np.diff(shards) > 0)
+        assert set(shards) <= {0, 1}
+
+    def test_single_list(self, hybrid_plan):
+        shards = touched_shards(hybrid_plan, np.array([3]))
+        assert shards.shape == (1,)
+        assert shards[0] == hybrid_plan.shard_of_list[3]
+
+    def test_dimension_plan_single_shard(self, dim_plan):
+        shards = touched_shards(dim_plan, np.arange(8))
+        np.testing.assert_array_equal(shards, [0])
+
+
+class TestShardCandidateLists:
+    def test_filters_by_shard(self, hybrid_plan):
+        probe_row = np.arange(8)
+        for shard in (0, 1):
+            lists = shard_candidate_lists(hybrid_plan, probe_row, shard)
+            assert np.all(hybrid_plan.shard_of_list[lists] == shard)
+
+    def test_union_covers_probes(self, hybrid_plan):
+        probe_row = np.arange(8)
+        combined = np.concatenate(
+            [
+                shard_candidate_lists(hybrid_plan, probe_row, s)
+                for s in range(2)
+            ]
+        )
+        np.testing.assert_array_equal(np.sort(combined), probe_row)
+
+
+class TestStaggeredOrder:
+    def test_is_permutation(self):
+        for q in range(6):
+            order = staggered_order(4, q, 0)
+            np.testing.assert_array_equal(np.sort(order), np.arange(4))
+
+    def test_rotation_by_query(self):
+        np.testing.assert_array_equal(staggered_order(4, 0, 0), [0, 1, 2, 3])
+        np.testing.assert_array_equal(staggered_order(4, 1, 0), [1, 2, 3, 0])
+        np.testing.assert_array_equal(staggered_order(4, 2, 0), [2, 3, 0, 1])
+
+    def test_shard_offset(self):
+        np.testing.assert_array_equal(staggered_order(4, 0, 1), [1, 2, 3, 0])
+
+    def test_consecutive_queries_start_on_different_slices(self):
+        starts = {int(staggered_order(4, q, 0)[0]) for q in range(4)}
+        assert starts == {0, 1, 2, 3}
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            staggered_order(0, 0, 0)
+
+
+class TestAdaptiveOrder:
+    def test_least_loaded_first(self, dim_plan):
+        loads = np.array([3.0, 1.0, 2.0, 0.5])
+        order = adaptive_order(dim_plan, 0, loads)
+        machines = dim_plan.placement[0][order]
+        assert np.all(np.diff(loads[machines]) >= 0)
+
+    def test_busiest_machine_last(self, dim_plan):
+        """The paper's deferral rule: overloaded machine runs last."""
+        loads = np.array([100.0, 0.0, 0.0, 0.0])
+        order = adaptive_order(dim_plan, 0, loads)
+        last_machine = dim_plan.machine_of(0, int(order[-1]))
+        assert last_machine == 0
+
+    def test_tie_break_by_slice_id(self, dim_plan):
+        order = adaptive_order(dim_plan, 0, np.zeros(4))
+        np.testing.assert_array_equal(order, [0, 1, 2, 3])
+
+    def test_is_permutation(self, dim_plan):
+        rng = np.random.default_rng(0)
+        order = adaptive_order(dim_plan, 0, rng.uniform(size=4))
+        np.testing.assert_array_equal(np.sort(order), np.arange(4))
+
+
+class TestSliceOrder:
+    def test_single_block_trivial(self, trained_index):
+        plan = build_plan(trained_index, 4, 4, 1)
+        order = slice_order(plan, 0, 5, np.zeros(4), True, True)
+        np.testing.assert_array_equal(order, [0])
+
+    def test_load_balance_wins(self, dim_plan):
+        loads = np.array([10.0, 0.0, 0.0, 0.0])
+        order = slice_order(dim_plan, 0, 0, loads, True, True)
+        assert dim_plan.machine_of(0, int(order[-1])) == 0
+
+    def test_pipeline_staggers(self, dim_plan):
+        order = slice_order(dim_plan, 0, 3, np.zeros(4), False, True)
+        np.testing.assert_array_equal(order, staggered_order(4, 3, 0))
+
+    def test_naive_canonical(self, dim_plan):
+        order = slice_order(dim_plan, 0, 3, np.zeros(4), False, False)
+        np.testing.assert_array_equal(order, [0, 1, 2, 3])

@@ -1,0 +1,113 @@
+"""Tests for dataset profiling (repro.data.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.data.analysis import (
+    cluster_imbalance,
+    distance_contrast,
+    leading_variance_share,
+    profile_dataset,
+)
+from repro.data.synthetic import (
+    correlated_walk,
+    gaussian_blobs,
+    uniform_gaussian,
+)
+from repro.index.ivf import IVFFlatIndex
+
+
+class TestLeadingVarianceShare:
+    def test_flat_profile_near_quarter(self):
+        data = uniform_gaussian(3000, 64, seed=0)
+        share = leading_variance_share(data, n_slices=4)
+        assert share == pytest.approx(0.25, abs=0.03)
+
+    def test_enveloped_series_front_loaded(self):
+        data = correlated_walk(1000, 64, envelope=3.0, seed=1)
+        share = leading_variance_share(data, n_slices=4)
+        assert share > 0.6
+
+    def test_zero_variance_degenerates_to_uniform(self):
+        share = leading_variance_share(np.ones((10, 8)), n_slices=4)
+        assert share == pytest.approx(0.25)
+
+    def test_too_few_dims_raises(self):
+        with pytest.raises(ValueError):
+            leading_variance_share(np.ones((10, 2)), n_slices=4)
+
+
+class TestDistanceContrast:
+    def test_clustered_beats_uniform(self):
+        blobs = gaussian_blobs(2050, 32, n_blobs=8, cluster_std=0.3, seed=2)
+        noise = uniform_gaussian(2050, 32, seed=2)
+        blob_contrast = distance_contrast(blobs[:2000], blobs[2000:])
+        noise_contrast = distance_contrast(noise[:2000], noise[2000:])
+        assert blob_contrast > noise_contrast
+
+    def test_at_least_one(self):
+        data = uniform_gaussian(600, 16, seed=3)
+        assert distance_contrast(data[:500], data[500:]) >= 1.0
+
+    def test_deterministic(self):
+        data = gaussian_blobs(1100, 16, n_blobs=4, seed=4)
+        a = distance_contrast(data[:1000], data[1000:], seed=9)
+        b = distance_contrast(data[:1000], data[1000:], seed=9)
+        assert a == b
+
+
+class TestClusterImbalance:
+    def test_even_lists_low_cv(self, trained_index):
+        assert cluster_imbalance(trained_index) < 2.0
+
+    def test_dominant_cluster_high_cv(self):
+        from repro.data.synthetic import heavy_tailed_embeddings
+
+        data = heavy_tailed_embeddings(2000, 24, seed=5)
+        index = IVFFlatIndex(dim=24, nlist=16, seed=0)
+        index.train(data)
+        index.add(data)
+        blobs = gaussian_blobs(2000, 24, n_blobs=16, cluster_std=0.2, seed=5)
+        even = IVFFlatIndex(dim=24, nlist=16, seed=0)
+        even.train(blobs)
+        even.add(blobs)
+        assert cluster_imbalance(index) > cluster_imbalance(even)
+
+
+class TestProfilePredictsPruning:
+    def test_variance_share_orders_pruning(self):
+        """The series family (front-loaded variance) must out-prune the
+        flat-profile family — the mechanism behind Table 3's spread."""
+        from repro.core.config import HarmonyConfig, Mode
+        from repro.core.database import HarmonyDB
+
+        def pruning_avg(data, queries):
+            db = HarmonyDB(
+                dim=data.shape[1],
+                config=HarmonyConfig(
+                    n_machines=4, nlist=16, nprobe=4, mode=Mode.DIMENSION
+                ),
+            )
+            db.build(data, sample_queries=queries)
+            _, report = db.search(queries, k=10)
+            return report.pruning.average_ratio()
+
+        series = correlated_walk(
+            1540, 64, envelope=2.0, n_classes=24, noise_scale=0.2, seed=6
+        )
+        flat = uniform_gaussian(1540, 64, seed=6)
+        series_share = leading_variance_share(series[:1500])
+        flat_share = leading_variance_share(flat[:1500])
+        assert series_share > flat_share
+        assert pruning_avg(series[:1500], series[1500:]) > pruning_avg(
+            flat[:1500], flat[1500:]
+        )
+
+    def test_profile_dataset_bundles_all(self, tiny_data, tiny_queries,
+                                          trained_index):
+        profile = profile_dataset(
+            tiny_data, tiny_queries, trained_index
+        )
+        assert 0 < profile.leading_variance_share < 1
+        assert profile.distance_contrast >= 1.0
+        assert profile.cluster_imbalance >= 0.0

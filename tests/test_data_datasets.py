@@ -1,0 +1,97 @@
+"""Unit tests for repro.data.datasets (the paper Table 2 registry)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASET_REGISTRY,
+    SMALL_DATASETS,
+    available_datasets,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_ten_paper_datasets(self):
+        assert len(available_datasets()) == 10
+
+    def test_small_dataset_list(self):
+        assert len(SMALL_DATASETS) == 8
+        assert "sift1b" not in SMALL_DATASETS
+        assert "spacev1b" not in SMALL_DATASETS
+
+    def test_paper_dims_match_table2(self):
+        expected = {
+            "starlightcurves": 1024,
+            "msong": 420,
+            "sift1m": 128,
+            "deep1m": 256,
+            "word2vec": 300,
+            "handoutlines": 2709,
+            "glove1.2m": 200,
+            "glove2.2m": 300,
+            "spacev1b": 100,
+            "sift1b": 128,
+        }
+        for name, dim in expected.items():
+            assert DATASET_REGISTRY[name].paper_dim == dim
+
+    def test_paper_sizes_match_table2(self):
+        assert DATASET_REGISTRY["sift1m"].paper_size == 1_000_000
+        assert DATASET_REGISTRY["sift1b"].paper_size == 1_000_000_000
+        assert DATASET_REGISTRY["glove2.2m"].paper_size == 2_196_017
+
+    def test_scaled_defaults_are_tractable(self):
+        for spec in DATASET_REGISTRY.values():
+            assert spec.default_size <= 50_000
+            assert spec.default_query_size <= 500
+
+
+class TestLoadDataset:
+    def test_default_load(self):
+        ds = load_dataset("sift1m", size=500, n_queries=20, seed=0)
+        assert ds.base.shape == (500, 128)
+        assert ds.queries.shape == (20, 128)
+        assert ds.dim == 128
+        assert ds.name == "sift1m"
+
+    def test_name_normalization(self):
+        ds = load_dataset("Sift1M", size=100, n_queries=5)
+        assert ds.name == "sift1m"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("imagenet")
+
+    def test_deterministic(self):
+        a = load_dataset("deep1m", size=200, n_queries=10, seed=4)
+        b = load_dataset("deep1m", size=200, n_queries=10, seed=4)
+        np.testing.assert_array_equal(a.base, b.base)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_queries_not_duplicates_of_base(self):
+        ds = load_dataset("sift1m", size=300, n_queries=20, seed=1)
+        from repro.distance.kernels import pairwise_squared_l2
+
+        nearest = pairwise_squared_l2(ds.queries, ds.base).min(axis=1)
+        assert float(nearest.min()) > 0.0
+
+    def test_queries_same_distribution(self):
+        """Query norms should be statistically similar to base norms."""
+        ds = load_dataset("glove1.2m", size=2000, n_queries=200, seed=2)
+        base_med = float(np.median(np.linalg.norm(ds.base, axis=1)))
+        query_med = float(np.median(np.linalg.norm(ds.queries, axis=1)))
+        assert 0.5 < query_med / base_med < 2.0
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            load_dataset("sift1m", size=0)
+        with pytest.raises(ValueError):
+            load_dataset("sift1m", size=10, n_queries=0)
+
+    @pytest.mark.parametrize("name", available_datasets())
+    def test_every_dataset_loads(self, name):
+        ds = load_dataset(name, size=100, n_queries=5, seed=0)
+        assert ds.base.shape == (100, DATASET_REGISTRY[name].paper_dim)
+        assert np.isfinite(ds.base).all()
+        assert np.isfinite(ds.queries).all()

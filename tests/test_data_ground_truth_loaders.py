@@ -1,0 +1,71 @@
+"""Unit tests for repro.data.ground_truth and repro.data.loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data.ground_truth import exact_knn
+from repro.data.loaders import read_fvecs, read_ivecs, write_fvecs, write_ivecs
+from repro.data.synthetic import uniform_gaussian
+
+
+class TestExactKnn:
+    def test_shapes(self):
+        base = uniform_gaussian(100, 8, seed=0)
+        queries = uniform_gaussian(10, 8, seed=1)
+        dist, ids = exact_knn(base, queries, k=5)
+        assert dist.shape == (10, 5)
+        assert ids.shape == (10, 5)
+
+    def test_self_query_finds_itself(self):
+        base = uniform_gaussian(50, 8, seed=2)
+        _, ids = exact_knn(base, base[:5], k=1)
+        np.testing.assert_array_equal(ids[:, 0], np.arange(5))
+
+    def test_inner_product_metric(self):
+        base = np.array([[1.0, 0.0], [3.0, 0.0]], dtype=np.float32)
+        _, ids = exact_knn(base, np.array([[1.0, 0.0]]), k=1, metric="ip")
+        assert ids[0, 0] == 1
+
+
+class TestFvecsRoundTrip:
+    def test_float_round_trip(self, tmp_path):
+        data = uniform_gaussian(20, 7, seed=0)
+        path = tmp_path / "vectors.fvecs"
+        write_fvecs(path, data)
+        loaded = read_fvecs(path)
+        np.testing.assert_array_equal(loaded, data)
+        assert loaded.dtype == np.float32
+
+    def test_int_round_trip(self, tmp_path):
+        data = np.arange(24, dtype=np.int32).reshape(4, 6)
+        path = tmp_path / "ids.ivecs"
+        write_ivecs(path, data)
+        loaded = read_ivecs(path)
+        np.testing.assert_array_equal(loaded, data)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fvecs"
+        path.write_bytes(b"")
+        assert read_fvecs(path).size == 0
+
+    def test_corrupt_dimension_raises(self, tmp_path):
+        path = tmp_path / "bad.fvecs"
+        np.array([-3, 0, 0], dtype=np.int32).tofile(path)
+        with pytest.raises(ValueError, match="invalid leading dimension"):
+            read_fvecs(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "truncated.fvecs"
+        np.array([4, 0, 0], dtype=np.int32).tofile(path)
+        with pytest.raises(ValueError, match="not a multiple"):
+            read_fvecs(path)
+
+    def test_inconsistent_rows_raise(self, tmp_path):
+        path = tmp_path / "mixed.fvecs"
+        np.array([2, 0, 0, 3, 0, 0], dtype=np.int32).tofile(path)
+        with pytest.raises(ValueError, match="inconsistent"):
+            read_fvecs(path)
+
+    def test_zero_dim_write_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="zero-dimensional"):
+            write_fvecs(tmp_path / "x.fvecs", np.empty((3, 0)))

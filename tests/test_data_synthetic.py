@@ -1,0 +1,149 @@
+"""Unit tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    correlated_walk,
+    gaussian_blobs,
+    heavy_tailed_embeddings,
+    perturbed_queries,
+    uniform_gaussian,
+)
+
+
+class TestUniformGaussian:
+    def test_shape_and_dtype(self):
+        x = uniform_gaussian(100, 16, seed=0)
+        assert x.shape == (100, 16)
+        assert x.dtype == np.float32
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            uniform_gaussian(50, 8, seed=1), uniform_gaussian(50, 8, seed=1)
+        )
+
+    def test_seed_changes_output(self):
+        assert not np.array_equal(
+            uniform_gaussian(50, 8, seed=1), uniform_gaussian(50, 8, seed=2)
+        )
+
+    def test_roughly_standard_normal(self):
+        x = uniform_gaussian(5000, 8, seed=3)
+        assert abs(float(x.mean())) < 0.05
+        assert abs(float(x.std()) - 1.0) < 0.05
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_gaussian(0, 8)
+        with pytest.raises(ValueError):
+            uniform_gaussian(10, 0)
+
+
+class TestGaussianBlobs:
+    def test_shape(self):
+        x = gaussian_blobs(200, 12, n_blobs=4, seed=0)
+        assert x.shape == (200, 12)
+
+    def test_clustered_structure(self):
+        """Blob data must be much more clusterable than iid noise."""
+        from repro.index.kmeans import KMeans
+
+        blobs = gaussian_blobs(400, 8, n_blobs=4, cluster_std=0.2, seed=1)
+        noise = uniform_gaussian(400, 8, seed=1)
+        blob_fit = KMeans(n_clusters=4, seed=0).fit(blobs)
+        noise_fit = KMeans(n_clusters=4, seed=0).fit(noise)
+        blob_ratio = blob_fit.inertia / float((blobs**2).sum())
+        noise_ratio = noise_fit.inertia / float((noise**2).sum())
+        assert blob_ratio < noise_ratio * 0.7
+
+    def test_uneven_populations(self):
+        """Dirichlet weights make blob sizes naturally unequal."""
+        x = gaussian_blobs(1000, 4, n_blobs=8, cluster_std=0.05, seed=2)
+        from repro.index.kmeans import KMeans
+
+        fit = KMeans(n_clusters=8, seed=0).fit(x)
+        counts = np.bincount(fit.assignments, minlength=8)
+        assert counts.max() > 2 * max(counts.min(), 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gaussian_blobs(10, 4, n_blobs=0)
+        with pytest.raises(ValueError):
+            gaussian_blobs(10, 4, std_jitter=-1.0)
+
+
+class TestCorrelatedWalk:
+    def test_shape(self):
+        x = correlated_walk(50, 64, seed=0)
+        assert x.shape == (50, 64)
+
+    def test_adjacent_dims_correlated(self):
+        x = correlated_walk(2000, 32, smoothness=0.95, envelope=0.0, seed=1)
+        corr = np.corrcoef(x[:, 10], x[:, 11])[0, 1]
+        assert corr > 0.7
+
+    def test_envelope_concentrates_variance_early(self):
+        x = correlated_walk(1000, 64, envelope=3.0, seed=2)
+        first_half = float((x[:, :32] ** 2).sum())
+        second_half = float((x[:, 32:] ** 2).sum())
+        assert first_half > 3 * second_half
+
+    def test_class_structure(self):
+        x = correlated_walk(300, 32, n_classes=4, noise_scale=0.1, seed=3)
+        from repro.index.kmeans import KMeans
+
+        fit = KMeans(n_clusters=4, seed=0).fit(x)
+        ratio = fit.inertia / float((x**2).sum())
+        assert ratio < 0.2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            correlated_walk(10, 8, smoothness=1.0)
+        with pytest.raises(ValueError):
+            correlated_walk(10, 8, envelope=-1.0)
+        with pytest.raises(ValueError):
+            correlated_walk(10, 8, n_classes=0)
+
+
+class TestHeavyTailedEmbeddings:
+    def test_shape(self):
+        x = heavy_tailed_embeddings(100, 20, seed=0)
+        assert x.shape == (100, 20)
+
+    def test_heavy_tailed_norms(self):
+        """Norm distribution should have a heavier tail than Gaussian."""
+        x = heavy_tailed_embeddings(3000, 16, tail=0.8, seed=1)
+        norms = np.linalg.norm(x, axis=1)
+        ratio = float(np.percentile(norms, 99) / np.median(norms))
+        g = uniform_gaussian(3000, 16, seed=1)
+        g_ratio = float(
+            np.percentile(np.linalg.norm(g, axis=1), 99)
+            / np.median(np.linalg.norm(g, axis=1))
+        )
+        assert ratio > 1.5 * g_ratio
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            heavy_tailed_embeddings(10, 8, n_directions=0)
+
+
+class TestPerturbedQueries:
+    def test_shape(self):
+        base = uniform_gaussian(100, 8, seed=0)
+        q = perturbed_queries(base, 25, seed=1)
+        assert q.shape == (25, 8)
+
+    def test_queries_near_base(self):
+        base = uniform_gaussian(200, 8, seed=0)
+        q = perturbed_queries(base, 30, noise_scale=0.01, seed=1)
+        from repro.distance.kernels import pairwise_squared_l2
+
+        nearest = pairwise_squared_l2(q, base).min(axis=1)
+        assert float(nearest.max()) < 0.1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            perturbed_queries(np.empty((0, 4)), 5)
+        with pytest.raises(ValueError):
+            perturbed_queries(np.ones((10, 4)), 0)

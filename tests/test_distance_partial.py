@@ -1,0 +1,165 @@
+"""Unit tests for repro.distance.partial (dimension slices, monotonicity)."""
+
+import numpy as np
+import pytest
+
+from repro.distance.metrics import inner_product, squared_l2
+from repro.distance.partial import (
+    DimensionSlices,
+    partial_inner_product,
+    partial_squared_l2,
+    remaining_ip_bound,
+    slice_norms,
+)
+
+
+class TestDimensionSlices:
+    def test_even_split(self):
+        slices = DimensionSlices.even(128, 4)
+        assert slices.n_slices == 4
+        assert slices.dim == 128
+        assert slices.widths() == (32, 32, 32, 32)
+
+    def test_uneven_split_spreads_remainder(self):
+        slices = DimensionSlices.even(10, 3)
+        assert slices.widths() == (4, 3, 3)
+        assert sum(slices.widths()) == 10
+
+    def test_single_slice(self):
+        slices = DimensionSlices.even(7, 1)
+        assert slices.slice_range(0) == (0, 7)
+
+    def test_ranges_are_contiguous_cover(self):
+        slices = DimensionSlices.even(100, 7)
+        prev_stop = 0
+        for j in range(slices.n_slices):
+            start, stop = slices.slice_range(j)
+            assert start == prev_stop
+            prev_stop = stop
+        assert prev_stop == 100
+
+    def test_take_restricts_last_axis(self):
+        slices = DimensionSlices.even(8, 2)
+        x = np.arange(16).reshape(2, 8)
+        np.testing.assert_array_equal(slices.take(x, 1), x[:, 4:])
+
+    def test_more_slices_than_dims_raises(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            DimensionSlices.even(3, 4)
+
+    def test_zero_slices_raises(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            DimensionSlices.even(8, 0)
+
+    def test_invalid_boundaries_raise(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DimensionSlices((0, 5, 5, 10))
+        with pytest.raises(ValueError, match="first boundary"):
+            DimensionSlices((1, 5))
+        with pytest.raises(ValueError, match="at least one slice"):
+            DimensionSlices((0,))
+
+
+class TestPartialSquaredL2:
+    def test_partials_sum_to_full(self):
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((30, 24))
+        query = rng.standard_normal(24)
+        slices = DimensionSlices.even(24, 3)
+        total = sum(
+            partial_squared_l2(slices.take(base, j), slices.take(query, j))
+            for j in range(3)
+        )
+        np.testing.assert_allclose(total, squared_l2(base, query), rtol=1e-9)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        base = rng.standard_normal((50, 8))
+        out = partial_squared_l2(base, rng.standard_normal(8))
+        assert np.all(out >= 0.0)
+
+    def test_running_sum_monotone(self):
+        """The property early-stop pruning relies on (paper Section 3.1)."""
+        rng = np.random.default_rng(2)
+        base = rng.standard_normal((20, 32))
+        query = rng.standard_normal(32)
+        slices = DimensionSlices.even(32, 4)
+        acc = np.zeros(20)
+        for j in range(4):
+            prev = acc.copy()
+            acc = acc + partial_squared_l2(
+                slices.take(base, j), slices.take(query, j)
+            )
+            assert np.all(acc >= prev)
+
+
+class TestPartialInnerProduct:
+    def test_partials_sum_to_full(self):
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal((25, 20))
+        query = rng.standard_normal(20)
+        slices = DimensionSlices.even(20, 5)
+        total = sum(
+            partial_inner_product(slices.take(base, j), slices.take(query, j))
+            for j in range(5)
+        )
+        np.testing.assert_allclose(total, inner_product(base, query), rtol=1e-9)
+
+
+class TestSliceNorms:
+    def test_shape(self):
+        rng = np.random.default_rng(4)
+        base = rng.standard_normal((10, 12))
+        slices = DimensionSlices.even(12, 3)
+        norms = slice_norms(base, slices)
+        assert norms.shape == (10, 3)
+
+    def test_values(self):
+        base = np.array([[3.0, 4.0, 1.0, 0.0]])
+        slices = DimensionSlices.even(4, 2)
+        norms = slice_norms(base, slices)
+        np.testing.assert_allclose(norms, [[5.0, 1.0]])
+
+    def test_pythagoras(self):
+        """Slice norms recombine into the full norm."""
+        rng = np.random.default_rng(5)
+        base = rng.standard_normal((15, 16))
+        slices = DimensionSlices.even(16, 4)
+        norms = slice_norms(base, slices)
+        recombined = np.sqrt((norms**2).sum(axis=1))
+        np.testing.assert_allclose(
+            recombined, np.linalg.norm(base, axis=1), rtol=1e-9
+        )
+
+
+class TestRemainingIpBound:
+    def test_bound_dominates_remaining_dot(self):
+        """Cauchy-Schwarz: the bound must cap the true remaining dot."""
+        rng = np.random.default_rng(6)
+        base = rng.standard_normal((40, 24))
+        query = rng.standard_normal(24)
+        slices = DimensionSlices.even(24, 4)
+        base_norms = slice_norms(base, slices)
+        query_norms = np.array(
+            [np.linalg.norm(slices.take(query, j)) for j in range(4)]
+        )
+        done = [0, 2]
+        bound = remaining_ip_bound(base_norms, query_norms, done, 4)
+        true_remaining = sum(
+            partial_inner_product(slices.take(base, j), slices.take(query, j))
+            for j in (1, 3)
+        )
+        assert np.all(np.abs(true_remaining) <= bound + 1e-9)
+
+    def test_all_done_gives_zero(self):
+        norms = np.ones((5, 3))
+        out = remaining_ip_bound(norms, np.ones(3), [0, 1, 2], 3)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_none_done_uses_all_slices(self):
+        norms = np.ones((2, 3))
+        out = remaining_ip_bound(norms, np.ones(3), [], 3)
+        # The bound carries a tiny conservative inflation (see
+        # remaining_ip_bound) so it can never round below the true dot.
+        np.testing.assert_allclose(out, 3.0, rtol=1e-6)
+        assert np.all(out >= 3.0)

@@ -1,0 +1,82 @@
+"""Tests for distributed (data-parallel) k-means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.data.synthetic import gaussian_blobs
+from repro.index.distributed_kmeans import DistributedKMeans
+from repro.index.kmeans import KMeans
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_blobs(1200, 16, n_blobs=8, cluster_std=0.3, seed=14)
+
+
+class TestCorrectness:
+    def test_output_shapes(self, data):
+        result, report = DistributedKMeans(8, Cluster(4), seed=0).fit(data)
+        assert result.centroids.shape == (8, 16)
+        assert result.assignments.shape == (1200,)
+        assert report.n_iterations >= 1
+
+    def test_assignments_are_nearest_centroid(self, data):
+        from repro.distance.kernels import pairwise_squared_l2
+
+        result, _ = DistributedKMeans(8, Cluster(4), seed=0).fit(data)
+        distances = pairwise_squared_l2(data, result.centroids)
+        np.testing.assert_array_equal(
+            result.assignments, np.argmin(distances, axis=1)
+        )
+
+    def test_quality_matches_single_node(self, data):
+        """Data-parallel Lloyd is mathematically the same algorithm, so
+        inertia must land in the same ballpark as the single-node fit."""
+        single = KMeans(n_clusters=8, seed=0, max_train_points=10**9).fit(data)
+        distributed, _ = DistributedKMeans(8, Cluster(4), seed=0).fit(data)
+        assert distributed.inertia <= single.inertia * 1.25
+
+    def test_deterministic(self, data):
+        a, _ = DistributedKMeans(8, Cluster(4), seed=5).fit(data)
+        b, _ = DistributedKMeans(8, Cluster(4), seed=5).fit(data)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_worker_count_does_not_change_result(self, data):
+        """Partial-sum reduction is exact: the fitted model is identical
+        whatever the worker count (up to fp summation order)."""
+        two, _ = DistributedKMeans(8, Cluster(2), seed=0).fit(data)
+        eight, _ = DistributedKMeans(8, Cluster(8), seed=0).fit(data)
+        np.testing.assert_allclose(
+            two.centroids, eight.centroids, rtol=1e-4, atol=1e-5
+        )
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError, match="cannot fit"):
+            DistributedKMeans(10, Cluster(2)).fit(np.ones((5, 4)))
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            DistributedKMeans(0, Cluster(2))
+
+
+class TestScaling:
+    def test_more_workers_train_faster(self, data):
+        _, two = DistributedKMeans(8, Cluster(2), seed=0).fit(data)
+        _, eight = DistributedKMeans(8, Cluster(8), seed=0).fit(data)
+        assert eight.simulated_seconds < two.simulated_seconds
+
+    def test_communication_accounted(self, data):
+        cluster = Cluster(4)
+        _, report = DistributedKMeans(8, cluster, seed=0).fit(data)
+        assert report.broadcast_bytes > 0
+        assert report.reduce_bytes > 0
+        assert cluster.breakdown().communication > 0
+
+    def test_broadcast_scales_with_workers_and_iterations(self, data):
+        _, report = DistributedKMeans(8, Cluster(4), seed=0).fit(data)
+        per_round = 4  # workers
+        assert (
+            report.broadcast_bytes
+            >= report.n_iterations * per_round * 8 * 16 * 4
+        )

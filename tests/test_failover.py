@@ -1,0 +1,126 @@
+"""Fault-tolerance tests: worker failure and replica failover."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import CLIENT_NODE, Cluster
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.index.ivf import IVFFlatIndex
+
+
+@pytest.fixture()
+def reference(tiny_data, tiny_queries):
+    index = IVFFlatIndex(dim=32, nlist=16, seed=0)
+    index.train(tiny_data)
+    index.add(tiny_data)
+    _, ids = index.search(tiny_queries, k=5, nprobe=4)
+    return index, ids
+
+
+def deploy(index, queries, replicas, mode=Mode.VECTOR):
+    return HarmonyDB.from_trained_index(
+        index,
+        config=HarmonyConfig(
+            n_machines=4,
+            nlist=16,
+            nprobe=4,
+            mode=mode,
+            replicas=replicas,
+        ),
+        cluster=Cluster(4),
+        sample_queries=queries,
+    )
+
+
+class TestClusterFailureApi:
+    def test_fail_and_restore(self):
+        cluster = Cluster(4)
+        cluster.fail_worker(2)
+        assert cluster.is_failed(2)
+        assert cluster.failed_workers == frozenset({2})
+        cluster.restore_worker(2)
+        assert not cluster.is_failed(2)
+
+    def test_client_cannot_fail(self):
+        with pytest.raises(ValueError, match="client"):
+            Cluster(4).fail_worker(CLIENT_NODE)
+
+    def test_invalid_id(self):
+        with pytest.raises(IndexError):
+            Cluster(4).fail_worker(9)
+
+    def test_restore_unfailed_noop(self):
+        Cluster(4).restore_worker(1)
+
+
+class TestFailover:
+    def test_without_replicas_failure_is_fatal(
+        self, reference, tiny_queries
+    ):
+        index, _ = reference
+        db = deploy(index, tiny_queries, replicas=1)
+        db.cluster.fail_worker(0)
+        with pytest.raises(RuntimeError, match="no live replica"):
+            db.search(tiny_queries, k=5)
+
+    def test_with_replicas_results_stay_exact(
+        self, reference, tiny_queries
+    ):
+        index, ref_ids = reference
+        db = deploy(index, tiny_queries, replicas=2)
+        db.cluster.fail_worker(0)
+        result, report = db.search(tiny_queries, k=5)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+        # The failed worker did no computation.
+        assert report.worker_loads[0] == 0.0
+
+    def test_dimension_mode_failover(self, reference, tiny_queries):
+        index, ref_ids = reference
+        db = deploy(index, tiny_queries, replicas=2, mode=Mode.DIMENSION)
+        db.cluster.fail_worker(2)
+        result, report = db.search(tiny_queries, k=5)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+        assert report.worker_loads[2] == 0.0
+
+    def test_survives_r_minus_one_failures(self, reference, tiny_queries):
+        index, ref_ids = reference
+        db = deploy(index, tiny_queries, replicas=4)
+        for worker in (0, 1, 2):
+            db.cluster.fail_worker(worker)
+        result, report = db.search(tiny_queries, k=5)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+        assert report.worker_loads[3] > 0
+        np.testing.assert_allclose(report.worker_loads[:3], 0.0)
+
+    def test_too_many_failures_fatal(self, reference, tiny_queries):
+        index, _ = reference
+        db = deploy(index, tiny_queries, replicas=2)
+        db.cluster.fail_worker(0)
+        db.cluster.fail_worker(1)
+        db.cluster.fail_worker(2)
+        with pytest.raises(RuntimeError, match="no live replica"):
+            db.search(tiny_queries, k=5)
+
+    def test_restore_rebalances(self, reference, tiny_queries):
+        index, ref_ids = reference
+        db = deploy(index, tiny_queries, replicas=2)
+        db.cluster.fail_worker(0)
+        db.search(tiny_queries, k=5)
+        db.cluster.restore_worker(0)
+        result, report = db.search(tiny_queries, k=5)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+        assert report.worker_loads[0] > 0
+
+    def test_failover_degrades_gracefully(self, medium_data, medium_queries):
+        """Losing a worker costs throughput but not much more than the
+        lost capacity share."""
+        index = IVFFlatIndex(dim=48, nlist=16, seed=0)
+        index.train(medium_data)
+        index.add(medium_data)
+        db = deploy(index, medium_queries, replicas=2)
+        _, healthy = db.search(medium_queries, k=5)
+        db.cluster.fail_worker(1)
+        _, degraded = db.search(medium_queries, k=5)
+        assert degraded.qps < healthy.qps
+        assert degraded.qps > healthy.qps * 0.4  # 3 of 4 workers remain

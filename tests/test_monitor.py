@@ -1,0 +1,104 @@
+"""Tests for the workload drift monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.core.monitor import DriftMonitor
+from repro.data.synthetic import gaussian_blobs
+from repro.workload.generators import skewed_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = gaussian_blobs(2500, 48, n_blobs=12, cluster_std=0.45, seed=8)
+    queries = gaussian_blobs(2800, 48, n_blobs=12, cluster_std=0.45, seed=8)[2500:]
+    db = HarmonyDB(
+        dim=48,
+        config=HarmonyConfig(
+            n_machines=4, nlist=16, nprobe=4, mode=Mode.HARMONY, seed=0
+        ),
+    )
+    db.build(data, sample_queries=queries[:64])
+    return db, queries
+
+
+class TestConstruction:
+    def test_requires_built_db(self):
+        with pytest.raises(RuntimeError, match="built"):
+            DriftMonitor(HarmonyDB(dim=8))
+
+    def test_invalid_params(self, setup):
+        db, _ = setup
+        with pytest.raises(ValueError):
+            DriftMonitor(db, window=0)
+        with pytest.raises(ValueError):
+            DriftMonitor(db, imbalance_threshold=-1.0)
+        with pytest.raises(ValueError):
+            DriftMonitor(db, window=10, min_observations=20)
+
+
+class TestObservation:
+    def test_window_bounded(self, setup):
+        db, queries = setup
+        monitor = DriftMonitor(db, window=50, min_observations=25)
+        for _ in range(4):
+            monitor.observe(queries[:30])
+        assert monitor.status().n_observed == 50
+
+    def test_no_judgment_before_min_observations(self, setup):
+        db, queries = setup
+        monitor = DriftMonitor(db, min_observations=64, window=256)
+        monitor.observe(queries[:10])
+        status = monitor.status()
+        assert not status.drifted
+        assert status.imbalance == 0.0
+
+
+class TestDriftDetection:
+    def test_uniform_traffic_no_replan(self, setup):
+        db, queries = setup
+        monitor = DriftMonitor(
+            db, window=128, min_observations=64, imbalance_threshold=0.5
+        )
+        monitor.observe(queries[:128])
+        assert not monitor.maybe_replan()
+        assert monitor.replan_count == 0
+
+    def test_skewed_traffic_triggers_replan_and_balances(self, setup):
+        db, queries = setup
+        # Rebuild on a uniform sample so the starting plan is generic.
+        db.replan(queries[:64])
+        hot = skewed_workload(
+            queries, db.index, 128, skew=1.0, nprobe=4,
+            n_hot_lists=1, seed=9,
+        )
+        monitor = DriftMonitor(
+            db, window=128, min_observations=64, imbalance_threshold=0.05
+        )
+        monitor.observe(hot.queries)
+        before = monitor.status()
+        if before.drifted:
+            assert monitor.maybe_replan()
+            assert monitor.replan_count == 1
+            after = monitor.status()
+            assert after.imbalance <= before.imbalance + 1e-9
+        else:
+            # The starting plan already handles this skew; nothing to do.
+            assert not monitor.maybe_replan()
+
+    def test_replan_keeps_results_exact(self, setup):
+        db, queries = setup
+        hot = skewed_workload(
+            queries, db.index, 128, skew=1.0, nprobe=4,
+            n_hot_lists=1, seed=10,
+        )
+        monitor = DriftMonitor(
+            db, window=128, min_observations=64, imbalance_threshold=0.0
+        )
+        monitor.observe(hot.queries)
+        monitor.maybe_replan()
+        result, _ = db.search(queries[:40], k=5)
+        _, ref_ids = db.index.search(queries[:40], k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_ids)

@@ -1,0 +1,142 @@
+"""Tests for streaming inserts and deletes (index + HarmonyDB)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.data.synthetic import gaussian_blobs
+from repro.index.ivf import IVFFlatIndex
+
+
+@pytest.fixture()
+def index(tiny_data):
+    ix = IVFFlatIndex(dim=32, nlist=16, seed=0)
+    ix.train(tiny_data)
+    ix.add(tiny_data)
+    return ix
+
+
+class TestIndexDeletes:
+    def test_remove_reduces_nlive(self, index):
+        assert index.nlive == index.ntotal
+        removed = index.remove_ids(np.array([0, 1, 2]))
+        assert removed == 3
+        assert index.nlive == index.ntotal - 3
+
+    def test_remove_idempotent(self, index):
+        index.remove_ids(np.array([5]))
+        assert index.remove_ids(np.array([5])) == 0
+
+    def test_remove_out_of_range_raises(self, index):
+        with pytest.raises(IndexError):
+            index.remove_ids(np.array([index.ntotal]))
+        with pytest.raises(IndexError):
+            index.remove_ids(np.array([-1]))
+
+    def test_remove_empty_noop(self, index):
+        assert index.remove_ids(np.empty(0, dtype=np.int64)) == 0
+
+    def test_deleted_never_in_results(self, index, tiny_queries):
+        _, ids_before = index.search(tiny_queries, k=5, nprobe=16)
+        victims = np.unique(ids_before[ids_before >= 0])[:20]
+        index.remove_ids(victims)
+        _, ids_after = index.search(tiny_queries, k=5, nprobe=16)
+        assert not (set(ids_after[ids_after >= 0]) & set(victims))
+
+    def test_deleted_excluded_from_lists(self, index):
+        target = index.list_members(0)[0]
+        index.remove_ids(np.array([target]))
+        assert target not in index.list_members(0)
+        assert target not in index.candidates(np.array([0]))
+
+    def test_list_sizes_reflect_deletes(self, index):
+        before = index.list_sizes().sum()
+        index.remove_ids(np.arange(10))
+        assert index.list_sizes().sum() == before - 10
+
+    def test_is_deleted_flags(self, index):
+        index.remove_ids(np.array([3]))
+        flags = index.is_deleted(np.array([2, 3, 4]))
+        np.testing.assert_array_equal(flags, [False, True, False])
+
+    def test_delete_all_of_a_list(self, index, tiny_queries):
+        index.remove_ids(index.list_members(0))
+        assert index.list_members(0).size == 0
+        # Search still works.
+        _, ids = index.search(tiny_queries, k=5, nprobe=16)
+        assert ids.shape == (len(tiny_queries), 5)
+
+
+class TestHarmonyDBMutations:
+    @pytest.fixture()
+    def db(self, tiny_data, tiny_queries):
+        db = HarmonyDB(
+            dim=32, config=HarmonyConfig(n_machines=4, nlist=16, nprobe=4)
+        )
+        db.build(tiny_data, sample_queries=tiny_queries)
+        return db
+
+    def test_add_before_build_raises(self):
+        db = HarmonyDB(dim=8)
+        with pytest.raises(RuntimeError, match="build"):
+            db.add(np.ones((2, 8)))
+
+    def test_remove_before_build_raises(self):
+        db = HarmonyDB(dim=8)
+        with pytest.raises(RuntimeError, match="build"):
+            db.remove(np.array([0]))
+
+    def test_add_visible_and_exact(self, db, tiny_queries):
+        extra = gaussian_blobs(50, 32, n_blobs=8, seed=99)
+        db.add(extra)
+        assert db.ntotal == 450
+        result, _ = db.search(tiny_queries, k=5)
+        _, ref_ids = db.index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+
+    def test_added_vector_findable(self, db):
+        # A far-away vector added post-build must be its own nearest hit.
+        outlier = np.full((1, 32), 40.0, dtype=np.float32)
+        db.add(outlier)
+        new_id = db.ntotal - 1
+        result, _ = db.search(outlier, k=1)
+        assert result.ids[0, 0] == new_id
+
+    def test_remove_excluded_and_exact(self, db, tiny_queries):
+        result, _ = db.search(tiny_queries, k=5)
+        victims = np.unique(result.ids[result.ids >= 0])[:15]
+        removed = db.remove(victims)
+        assert removed == 15
+        after, _ = db.search(tiny_queries, k=5)
+        assert not (set(after.ids[after.ids >= 0]) & set(victims))
+        _, ref_ids = db.index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(after.ids, ref_ids)
+
+    def test_remove_nothing_skips_refresh(self, db):
+        db.remove(np.empty(0, dtype=np.int64))  # no error, no effect
+
+    def test_add_updates_placement_memory(self, db):
+        before = db.index_memory_report()["total_bytes"]
+        db.add(gaussian_blobs(200, 32, n_blobs=8, seed=98))
+        after = db.index_memory_report()["total_bytes"]
+        assert after > before
+
+    def test_mutations_keep_all_modes_consistent(
+        self, tiny_data, tiny_queries
+    ):
+        dbs = {}
+        for mode in (Mode.VECTOR, Mode.DIMENSION):
+            db = HarmonyDB(
+                dim=32,
+                config=HarmonyConfig(
+                    n_machines=4, nlist=16, nprobe=4, mode=mode
+                ),
+            )
+            db.build(tiny_data, sample_queries=tiny_queries)
+            db.add(gaussian_blobs(30, 32, n_blobs=8, seed=77))
+            db.remove(np.arange(5))
+            dbs[mode] = db.search(tiny_queries, k=5)[0]
+        np.testing.assert_array_equal(
+            dbs[Mode.VECTOR].ids, dbs[Mode.DIMENSION].ids
+        )

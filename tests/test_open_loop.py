@@ -1,0 +1,91 @@
+"""Tests for open-loop (arrival-time) query execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HarmonyConfig
+from repro.core.database import HarmonyDB
+from repro.workload.generators import poisson_arrivals
+
+
+@pytest.fixture()
+def db(tiny_data, tiny_queries):
+    db = HarmonyDB(
+        dim=32, config=HarmonyConfig(n_machines=4, nlist=16, nprobe=4)
+    )
+    db.build(tiny_data, sample_queries=tiny_queries)
+    return db
+
+
+class TestPoissonArrivals:
+    def test_ascending_from_zero(self):
+        arr = poisson_arrivals(100, rate_qps=1000, seed=0)
+        assert arr[0] == 0.0
+        assert np.all(np.diff(arr) >= 0)
+
+    def test_mean_rate_approximate(self):
+        arr = poisson_arrivals(5000, rate_qps=1000, seed=1)
+        measured = (len(arr) - 1) / arr[-1]
+        assert 0.9 * 1000 < measured < 1.1 * 1000
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            poisson_arrivals(50, 100, seed=2), poisson_arrivals(50, 100, seed=2)
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 100)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0)
+
+
+class TestOpenLoopExecution:
+    def test_results_identical_to_closed_loop(self, db, tiny_queries):
+        closed, _ = db.search(tiny_queries, k=5)
+        arrivals = poisson_arrivals(len(tiny_queries), 1000, seed=3)
+        open_, _ = db.search(tiny_queries, k=5, arrival_times=arrivals)
+        np.testing.assert_array_equal(closed.ids, open_.ids)
+        np.testing.assert_allclose(closed.distances, open_.distances)
+
+    def test_latency_excludes_idle_wait(self, db, tiny_queries):
+        """At a trickle rate, per-query latency is the service time, not
+        the inter-arrival spacing."""
+        arrivals = poisson_arrivals(len(tiny_queries), 100, seed=4)  # 10 ms apart
+        _, report = db.search(tiny_queries, k=5, arrival_times=arrivals)
+        assert report.mean_latency < 5e-3
+
+    def test_latency_grows_past_saturation(self, db, tiny_queries):
+        _, closed = db.search(tiny_queries, k=5)
+        capacity = closed.qps
+        lats = []
+        for fraction in (0.2, 3.0):
+            arrivals = poisson_arrivals(
+                len(tiny_queries), capacity * fraction, seed=5
+            )
+            _, report = db.search(
+                tiny_queries, k=5, arrival_times=arrivals
+            )
+            lats.append(report.mean_latency)
+        assert lats[1] > lats[0]
+
+    def test_makespan_at_least_last_arrival(self, db, tiny_queries):
+        arrivals = poisson_arrivals(len(tiny_queries), 500, seed=6)
+        _, report = db.search(tiny_queries, k=5, arrival_times=arrivals)
+        assert report.simulated_seconds >= arrivals[-1]
+
+    def test_wrong_length_raises(self, db, tiny_queries):
+        with pytest.raises(ValueError, match="one arrival time per query"):
+            db.search(
+                tiny_queries, k=5, arrival_times=np.zeros(3)
+            )
+
+    def test_descending_raises(self, db, tiny_queries):
+        bad = np.linspace(1.0, 0.0, len(tiny_queries))
+        with pytest.raises(ValueError, match="ascending"):
+            db.search(tiny_queries, k=5, arrival_times=bad)
+
+    def test_negative_raises(self, db, tiny_queries):
+        bad = np.full(len(tiny_queries), -1.0)
+        with pytest.raises(ValueError, match="ascending"):
+            db.search(tiny_queries, k=5, arrival_times=bad)

@@ -1,0 +1,151 @@
+"""Performance-model regression pins.
+
+The simulated performance numbers carry the reproduction's scientific
+content, so changes to cost constants or engine scheduling must not
+silently move them. These tests pin the headline metrics inside
+generous bands: wide enough to survive benign refactors, tight enough
+to catch a broken rate, an accounting bug, or a scheduling regression.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import DEFAULT_COMPUTE_RATE, PHYSICAL_COMPUTE_RATE
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.data.synthetic import gaussian_blobs
+from repro.index.ivf import IVFFlatIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = gaussian_blobs(6000, 64, n_blobs=16, cluster_std=0.5, seed=37)
+    queries = gaussian_blobs(6060, 64, n_blobs=16, cluster_std=0.5, seed=37)[6000:]
+    index = IVFFlatIndex(dim=64, nlist=32, seed=0)
+    index.train(data)
+    index.add(data)
+    return index, queries
+
+
+def faiss_qps(index, queries, nprobe):
+    probes = index.probe(queries, nprobe)
+    candidates = sum(
+        index.candidates(probes[i]).size for i in range(len(queries))
+    )
+    seconds = (
+        candidates * index.dim / DEFAULT_COMPUTE_RATE
+        + len(queries) * index.nlist * index.dim / PHYSICAL_COMPUTE_RATE
+    )
+    return len(queries) / seconds
+
+
+def deploy_qps(index, queries, mode, nprobe=8, **overrides):
+    db = HarmonyDB.from_trained_index(
+        index,
+        config=HarmonyConfig(
+            n_machines=4,
+            nlist=index.nlist,
+            nprobe=nprobe,
+            mode=mode,
+            seed=0,
+            **overrides,
+        ),
+        cluster=Cluster(4),
+        sample_queries=queries,
+    )
+    _, report = db.search(queries, k=10)
+    return report
+
+
+class TestSpeedupBands:
+    def test_harmony_high_recall_band(self, setup):
+        """Paper headline: ~4.63x at high recall; pin [3, 12]."""
+        index, queries = setup
+        speedup = deploy_qps(index, queries, Mode.HARMONY).qps / faiss_qps(
+            index, queries, 8
+        )
+        assert 3.0 < speedup < 12.0, speedup
+
+    def test_vector_band(self, setup):
+        """Vector scales near the worker count; pin [1.5, 5]."""
+        index, queries = setup
+        speedup = deploy_qps(index, queries, Mode.VECTOR).qps / faiss_qps(
+            index, queries, 8
+        )
+        assert 1.5 < speedup < 5.0, speedup
+
+    def test_no_feature_beats_physics(self, setup):
+        """No configuration may exceed machines x best pruning factor."""
+        index, queries = setup
+        base = faiss_qps(index, queries, 8)
+        for mode in (Mode.HARMONY, Mode.VECTOR, Mode.DIMENSION):
+            speedup = deploy_qps(index, queries, mode).qps / base
+            assert speedup < 4 * 8, (mode, speedup)  # 4 nodes, <=8x pruning
+
+
+class TestAccountingBands:
+    def test_computation_dominates(self, setup):
+        """The paper's premise: distance computation is the dominant
+        cost (>60% of busy time) for every strategy."""
+        index, queries = setup
+        for mode in (Mode.HARMONY, Mode.VECTOR, Mode.DIMENSION):
+            report = deploy_qps(index, queries, mode)
+            fractions = report.breakdown.fractions()
+            assert fractions["computation"] > 0.6, (mode, fractions)
+
+    def test_pruning_ratio_band(self, setup):
+        """Clustered 64-dim data prunes 30-95% on average."""
+        index, queries = setup
+        report = deploy_qps(index, queries, Mode.DIMENSION)
+        ratio = report.pruning.average_ratio()
+        assert 0.3 < ratio < 0.95, ratio
+
+    def test_utilization_band(self, setup):
+        """Workers are well-utilized on a closed-loop batch (>40%)."""
+        index, queries = setup
+        report = deploy_qps(
+            index, queries, Mode.DIMENSION,
+            enable_pruning=False, prewarm_size=0,
+        )
+        assert report.worker_utilization().mean() > 0.4
+
+    def test_latency_band(self, setup):
+        """Per-query simulated latency sits in the paper's
+        milliseconds-matter regime (10us - 10ms)."""
+        index, queries = setup
+        report = deploy_qps(index, queries, Mode.HARMONY)
+        assert 1e-5 < report.mean_latency < 1e-2
+
+
+class TestSkewBands:
+    def test_vector_skew_penalty_band(self, setup):
+        """Adversarial skew costs vector partitioning 15-80% QPS."""
+        from repro.workload.generators import skewed_workload
+
+        index, queries = setup
+        db = HarmonyDB.from_trained_index(
+            index,
+            config=HarmonyConfig(
+                n_machines=4, nlist=32, nprobe=8, mode=Mode.VECTOR, seed=0
+            ),
+            cluster=Cluster(4),
+            sample_queries=queries,
+        )
+        sizes = index.list_sizes().astype(float)
+        hist = np.bincount(
+            index.probe(queries, 8).ravel(), minlength=32
+        ).astype(float)
+        mass = sizes * hist
+        shard_mass = [
+            mass[db.plan.lists_of_shard(s)].sum() for s in range(4)
+        ]
+        hot = db.plan.lists_of_shard(int(np.argmax(shard_mass)))
+        workload = skewed_workload(
+            queries, index, 60, skew=1.0, nprobe=8,
+            hot_list_ids=hot, seed=5,
+        )
+        _, balanced = db.search(queries, k=10)
+        _, skewed = db.search(workload.queries, k=10)
+        drop = 1.0 - skewed.qps / balanced.qps
+        assert 0.15 < drop < 0.8, drop

@@ -1,0 +1,129 @@
+"""Tests for index / deployment persistence (save & load)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.index.ivf import IVFFlatIndex
+
+
+class TestIndexPersistence:
+    def test_round_trip_results_identical(
+        self, trained_index, tiny_queries, tmp_path
+    ):
+        path = tmp_path / "index.npz"
+        trained_index.save(path)
+        loaded = IVFFlatIndex.load(path)
+        d1, i1 = trained_index.search(tiny_queries, k=5, nprobe=4)
+        d2, i2 = loaded.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(i1, i2)
+        np.testing.assert_allclose(d1, d2)
+
+    def test_round_trip_preserves_structure(self, trained_index, tmp_path):
+        path = tmp_path / "index.npz"
+        trained_index.save(path)
+        loaded = IVFFlatIndex.load(path)
+        assert loaded.dim == trained_index.dim
+        assert loaded.nlist == trained_index.nlist
+        assert loaded.ntotal == trained_index.ntotal
+        np.testing.assert_array_equal(
+            loaded.centroids, trained_index.centroids
+        )
+        for list_id in range(trained_index.nlist):
+            np.testing.assert_array_equal(
+                loaded.list_members(list_id),
+                trained_index.list_members(list_id),
+            )
+
+    def test_round_trip_preserves_deletes(
+        self, tiny_data, tiny_queries, tmp_path
+    ):
+        index = IVFFlatIndex(dim=32, nlist=16, seed=0)
+        index.train(tiny_data)
+        index.add(tiny_data)
+        index.remove_ids(np.arange(25))
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = IVFFlatIndex.load(path)
+        assert loaded.nlive == index.nlive
+        _, i1 = index.search(tiny_queries, k=5, nprobe=16)
+        _, i2 = loaded.search(tiny_queries, k=5, nprobe=16)
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_round_trip_build_stats(self, trained_index, tmp_path):
+        path = tmp_path / "index.npz"
+        trained_index.save(path)
+        loaded = IVFFlatIndex.load(path)
+        assert (
+            loaded.build_stats().train_elements
+            == trained_index.build_stats().train_elements
+        )
+
+    def test_save_untrained_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="untrained"):
+            IVFFlatIndex(dim=8, nlist=4).save(tmp_path / "x.npz")
+
+
+class TestDatabasePersistence:
+    @pytest.fixture()
+    def db(self, tiny_data, tiny_queries):
+        db = HarmonyDB(
+            dim=32,
+            config=HarmonyConfig(
+                n_machines=4, nlist=16, nprobe=4, mode=Mode.HARMONY
+            ),
+        )
+        db.build(tiny_data, sample_queries=tiny_queries)
+        return db
+
+    def test_round_trip_results_identical(self, db, tiny_queries, tmp_path):
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = HarmonyDB.load(path)
+        r1, _ = db.search(tiny_queries, k=5)
+        r2, _ = loaded.search(tiny_queries, k=5)
+        np.testing.assert_array_equal(r1.ids, r2.ids)
+        np.testing.assert_allclose(r1.distances, r2.distances)
+
+    def test_round_trip_preserves_plan(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = HarmonyDB.load(path)
+        assert loaded.plan.describe() == db.plan.describe()
+        np.testing.assert_array_equal(
+            loaded.plan.shard_of_list, db.plan.shard_of_list
+        )
+        np.testing.assert_array_equal(
+            loaded.plan.placement, db.plan.placement
+        )
+
+    def test_round_trip_preserves_config(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = HarmonyDB.load(path)
+        assert loaded.config.nprobe == db.config.nprobe
+        assert loaded.config.mode is db.config.mode
+        assert loaded.config.metric is db.config.metric
+
+    def test_loaded_db_supports_mutations(self, db, tiny_queries, tmp_path):
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = HarmonyDB.load(path)
+        loaded.remove(np.arange(5))
+        result, _ = loaded.search(tiny_queries, k=5)
+        _, ref_ids = loaded.index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+
+    def test_save_unbuilt_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="build"):
+            HarmonyDB(dim=8).save(tmp_path / "db.npz")
+
+    def test_load_onto_custom_cluster(self, db, tiny_queries, tmp_path):
+        from repro.cluster.cluster import Cluster
+
+        path = tmp_path / "db.npz"
+        db.save(path)
+        loaded = HarmonyDB.load(path, cluster=Cluster(8))
+        r, _ = loaded.search(tiny_queries, k=5)
+        assert r.ids.shape == (len(tiny_queries), 5)

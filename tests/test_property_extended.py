@@ -1,0 +1,221 @@
+"""Additional property-based tests: partitioning, cost model, engine on
+irregular machine counts and dimensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import (
+    assign_lists_balanced,
+    build_plan,
+    grid_shapes,
+    round_robin_placement,
+)
+
+
+class TestGridShapeProperties:
+    @given(n=st.integers(1, 64))
+    @settings(max_examples=64, deadline=None)
+    def test_every_shape_multiplies_to_n(self, n):
+        for b_vec, b_dim in grid_shapes(n):
+            assert b_vec * b_dim == n
+            assert b_vec >= 1 and b_dim >= 1
+
+    @given(n=st.integers(1, 64))
+    @settings(max_examples=64, deadline=None)
+    def test_extremes_always_present(self, n):
+        shapes = grid_shapes(n)
+        assert (n, 1) in shapes
+        assert (1, n) in shapes
+
+    @given(n=st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_shapes_sorted_and_unique(self, n):
+        shapes = grid_shapes(n)
+        assert shapes == sorted(set(shapes))
+
+
+class TestAssignmentProperties:
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        n_shards=st.integers(1, 12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_balanced_assignment_is_complete_and_in_range(
+        self, weights, n_shards
+    ):
+        assignment = assign_lists_balanced(np.array(weights), n_shards)
+        assert assignment.shape == (len(weights),)
+        assert assignment.min() >= 0
+        assert assignment.max() < n_shards
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+            min_size=8,
+            max_size=64,
+        ),
+        n_shards=st.integers(2, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_within_lpt_bound(self, weights, n_shards):
+        """Greedy LPT keeps the max shard within (4/3 - 1/3m) of ideal
+        plus one max item — we assert the coarser classical bound:
+        max_load <= mean_load + max_weight."""
+        w = np.array(weights)
+        assignment = assign_lists_balanced(w, n_shards)
+        shard_loads = np.zeros(n_shards)
+        np.add.at(shard_loads, assignment, w)
+        assert shard_loads.max() <= w.sum() / n_shards + w.max() + 1e-9
+
+    @given(
+        b_vec=st.integers(1, 8),
+        b_dim=st.integers(1, 8),
+        n_machines=st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_placement_in_range(self, b_vec, b_dim, n_machines):
+        placement = round_robin_placement(b_vec, b_dim, n_machines)
+        assert placement.shape == (b_vec, b_dim)
+        assert placement.min() >= 0
+        assert placement.max() < n_machines
+
+    @given(n_machines=st.integers(1, 16))
+    @settings(max_examples=16, deadline=None)
+    def test_exact_grid_uses_all_machines(self, n_machines):
+        for b_vec, b_dim in grid_shapes(n_machines):
+            placement = round_robin_placement(b_vec, b_dim, n_machines)
+            assert set(placement.ravel()) == set(range(n_machines))
+
+
+class TestEngineIrregularConfigs:
+    @pytest.mark.parametrize("n_machines", [2, 3, 5, 6, 7])
+    def test_prime_and_odd_machine_counts(
+        self, trained_index, tiny_queries, n_machines
+    ):
+        """Engine exactness for machine counts with awkward factorings."""
+        from repro.cluster.cluster import Cluster
+        from repro.core.config import HarmonyConfig, Mode
+        from repro.core.database import HarmonyDB
+
+        ref_d, ref_i = trained_index.search(tiny_queries, k=5, nprobe=4)
+        for mode in (Mode.HARMONY, Mode.VECTOR, Mode.DIMENSION):
+            db = HarmonyDB.from_trained_index(
+                trained_index,
+                config=HarmonyConfig(
+                    n_machines=n_machines, nlist=16, nprobe=4, mode=mode
+                ),
+                cluster=Cluster(n_machines),
+                sample_queries=tiny_queries,
+            )
+            result, _ = db.search(tiny_queries, k=5)
+            np.testing.assert_array_equal(result.ids, ref_i)
+
+    @pytest.mark.parametrize("dim", [5, 17, 33])
+    def test_dims_not_divisible_by_blocks(self, dim):
+        """Uneven dimension slices must stay lossless."""
+        from repro.cluster.cluster import Cluster
+        from repro.core.config import HarmonyConfig, Mode
+        from repro.core.database import HarmonyDB
+        from repro.data.synthetic import gaussian_blobs
+        from repro.index.ivf import IVFFlatIndex
+
+        data = gaussian_blobs(300, dim, n_blobs=4, seed=3)
+        queries = gaussian_blobs(310, dim, n_blobs=4, seed=3)[300:]
+        index = IVFFlatIndex(dim=dim, nlist=8, seed=0)
+        index.train(data)
+        index.add(data)
+        ref_d, ref_i = index.search(queries, k=3, nprobe=4)
+        db = HarmonyDB.from_trained_index(
+            index,
+            config=HarmonyConfig(
+                n_machines=4, nlist=8, nprobe=4, mode=Mode.DIMENSION
+            ),
+            cluster=Cluster(4),
+            sample_queries=queries,
+        )
+        result, _ = db.search(queries, k=3)
+        np.testing.assert_array_equal(result.ids, ref_i)
+
+    def test_more_machines_than_lists_grid(self, tiny_data, tiny_queries):
+        """A 16-machine grid over a 16-list index still works."""
+        from repro.cluster.cluster import Cluster
+        from repro.core.config import HarmonyConfig
+        from repro.core.database import HarmonyDB
+        from repro.index.ivf import IVFFlatIndex
+
+        index = IVFFlatIndex(dim=32, nlist=16, seed=0)
+        index.train(tiny_data)
+        index.add(tiny_data)
+        db = HarmonyDB.from_trained_index(
+            index,
+            config=HarmonyConfig(n_machines=16, nlist=16, nprobe=4),
+            cluster=Cluster(16),
+            sample_queries=tiny_queries,
+        )
+        result, _ = db.search(tiny_queries, k=5)
+        _, ref_i = index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_i)
+
+
+class TestSimulationInvariants:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_makespan_bounds(self, seed):
+        """Makespan >= any worker's busy time; breakdown >= makespan
+        is NOT required (overlap), but breakdown >= max busy is."""
+        from repro.cluster.cluster import Cluster
+        from repro.core.config import HarmonyConfig
+        from repro.core.database import HarmonyDB
+        from repro.data.synthetic import gaussian_blobs
+
+        data = gaussian_blobs(300, 16, n_blobs=4, seed=seed)
+        queries = gaussian_blobs(310, 16, n_blobs=4, seed=seed)[300:]
+        db = HarmonyDB(
+            dim=16,
+            config=HarmonyConfig(n_machines=4, nlist=8, nprobe=4, seed=0),
+            cluster=Cluster(4),
+        )
+        db.build(data, sample_queries=queries)
+        _, report = db.search(queries, k=3)
+        worker_busy = [
+            w.breakdown.total for w in db.cluster.workers
+        ]
+        assert report.simulated_seconds >= max(worker_busy) - 1e-12
+        assert report.simulated_seconds > 0
+        assert np.all(report.latencies <= report.simulated_seconds + 1e-12)
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_pruning_never_increases_computation(self, seed):
+        from repro.cluster.cluster import Cluster
+        from repro.core.config import HarmonyConfig, Mode
+        from repro.core.database import HarmonyDB
+        from repro.data.synthetic import gaussian_blobs
+
+        data = gaussian_blobs(400, 16, n_blobs=4, seed=seed)
+        queries = gaussian_blobs(420, 16, n_blobs=4, seed=seed)[400:]
+
+        def comp(pruning):
+            db = HarmonyDB(
+                dim=16,
+                config=HarmonyConfig(
+                    n_machines=4,
+                    nlist=8,
+                    nprobe=4,
+                    mode=Mode.DIMENSION,
+                    enable_pruning=pruning,
+                    seed=0,
+                ),
+                cluster=Cluster(4),
+            )
+            db.build(data, sample_queries=queries)
+            _, report = db.search(queries, k=3)
+            return report.breakdown.computation
+
+        assert comp(True) <= comp(False) + 1e-12

@@ -1,0 +1,136 @@
+"""Tests for grid-block replication."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import HarmonyConfig, Mode
+from repro.core.database import HarmonyDB
+from repro.core.partition import build_plan, replicated_placement
+
+
+class TestReplicatedPlacement:
+    def test_shape_and_primary_column(self, trained_index):
+        plan = build_plan(trained_index, 4, 4, 1, replicas=3)
+        assert plan.replicas == 3
+        assert plan.replica_placement.shape == (4, 1, 3)
+        np.testing.assert_array_equal(
+            plan.replica_placement[:, :, 0], plan.placement
+        )
+
+    def test_replicas_on_distinct_machines(self, trained_index):
+        plan = build_plan(trained_index, 4, 2, 2, replicas=4)
+        for shard in range(2):
+            for block in range(2):
+                machines = plan.replica_machines(shard, block)
+                assert len(set(machines.tolist())) == 4
+
+    def test_no_replication_default(self, trained_index):
+        plan = build_plan(trained_index, 4, 4, 1)
+        assert plan.replicas == 1
+        assert plan.replica_placement is None
+        machines = plan.replica_machines(0, 0)
+        assert machines.shape == (1,)
+        assert machines[0] == plan.machine_of(0, 0)
+
+    def test_too_many_replicas_raises(self):
+        with pytest.raises(ValueError, match="cannot place"):
+            replicated_placement(np.zeros((2, 1), dtype=np.int64), 2, 3)
+
+    def test_invalid_replica_count(self):
+        with pytest.raises(ValueError, match="positive"):
+            replicated_placement(np.zeros((2, 1), dtype=np.int64), 2, 0)
+
+    def test_mismatched_primary_column_rejected(self, trained_index):
+        from repro.core.partition import PartitionPlan
+        from repro.distance.partial import DimensionSlices
+
+        placement = np.array([[0], [1]], dtype=np.int64)
+        bad_replicas = np.array([[[1, 0]], [[0, 1]]], dtype=np.int64)
+        with pytest.raises(ValueError, match="must equal placement"):
+            PartitionPlan(
+                n_machines=2,
+                n_vector_shards=2,
+                n_dim_blocks=1,
+                slices=DimensionSlices.even(32, 1),
+                shard_of_list=np.zeros(16, dtype=np.int64),
+                placement=placement,
+                replica_placement=bad_replicas,
+            )
+
+
+class TestReplicatedExecution:
+    @pytest.mark.parametrize("mode", [Mode.VECTOR, Mode.DIMENSION])
+    @pytest.mark.parametrize("replicas", [2, 4])
+    def test_results_exact_with_replication(
+        self, tiny_data, tiny_queries, mode, replicas
+    ):
+        from repro.index.ivf import IVFFlatIndex
+
+        ref = IVFFlatIndex(dim=32, nlist=16, seed=0)
+        ref.train(tiny_data)
+        ref.add(tiny_data)
+        _, ref_ids = ref.search(tiny_queries, k=5, nprobe=4)
+        db = HarmonyDB(
+            dim=32,
+            config=HarmonyConfig(
+                n_machines=4, nlist=16, nprobe=4, mode=mode, replicas=replicas
+            ),
+        )
+        db.build(tiny_data, sample_queries=tiny_queries)
+        result, _ = db.search(tiny_queries, k=5)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+
+    def test_memory_scales_with_replicas(self, tiny_data, tiny_queries):
+        def per_node(replicas):
+            db = HarmonyDB(
+                dim=32,
+                config=HarmonyConfig(
+                    n_machines=4,
+                    nlist=16,
+                    nprobe=4,
+                    mode=Mode.VECTOR,
+                    replicas=replicas,
+                ),
+            )
+            db.build(tiny_data, sample_queries=tiny_queries)
+            return db.index_memory_report()["mean_machine_bytes"]
+
+        assert per_node(2) == pytest.approx(2 * per_node(1), rel=0.01)
+
+    def test_replication_spreads_load(self, medium_data, medium_queries):
+        """With every query hitting one shard, R=2 must cut the load
+        concentration roughly in half."""
+        from repro.index.ivf import IVFFlatIndex
+        from repro.workload.generators import skewed_workload
+
+        index = IVFFlatIndex(dim=48, nlist=16, seed=0)
+        index.train(medium_data)
+        index.add(medium_data)
+
+        def top_load_share(replicas):
+            db = HarmonyDB.from_trained_index(
+                index,
+                config=HarmonyConfig(
+                    n_machines=4,
+                    nlist=16,
+                    nprobe=4,
+                    mode=Mode.VECTOR,
+                    replicas=replicas,
+                ),
+                sample_queries=medium_queries,
+            )
+            hot = db.plan.lists_of_shard(0)
+            workload = skewed_workload(
+                medium_queries, index, 60, skew=1.0, nprobe=4,
+                hot_list_ids=hot, seed=33,
+            )
+            _, report = db.search(workload.queries, k=5)
+            return report.worker_loads.max() / report.worker_loads.sum()
+
+        assert top_load_share(2) < top_load_share(1)
+
+    def test_invalid_replica_config(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HarmonyConfig(n_machines=4, replicas=5)
+        with pytest.raises(ValueError, match="replicas"):
+            HarmonyConfig(n_machines=4, replicas=0)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.workload (generators + skew measurement)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.generators import skewed_workload, uniform_workload
+from repro.workload.skew import (
+    cluster_histogram,
+    load_imbalance,
+    normalized_imbalance,
+)
+
+
+class TestUniformWorkload:
+    def test_draws_from_pool(self, tiny_queries):
+        w = uniform_workload(tiny_queries, 50, seed=0)
+        assert w.n_queries == 50
+        assert w.skew == 0.0
+        pool_rows = {tuple(row) for row in tiny_queries}
+        assert all(tuple(q) in pool_rows for q in w.queries)
+
+    def test_deterministic(self, tiny_queries):
+        a = uniform_workload(tiny_queries, 30, seed=5)
+        b = uniform_workload(tiny_queries, 30, seed=5)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_invalid_count(self, tiny_queries):
+        with pytest.raises(ValueError):
+            uniform_workload(tiny_queries, 0)
+
+
+class TestSkewedWorkload:
+    def test_zero_skew_like_uniform(self, tiny_queries, trained_index):
+        w = skewed_workload(
+            tiny_queries, trained_index, 40, skew=0.0, nprobe=4, seed=0
+        )
+        assert w.n_queries == 40
+
+    def test_full_skew_concentrates_probe_mass(
+        self, tiny_queries, trained_index
+    ):
+        hot = trained_index.list_sizes().argsort()[-2:]
+        w = skewed_workload(
+            tiny_queries,
+            trained_index,
+            60,
+            skew=1.0,
+            nprobe=4,
+            hot_list_ids=hot,
+            seed=0,
+        )
+        uniform = skewed_workload(
+            tiny_queries,
+            trained_index,
+            60,
+            skew=0.0,
+            nprobe=4,
+            hot_list_ids=hot,
+            seed=0,
+        )
+
+        def hot_share(queries):
+            hist = cluster_histogram(trained_index, queries, nprobe=4)
+            return hist[hot].sum() / hist.sum()
+
+        assert hot_share(w.queries) > hot_share(uniform.queries)
+
+    def test_hot_lists_recorded(self, tiny_queries, trained_index):
+        w = skewed_workload(
+            tiny_queries, trained_index, 10, skew=0.5, n_hot_lists=3, seed=1
+        )
+        assert len(w.hot_lists) == 3
+
+    def test_explicit_hot_lists(self, tiny_queries, trained_index):
+        w = skewed_workload(
+            tiny_queries,
+            trained_index,
+            10,
+            skew=0.5,
+            hot_list_ids=[0, 1],
+            seed=1,
+        )
+        assert w.hot_lists == (0, 1)
+
+    def test_invalid_args(self, tiny_queries, trained_index):
+        with pytest.raises(ValueError, match="skew"):
+            skewed_workload(tiny_queries, trained_index, 10, skew=1.5)
+        with pytest.raises(ValueError, match="hot_fraction"):
+            skewed_workload(
+                tiny_queries, trained_index, 10, skew=0.5, hot_fraction=0.0
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            skewed_workload(
+                tiny_queries, trained_index, 10, skew=0.5, hot_list_ids=[]
+            )
+
+
+class TestSkewMeasurement:
+    def test_cluster_histogram_totals(self, tiny_queries, trained_index):
+        hist = cluster_histogram(trained_index, tiny_queries, nprobe=4)
+        assert hist.sum() == len(tiny_queries) * 4
+        assert hist.shape == (trained_index.nlist,)
+
+    def test_load_imbalance_zero_for_equal(self):
+        assert load_imbalance(np.array([2.0, 2.0, 2.0])) == 0.0
+
+    def test_load_imbalance_is_std(self):
+        loads = np.array([1.0, 3.0])
+        assert load_imbalance(loads) == pytest.approx(1.0)
+
+    def test_normalized_imbalance_scale_free(self):
+        a = normalized_imbalance(np.array([1.0, 3.0]))
+        b = normalized_imbalance(np.array([10.0, 30.0]))
+        assert a == pytest.approx(b)
+
+    def test_normalized_imbalance_zero_loads(self):
+        assert normalized_imbalance(np.zeros(4)) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            load_imbalance(np.array([]))
+        with pytest.raises(ValueError):
+            normalized_imbalance(np.array([]))
