@@ -1,0 +1,84 @@
+"""Host wall-clock of ThreadBackend vs SerialBackend (executor layer).
+
+Unlike every other benchmark in this suite, the numbers here are *real*
+host seconds, not simulated ones: the serial and thread backends run
+the shared scan kernel directly on the machine, so this tracks the
+executor's Python-level overhead and the payoff of the vectorized hot
+paths (batched prewarm scoring, ``TopKHeap.push_many``) across thread
+counts on a sift-like analogue.
+
+Thread scaling on CPython is bounded by how much time the kernel spends
+inside GIL-releasing numpy calls; at this scaled-down dataset size the
+per-query work is small, so the interesting signal is that threading
+never *costs* correctness (ids are asserted identical) and that total
+wall-clock stays in the same ballpark as the serial loop rather than
+collapsing under contention.
+"""
+
+import time
+
+import numpy as np
+
+import _common as c
+from repro.core.executor import SerialBackend, ThreadBackend
+from repro.core.partition import build_plan
+
+THREAD_COUNTS = [1, 2, 4, 8]
+REPEATS = 3
+
+
+def _time_search(backend, queries):
+    """Best-of-REPEATS wall-clock for one backend, plus its ids."""
+    best = float("inf")
+    ids = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = backend.search(queries, k=c.K, nprobe=c.NPROBE)
+        best = min(best, time.perf_counter() - start)
+        ids = result.ids
+    return best, ids
+
+
+def run_experiment():
+    dataset = c.get_dataset("sift1m")
+    index = c.get_index("sift1m")
+    plan = build_plan(index, n_machines=4, n_vector_shards=1, n_dim_blocks=4)
+    queries = dataset.queries
+
+    serial_seconds, serial_ids = _time_search(
+        SerialBackend(index, plan=plan), queries
+    )
+    rows = [("serial", 1, serial_seconds, 1.0)]
+    for n_threads in THREAD_COUNTS:
+        seconds, ids = _time_search(
+            ThreadBackend(index, plan=plan, n_threads=n_threads), queries
+        )
+        assert np.array_equal(ids, serial_ids), (
+            "thread backend must return byte-identical ids"
+        )
+        rows.append(("thread", n_threads, seconds, serial_seconds / seconds))
+    return rows
+
+
+def test_bench_backend_overhead(benchmark, capsys):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    text = c.format_table(
+        ["backend", "threads", "wall-clock (ms)", "speedup vs serial"],
+        [
+            [name, n, round(seconds * 1e3, 2), round(speedup, 2)]
+            for name, n, seconds, speedup in rows
+        ],
+        title="backend overhead (host wall-clock, sift1m analogue)",
+    )
+    c.save_result("backend_overhead.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    serial_seconds = rows[0][2]
+    for name, n_threads, seconds, _ in rows[1:]:
+        # Guardrail, not a race: the thread backend must stay within a
+        # small factor of serial even at this tiny per-query work size.
+        assert seconds < serial_seconds * 5.0, (
+            f"{name} x{n_threads} took {seconds:.3f}s vs serial "
+            f"{serial_seconds:.3f}s"
+        )

@@ -32,6 +32,13 @@ Architecture (bottom-up):
 
 from repro.core.config import HarmonyConfig, Mode
 from repro.core.database import HarmonyDB
+from repro.core.executor import (
+    Backend,
+    ScanKernel,
+    SerialBackend,
+    SimulatedBackend,
+    ThreadBackend,
+)
 from repro.core.parallel import ThreadedSearcher
 from repro.core.results import (
     BuildReport,
@@ -44,6 +51,7 @@ from repro.validation import ExactnessReport, check_exactness
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
     "BuildReport",
     "ExactnessReport",
     "ExecutionReport",
@@ -51,7 +59,11 @@ __all__ = [
     "HarmonyDB",
     "Metric",
     "Mode",
+    "ScanKernel",
     "SearchResult",
+    "SerialBackend",
+    "SimulatedBackend",
+    "ThreadBackend",
     "ThreadedSearcher",
     "check_exactness",
     "__version__",

@@ -55,6 +55,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable dimension-level pruning (-Pruning_Configuration)",
     )
+    run.add_argument(
+        "--backend",
+        default="sim",
+        choices=["sim", "thread", "serial"],
+        help="execution backend: simulated cluster (timing model), "
+        "host threads, or the serial reference loop",
+    )
+    run.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="worker threads for --backend thread",
+    )
     run.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("datasets", help="list dataset analogues")
@@ -121,6 +134,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         alpha=args.alpha,
         enable_pruning=not args.no_pruning,
         seed=args.seed,
+        backend=args.backend,
+        n_threads=args.threads,
     )
     print(
         f"dataset {dataset.name}: {dataset.size:,} x {dataset.dim} vectors, "
@@ -137,15 +152,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result, report = db.search(dataset.queries, k=args.k)
     _, truth = exact_knn(dataset.base, dataset.queries, k=args.k)
     print(f"recall@{args.k}: {recall_at_k(result.ids, truth):.3f}")
-    print(f"simulated QPS: {report.qps:,.0f}")
-    print(
-        f"latency (simulated): mean {report.mean_latency * 1e6:.0f} us, "
-        f"p99 {report.latency_percentile(99) * 1e6:.0f} us"
-    )
-    print(f"load imbalance (CV): {report.normalized_imbalance:.3f}")
-    if report.pruning is not None:
-        ratios = " ".join(f"{r:.0%}" for r in report.pruning.ratios())
-        print(f"pruned per slice: {ratios}")
+    if args.backend == "sim":
+        print(f"simulated QPS: {report.qps:,.0f}")
+        print(
+            f"latency (simulated): mean {report.mean_latency * 1e6:.0f} us, "
+            f"p99 {report.latency_percentile(99) * 1e6:.0f} us"
+        )
+        print(f"load imbalance (CV): {report.normalized_imbalance:.3f}")
+        if report.pruning is not None:
+            ratios = " ".join(f"{r:.0%}" for r in report.pruning.ratios())
+            print(f"pruned per slice: {ratios}")
+    else:
+        print(
+            f"backend {args.backend}: host wall-clock "
+            f"{report.simulated_seconds * 1e3:.1f} ms "
+            f"({report.qps:,.0f} QPS)"
+        )
     return 0
 
 

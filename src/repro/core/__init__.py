@@ -8,9 +8,11 @@ This package is the paper's primary contribution:
   fine-grained query planner (Section 4.2),
 - :mod:`~repro.core.routing` — query load distribution and dimension-
   order scheduling (Sections 4.2.2, 4.3),
-- :mod:`~repro.core.pruning` / :mod:`~repro.core.pipeline` — the
-  flexible pipelined execution engine with lossless dimension-level
-  early-stop pruning (Section 4.3, Algorithm 1),
+- :mod:`~repro.core.executor` — the backend-agnostic execution core:
+  one :class:`ScanKernel` (Section 4.3, Algorithm 1) behind the
+  serial, thread, and simulated backends,
+- :mod:`~repro.core.pruning` / :mod:`~repro.core.pipeline` — lossless
+  dimension-level early-stop pruning and the simulated timing shell,
 - :mod:`~repro.core.database` — the :class:`HarmonyDB` facade.
 """
 
@@ -26,6 +28,15 @@ from repro.core.cost_model import (
 )
 from repro.core.capacity import CapacityPlan, plan_capacity
 from repro.core.database import HarmonyDB
+from repro.core.executor import (
+    Backend,
+    QueryState,
+    ScanKernel,
+    SerialBackend,
+    SimulatedBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.core.heap import TopKHeap
 from repro.core.monitor import DriftMonitor, DriftStatus
 from repro.core.parallel import ThreadedSearcher
@@ -55,6 +66,7 @@ from repro.core.routing import (
 )
 
 __all__ = [
+    "Backend",
     "BuildReport",
     "CapacityPlan",
     "CostParameters",
@@ -71,8 +83,13 @@ __all__ = [
     "PlanDecision",
     "PruningStats",
     "QueryPlanner",
+    "QueryState",
+    "ScanKernel",
     "SearchResult",
+    "SerialBackend",
     "ShardScan",
+    "SimulatedBackend",
+    "ThreadBackend",
     "ThreadedSearcher",
     "TopKHeap",
     "WorkloadProfile",
@@ -86,6 +103,7 @@ __all__ = [
     "node_loads",
     "plan_capacity",
     "plan_cost",
+    "resolve_backend",
     "resolve_mode",
     "round_robin_placement",
     "shard_candidate_lists",

@@ -72,6 +72,13 @@ class HarmonyConfig:
         plan_sample: query-sample size fed to the cost model.
         kmeans_iterations: training iteration cap.
         seed: RNG seed for clustering and sampling.
+        backend: execution backend for ``HarmonyDB.search``: ``"sim"``
+            (discrete-event simulated cluster, the default), ``"thread"``
+            (real host threads, wall-clock timing), or ``"serial"``
+            (plain loop, the reference oracle). All backends return
+            byte-identical results; only the timing side differs.
+        n_threads: worker threads for the ``"thread"`` backend
+            (None = executor default).
     """
 
     n_machines: int = 4
@@ -89,6 +96,8 @@ class HarmonyConfig:
     seed: int = 0
     forced_grid: "tuple[int, int] | None" = None
     replicas: int = 1
+    backend: str = "sim"
+    n_threads: "int | None" = None
 
     def __post_init__(self) -> None:
         self.metric = resolve_metric(self.metric)
@@ -116,6 +125,16 @@ class HarmonyConfig:
         if not 1 <= self.replicas <= self.n_machines:
             raise ValueError(
                 f"replicas must be in [1, n_machines], got {self.replicas}"
+            )
+        self.backend = str(self.backend).lower()
+        if self.backend not in ("sim", "thread", "serial"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; supported backends: "
+                f"serial, sim, thread"
+            )
+        if self.n_threads is not None and self.n_threads <= 0:
+            raise ValueError(
+                f"n_threads must be positive, got {self.n_threads}"
             )
 
     def replace(self, **changes: object) -> "HarmonyConfig":

@@ -67,6 +67,7 @@ class HarmonyDB:
         self._engine: PipelineEngine | None = None
         self._decision: PlanDecision | None = None
         self._placement = None
+        self._host_backend = None
 
     @classmethod
     def from_trained_index(
@@ -215,6 +216,7 @@ class HarmonyDB:
             config=self.config,
         )
         self._placement = self._engine.place_data()
+        self._host_backend = None
         return self._placement
 
     def replan(
@@ -283,6 +285,7 @@ class HarmonyDB:
             config=config,
         )
         self._placement = self._engine.place_data()
+        self._host_backend = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -308,17 +311,89 @@ class HarmonyDB:
         queueing delay behind earlier queries. Pass ``filter_labels``
         to restrict the search to vectors carrying one of the given
         metadata labels (see ``IVFFlatIndex.add``'s ``labels``).
+
+        The execution substrate follows ``config.backend``: under
+        ``"sim"`` (default) the report carries simulated cluster
+        timings; under ``"thread"`` / ``"serial"`` the batch runs on
+        the host and the report's ``simulated_seconds`` is measured
+        host wall-clock instead.
         """
         if not self.is_built:
             raise RuntimeError("build() must be called before search()")
         assert self._engine is not None
-        return self._engine.run(
-            queries,
+        if self.config.backend == "sim":
+            return self._engine.run(
+                queries,
+                k=k,
+                nprobe=nprobe,
+                arrival_times=arrival_times,
+                filter_labels=filter_labels,
+            )
+        if arrival_times is not None:
+            raise ValueError(
+                "arrival_times (open-loop simulation) requires the "
+                "'sim' backend"
+            )
+        return self._host_search(
+            queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+        )
+
+    def _host_search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int | None,
+        filter_labels: "np.ndarray | list[int] | None",
+    ) -> tuple[SearchResult, ExecutionReport]:
+        """Run the batch on a host backend; report host wall-clock."""
+        import time
+
+        from repro.cluster.stats import TimeBreakdown
+
+        backend = self._get_host_backend()
+        nprobe = nprobe if nprobe is not None else self.config.nprobe
+        start = time.perf_counter()
+        result = backend.search(
+            queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+        )
+        elapsed = time.perf_counter() - start
+        report = ExecutionReport(
+            n_queries=result.n_queries,
             k=k,
             nprobe=nprobe,
-            arrival_times=arrival_times,
-            filter_labels=filter_labels,
+            simulated_seconds=elapsed,
+            breakdown=TimeBreakdown(computation=elapsed),
+            worker_loads=np.zeros(self.config.n_machines, dtype=np.float64),
+            pruning=None,
+            peak_memory_bytes=0,
+            plan_summary=(
+                f"{self.plan.describe()} [{backend.name} backend, "
+                f"host wall-clock]"
+            ),
         )
+        return result, report
+
+    def _get_host_backend(self):
+        """The lazily built thread/serial backend for the active plan."""
+        if self._host_backend is None:
+            from repro.core.executor import SerialBackend, ThreadBackend
+
+            if self.config.backend == "thread":
+                self._host_backend = ThreadBackend(
+                    self.index,
+                    plan=self.plan,
+                    n_threads=self.config.n_threads,
+                    prewarm_size=self.config.prewarm_size,
+                    enable_pruning=self.config.enable_pruning,
+                )
+            else:
+                self._host_backend = SerialBackend(
+                    self.index,
+                    plan=self.plan,
+                    prewarm_size=self.config.prewarm_size,
+                    enable_pruning=self.config.enable_pruning,
+                )
+        return self._host_backend
 
     # ------------------------------------------------------------------
     # Persistence
@@ -351,6 +426,8 @@ class HarmonyDB:
                 "plan_sample": config.plan_sample,
                 "kmeans_iterations": config.kmeans_iterations,
                 "seed": config.seed,
+                "backend": config.backend,
+                "n_threads": config.n_threads,
             }
         )
         assignment = np.full(self.index.ntotal, -1, dtype=np.int64)

@@ -1,0 +1,47 @@
+"""Backend-agnostic execution core (Algorithm 1, once).
+
+The HARMONY search algorithm — prewarm → per-shard dimension pipeline →
+lossless prune → heap merge — lives in :class:`ScanKernel`; the
+:class:`Backend` implementations decide where its steps run:
+
+========  ==========================  ===================================
+name      class                       substrate
+========  ==========================  ===================================
+serial    :class:`SerialBackend`      plain loop (reference oracle)
+thread    :class:`ThreadBackend`      host thread pool
+sim       :class:`SimulatedBackend`   discrete-event cluster + timelines
+========  ==========================  ===================================
+
+All backends return byte-identical ids/distances by construction; only
+the timing side effects differ.
+"""
+
+from repro.core.executor.base import (
+    BACKENDS,
+    Backend,
+    HostBackend,
+    default_plan,
+    resolve_backend,
+)
+from repro.core.executor.kernel import (
+    QueryState,
+    ScanKernel,
+    collect_results,
+)
+from repro.core.executor.serial import SerialBackend
+from repro.core.executor.simulated import SimulatedBackend
+from repro.core.executor.threads import ThreadBackend
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "HostBackend",
+    "QueryState",
+    "ScanKernel",
+    "SerialBackend",
+    "SimulatedBackend",
+    "ThreadBackend",
+    "collect_results",
+    "default_plan",
+    "resolve_backend",
+]

@@ -1,0 +1,148 @@
+"""Backend interface: *where* the scan kernel's steps run.
+
+A backend binds the algorithm (one shared :class:`ScanKernel`) to an
+execution substrate. The library ships three:
+
+- :class:`~repro.core.executor.serial.SerialBackend` — a plain loop,
+  the reference oracle;
+- :class:`~repro.core.executor.threads.ThreadBackend` — real host
+  threads, queries fanned out across a pool;
+- :class:`~repro.core.executor.simulated.SimulatedBackend` — the
+  discrete-event cluster, charging compute/comm to machine timelines.
+
+Adding a fourth substrate (process pool, async server, RPC fan-out) is
+a one-file change: subclass :class:`Backend`, reuse the kernel.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.executor.kernel import ScanKernel, collect_results
+from repro.core.partition import PartitionPlan, build_plan
+from repro.core.results import SearchResult
+
+
+class Backend(abc.ABC):
+    """Uniform search interface over one ``(index, plan)`` pair.
+
+    The contract every implementation is tested on: ``search`` returns
+    byte-identical ids and distances to every other backend with the
+    same parameters — the substrate may only change *when* work runs,
+    never *what* is computed.
+    """
+
+    #: Short name used by ``HarmonyConfig.backend`` / ``--backend``.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int = 1,
+        filter_labels: "np.ndarray | list[int] | None" = None,
+    ) -> SearchResult:
+        """Pruned top-``k`` search for a query batch."""
+
+
+def default_plan(index: "IVFFlatIndex") -> PartitionPlan:
+    """Single-shard plan with up to 4 dimension slices (pruning-friendly)."""
+    n_blocks = min(4, index.dim)
+    return build_plan(
+        index,
+        n_machines=n_blocks,
+        n_vector_shards=1,
+        n_dim_blocks=n_blocks,
+    )
+
+
+class HostBackend(Backend):
+    """Shared machinery of the backends that run on the host (no sim).
+
+    Args:
+        index: trained+populated IVF index.
+        plan: partition plan; defaults to :func:`default_plan`.
+        prewarm_size: heap-seeding candidates per query (0 disables
+            pruning entirely).
+        enable_pruning: toggle lossless early-stop pruning.
+    """
+
+    def __init__(
+        self,
+        index: "IVFFlatIndex",
+        plan: PartitionPlan | None = None,
+        prewarm_size: int = 32,
+        enable_pruning: bool = True,
+    ) -> None:
+        if not index.is_trained:
+            raise RuntimeError("backend requires a trained index")
+        self.index = index
+        self.plan = plan if plan is not None else default_plan(index)
+        self.kernel = ScanKernel(
+            index,
+            self.plan,
+            prewarm_size=prewarm_size,
+            enable_pruning=enable_pruning,
+        )
+
+    @property
+    def prewarm_size(self) -> int:
+        return self.kernel.prewarm_size
+
+    @property
+    def enable_pruning(self) -> bool:
+        return self.kernel.enable_pruning
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int = 1,
+        filter_labels: "np.ndarray | list[int] | None" = None,
+    ) -> SearchResult:
+        """Pruned top-``k`` search, exact w.r.t. a single-node IVF scan."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        kernel = self.kernel
+        queries = kernel.prepare_queries(queries)
+        probes = self.index.probe(queries, nprobe)
+        allowed = self.index.allowed_mask(filter_labels)
+        nq = queries.shape[0]
+        heaps: list = [None] * nq
+
+        def run_query(i: int) -> None:
+            heaps[i] = kernel.search_one(
+                i, queries[i], probes[i], k, allowed
+            )
+
+        self._map(run_query, nq)
+        return collect_results(heaps, k)
+
+    @abc.abstractmethod
+    def _map(self, fn, nq: int) -> None:
+        """Run ``fn(i)`` for every query index; substrate-specific."""
+
+
+BACKENDS: dict[str, str] = {
+    "sim": "repro.core.executor.simulated:SimulatedBackend",
+    "thread": "repro.core.executor.threads:ThreadBackend",
+    "serial": "repro.core.executor.serial:SerialBackend",
+}
+
+
+def resolve_backend(name: str) -> type:
+    """Map a backend name (``sim`` / ``thread`` / ``serial``) to its class."""
+    try:
+        target = BACKENDS[str(name).lower()]
+    except KeyError as exc:
+        supported = ", ".join(sorted(BACKENDS))
+        raise ValueError(
+            f"unknown backend {name!r}; supported backends: {supported}"
+        ) from exc
+    module_name, _, attr = target.partition(":")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,265 @@
+"""The HARMONY scan kernel: Algorithm 1 implemented exactly once.
+
+Every execution backend — serial reference loop, host thread pool,
+discrete-event simulation — runs the same search algorithm: prewarm the
+top-K heap from the nearest probed list, walk each touched shard's
+candidates through the dimension pipeline with lossless early-stop
+pruning, and merge the survivors into the heap. Historically that
+algorithm lived in two private copies (``PipelineEngine`` and
+``ThreadedSearcher``); :class:`ScanKernel` is its single home.
+
+The kernel is deliberately *timing-free*: it gathers candidates, scores
+batches, steps :class:`~repro.core.pruning.ShardScan` objects slice by
+slice, and maintains heaps. Backends decide *when* and *where* each
+step runs (host threads, simulated machines) and charge whatever cost
+model they like around the kernel calls — which is what keeps results
+byte-identical across backends by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.heap import TopKHeap
+from repro.core.partition import PartitionPlan
+from repro.core.pruning import ShardScan
+from repro.core.results import SearchResult
+from repro.core.routing import shard_candidate_lists, touched_shards
+from repro.distance.kernels import scores_to_query
+from repro.distance.metrics import Metric, normalize_rows
+from repro.distance.partial import slice_norms
+
+
+@dataclass
+class QueryState:
+    """Per-query algorithm state shared by all backends.
+
+    Attributes:
+        query_index: position of the query in its batch.
+        query: the (cosine-normalized, float32) query vector.
+        probe_row: probed inverted-list ids for this query.
+        heap: the query's top-K heap; its threshold drives pruning.
+        prewarmed: ids already scored during prewarm (shard scans skip
+            them).
+    """
+
+    query_index: int
+    query: np.ndarray
+    probe_row: np.ndarray
+    heap: TopKHeap
+    prewarmed: np.ndarray
+
+
+class ScanKernel:
+    """Candidate gathering, prewarm scoring, slice stepping, merging.
+
+    One kernel instance serves one ``(index, plan)`` pair and is shared
+    by every backend searching it. All methods are thread-safe for
+    *disjoint* queries (they mutate only the per-query
+    :class:`QueryState` / :class:`ShardScan` objects passed in), which
+    is what lets the thread backend fan queries out without locks.
+
+    Args:
+        index: trained+populated IVF index.
+        plan: partition plan defining shards and dimension slices.
+        metric: similarity metric; defaults to the index's.
+        prewarm_size: heap-seeding candidates per query (0 disables).
+        enable_pruning: toggle lossless early-stop pruning.
+    """
+
+    def __init__(
+        self,
+        index: "IVFFlatIndex",
+        plan: PartitionPlan,
+        metric: Metric | None = None,
+        prewarm_size: int = 32,
+        enable_pruning: bool = True,
+    ) -> None:
+        if not index.is_trained:
+            raise RuntimeError("kernel requires a trained index")
+        if prewarm_size < 0:
+            raise ValueError(
+                f"prewarm_size must be non-negative, got {prewarm_size}"
+            )
+        self.index = index
+        self.plan = plan
+        self.metric = index.metric if metric is None else metric
+        self.prewarm_size = prewarm_size
+        self.enable_pruning = enable_pruning
+        self._base_slice_norms: np.ndarray | None = None
+        if self.metric is not Metric.L2:
+            self._base_slice_norms = slice_norms(index.base, plan.slices)
+
+    # ------------------------------------------------------------------
+    # Batch preparation
+    # ------------------------------------------------------------------
+
+    def prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Canonicalize a query batch (2-D float32, cosine-normalized)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if self.metric is Metric.COSINE:
+            queries = normalize_rows(queries)
+        return queries
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 steps
+    # ------------------------------------------------------------------
+
+    def begin_query(
+        self,
+        query_index: int,
+        query: np.ndarray,
+        probe_row: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None = None,
+    ) -> QueryState:
+        """Create a query's state and prewarm its heap (PrewarmHeap).
+
+        Prewarm scores up to ``prewarm_size`` members of the nearest
+        probed list in one batched distance call, seeding the heap with
+        a finite threshold before any shard scan starts.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        heap = TopKHeap(k)
+        prewarmed = self._prewarm(query, probe_row, heap, allowed)
+        return QueryState(
+            query_index=query_index,
+            query=query,
+            probe_row=probe_row,
+            heap=heap,
+            prewarmed=prewarmed,
+        )
+
+    def _prewarm(
+        self,
+        query: np.ndarray,
+        probe_row: np.ndarray,
+        heap: TopKHeap,
+        allowed: np.ndarray | None,
+    ) -> np.ndarray:
+        if self.prewarm_size == 0 or not self.enable_pruning:
+            return np.empty(0, dtype=np.int64)
+        ids = self.index.list_members(int(probe_row[0]))
+        if allowed is not None:
+            ids = ids[allowed[ids]]
+        ids = ids[: self.prewarm_size]
+        if ids.size == 0:
+            return ids
+        scores = scores_to_query(self.index.base[ids], query, self.metric)
+        heap.push_many(scores, ids)
+        return ids
+
+    def shards_for(self, state: QueryState) -> np.ndarray:
+        """Vector shards the query must visit, ascending."""
+        return touched_shards(self.plan, state.probe_row)
+
+    def make_scan(
+        self,
+        state: QueryState,
+        shard: int,
+        allowed: np.ndarray | None = None,
+    ) -> ShardScan | None:
+        """Gather one shard's candidates into a fresh :class:`ShardScan`.
+
+        Returns None when the shard contributes no candidates (all its
+        probed lists are empty, filtered out, or fully prewarmed).
+        """
+        lists_here = shard_candidate_lists(
+            self.plan, state.probe_row, int(shard)
+        )
+        candidates = self.index.candidates(lists_here, allowed=allowed)
+        if state.prewarmed.size:
+            candidates = np.setdiff1d(
+                candidates, state.prewarmed, assume_unique=False
+            )
+        if candidates.size == 0:
+            return None
+        norms = self._candidate_slice_norms(candidates)
+        return ShardScan(
+            base=self.index.base,
+            candidate_ids=candidates,
+            query=state.query,
+            slices=self.plan.slices,
+            metric=self.metric,
+            base_slice_norms=norms,
+        )
+
+    def _candidate_slice_norms(
+        self, candidates: np.ndarray
+    ) -> np.ndarray | None:
+        if self._base_slice_norms is None:
+            return None
+        if self._base_slice_norms.shape[0] != self.index.base.shape[0]:
+            # The index grew since kernel construction (streaming adds);
+            # refresh the per-slice norm cache so IP bounds stay lossless.
+            self._base_slice_norms = slice_norms(
+                self.index.base, self.plan.slices
+            )
+        return self._base_slice_norms[candidates]
+
+    def step(self, scan: ShardScan, heap: TopKHeap, block: int) -> int:
+        """Advance one scan by one dimension block, then prune.
+
+        Returns the number of candidate rows actually processed (the
+        compute volume a simulating backend should charge for the
+        stage).
+        """
+        processed = scan.process_slice(block)
+        if self.enable_pruning:
+            scan.prune(heap.threshold)
+        return processed
+
+    def merge_survivors(self, scan: ShardScan, heap: TopKHeap) -> int:
+        """Fold a completed scan's survivors into the query heap.
+
+        Returns the number of survivors offered (for per-candidate heap
+        cost accounting).
+        """
+        ids, scores = scan.survivors()
+        heap.push_many(scores, ids)
+        return int(ids.size)
+
+    def run_scan(self, scan: ShardScan, heap: TopKHeap) -> None:
+        """Run one scan's full dimension pipeline in canonical order."""
+        for block in range(self.plan.n_dim_blocks):
+            if scan.n_alive == 0:
+                break
+            self.step(scan, heap, block)
+        if scan.n_alive:
+            self.merge_survivors(scan, heap)
+
+    def search_one(
+        self,
+        query_index: int,
+        query: np.ndarray,
+        probe_row: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None = None,
+    ) -> TopKHeap:
+        """Algorithm 1 end-to-end for one query (no timing, no threads).
+
+        This is the reference execution the serial backend exposes and
+        the thread backend fans out per query.
+        """
+        state = self.begin_query(query_index, query, probe_row, k, allowed)
+        for shard in self.shards_for(state):
+            scan = self.make_scan(state, int(shard), allowed)
+            if scan is not None:
+                self.run_scan(scan, state.heap)
+        return state.heap
+
+
+def collect_results(heaps: "list[TopKHeap]", k: int) -> SearchResult:
+    """Materialize per-query heaps into a padded :class:`SearchResult`."""
+    nq = len(heaps)
+    out_dist = np.full((nq, k), np.inf, dtype=np.float64)
+    out_ids = np.full((nq, k), -1, dtype=np.int64)
+    for i, heap in enumerate(heaps):
+        items = heap.items()
+        if items:
+            out_dist[i, : len(items)] = [score for score, _ in items]
+            out_ids[i, : len(items)] = [cid for _, cid in items]
+    return SearchResult(distances=out_dist, ids=out_ids)

@@ -1,0 +1,22 @@
+"""Serial backend: the reference oracle.
+
+Runs the shared :class:`~repro.core.executor.kernel.ScanKernel` in a
+plain Python loop — no threads, no simulation, no scheduling freedom.
+Because nothing about its execution order is configurable, its output
+is the fixed point the other backends (and
+:func:`repro.validation.check_exactness`) are compared against.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor.base import HostBackend
+
+
+class SerialBackend(HostBackend):
+    """One query at a time, shards and slices in canonical order."""
+
+    name = "serial"
+
+    def _map(self, fn, nq: int) -> None:
+        for i in range(nq):
+            fn(i)

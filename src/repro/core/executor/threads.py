@@ -1,0 +1,54 @@
+"""Thread backend: real host parallelism (no simulation).
+
+Queries are independent, so the backend fans them out across a thread
+pool; numpy kernels release the GIL while they run, so overlap grows
+with per-query work (large candidate sets and dimensionalities).
+Results are byte-identical to the serial backend regardless of thread
+count — that invariance, not raw speed, is the contract this class is
+tested on.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.executor.base import HostBackend
+from repro.core.partition import PartitionPlan
+
+
+class ThreadBackend(HostBackend):
+    """Multithreaded HARMONY-style pruned search on the host machine.
+
+    Args:
+        index: trained+populated IVF index.
+        plan: partition plan; defaults to a single-shard plan with 4
+            dimension slices (pruning-friendly).
+        n_threads: worker threads (default: ``ThreadPoolExecutor``'s).
+        prewarm_size: heap-seeding candidates per query (0 disables
+            pruning entirely).
+        enable_pruning: toggle lossless early-stop pruning.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        index: "IVFFlatIndex",
+        plan: PartitionPlan | None = None,
+        n_threads: int | None = None,
+        prewarm_size: int = 32,
+        enable_pruning: bool = True,
+    ) -> None:
+        if n_threads is not None and n_threads <= 0:
+            raise ValueError(f"n_threads must be positive, got {n_threads}")
+        super().__init__(
+            index,
+            plan=plan,
+            prewarm_size=prewarm_size,
+            enable_pruning=enable_pruning,
+        )
+        self.n_threads = n_threads
+
+    def _map(self, fn, nq: int) -> None:
+        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+            list(pool.map(fn, range(nq)))

@@ -11,6 +11,8 @@ from __future__ import annotations
 import heapq
 import math
 
+import numpy as np
+
 
 class TopKHeap:
     """Keeps the ``k`` lexicographically smallest ``(score, id)`` pairs.
@@ -57,6 +59,43 @@ class TopKHeap:
             heapq.heapreplace(self._heap, entry)
             return True
         return False
+
+    def push_many(self, scores: np.ndarray, ids: np.ndarray) -> int:
+        """Offer a batch of candidates; returns how many were retained.
+
+        Equivalent to ``for s, i in zip(scores, ids): push(s, i)`` but
+        vectorized: offers that cannot beat the current threshold are
+        masked out in one numpy pass, and of the rest only the ``k``
+        lexicographically smallest ``(score, id)`` pairs — the only ones
+        that can appear in the final heap — are pushed. The resulting
+        heap state is identical to the sequential loop's.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if scores.shape != ids.shape or scores.ndim != 1:
+            raise ValueError(
+                f"scores and ids must be 1-D and congruent, got "
+                f"{scores.shape} and {ids.shape}"
+            )
+        if scores.size == 0:
+            return 0
+        if self.is_full:
+            # push() retains an offer only when (score, id) is
+            # lexicographically smaller than the root's pair.
+            root_score, root_id = -self._heap[0][0], -self._heap[0][1]
+            keep = (scores < root_score) | (
+                (scores == root_score) & (ids < root_id)
+            )
+            scores, ids = scores[keep], ids[keep]
+            if scores.size == 0:
+                return 0
+        if scores.size > self.k:
+            order = np.lexsort((ids, scores))[: self.k]
+            scores, ids = scores[order], ids[order]
+        retained = 0
+        for score, cid in zip(scores.tolist(), ids.tolist()):
+            retained += self.push(score, cid)
+        return retained
 
     def items(self) -> list[tuple[float, int]]:
         """Retained ``(score, id)`` pairs, best first."""

@@ -1,178 +1,23 @@
-"""Real-parallelism executor (no simulation).
+"""Real-parallelism executor (no simulation) — compatibility name.
 
-The :class:`~repro.core.pipeline.PipelineEngine` models a distributed
-cluster's *timing*; this module executes the same algorithm — prewarm,
-per-shard dimension pipeline, lossless pruning — on actual host
-threads, for users who want to run HARMONY-style pruned search on a
-multicore machine rather than study its distributed behaviour.
-
-Queries are independent, so the searcher parallelizes across them;
-numpy kernels release the GIL while they run, so overlap grows with
-per-query work (large candidate sets and dimensionalities). Results
-are byte-identical to the simulated engine and to a single-node IVF
-scan, regardless of thread count — that invariance, not raw speed, is
-the contract this class is tested on.
+The multithreaded host executor now lives in
+:mod:`repro.core.executor.threads`; the algorithm it runs is the shared
+:class:`~repro.core.executor.kernel.ScanKernel`, the same code path the
+simulated engine and the serial reference oracle execute. This module
+keeps the historical :class:`ThreadedSearcher` name importable for
+existing callers; new code should use
+:class:`~repro.core.executor.threads.ThreadBackend` (or select
+``backend="thread"`` on :class:`~repro.core.config.HarmonyConfig`).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-
-import numpy as np
-
-from repro.core.heap import TopKHeap
-from repro.core.partition import PartitionPlan, build_plan
-from repro.core.pruning import ShardScan
-from repro.core.results import SearchResult
-from repro.core.routing import shard_candidate_lists, touched_shards
-from repro.distance.metrics import Metric, normalize_rows
-from repro.distance.partial import slice_norms
-from repro.index.ivf import IVFFlatIndex
+from repro.core.executor.threads import ThreadBackend
 
 
-class ThreadedSearcher:
-    """Multithreaded HARMONY-style pruned search on the host machine.
+class ThreadedSearcher(ThreadBackend):
+    """Historical alias of :class:`ThreadBackend`.
 
-    Args:
-        index: trained+populated IVF index.
-        plan: partition plan defining shards and dimension slices;
-            defaults to a single-shard plan with 4 dimension slices
-            (pruning-friendly).
-        n_threads: worker threads (default: ``ThreadPoolExecutor``'s).
-        prewarm_size: heap-seeding candidates per query (0 disables
-            pruning entirely).
-        enable_pruning: toggle lossless early-stop pruning.
+    Identical constructor and behaviour; kept so pre-executor code and
+    examples continue to work unchanged.
     """
-
-    def __init__(
-        self,
-        index: IVFFlatIndex,
-        plan: PartitionPlan | None = None,
-        n_threads: int | None = None,
-        prewarm_size: int = 32,
-        enable_pruning: bool = True,
-    ) -> None:
-        if not index.is_trained:
-            raise RuntimeError("searcher requires a trained index")
-        if n_threads is not None and n_threads <= 0:
-            raise ValueError(f"n_threads must be positive, got {n_threads}")
-        if prewarm_size < 0:
-            raise ValueError(
-                f"prewarm_size must be non-negative, got {prewarm_size}"
-            )
-        self.index = index
-        if plan is None:
-            n_blocks = min(4, index.dim)
-            plan = build_plan(
-                index, n_machines=n_blocks, n_vector_shards=1,
-                n_dim_blocks=n_blocks,
-            )
-        self.plan = plan
-        self.n_threads = n_threads
-        self.prewarm_size = prewarm_size
-        self.enable_pruning = enable_pruning
-        self._base_slice_norms: np.ndarray | None = None
-        if index.metric is not Metric.L2:
-            self._base_slice_norms = slice_norms(index.base, plan.slices)
-
-    def search(
-        self,
-        queries: np.ndarray,
-        k: int,
-        nprobe: int = 1,
-        filter_labels: "np.ndarray | list[int] | None" = None,
-    ) -> SearchResult:
-        """Pruned top-``k`` search, parallel across queries.
-
-        Returns exactly what ``IVFFlatIndex.search`` would with the
-        same parameters (including the optional label filter).
-        """
-        if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        if self.index.metric is Metric.COSINE:
-            queries = normalize_rows(queries)
-        probes = self.index.probe(queries, nprobe)
-        allowed = self.index.allowed_mask(filter_labels)
-        nq = queries.shape[0]
-        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
-        out_ids = np.full((nq, k), -1, dtype=np.int64)
-
-        def run_query(i: int) -> None:
-            heap = self._search_one(queries[i], probes[i], k, allowed)
-            for rank, (score, cid) in enumerate(heap.items()):
-                out_dist[i, rank] = score
-                out_ids[i, rank] = cid
-
-        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-            list(pool.map(run_query, range(nq)))
-        return SearchResult(distances=out_dist, ids=out_ids)
-
-    def _search_one(
-        self,
-        query: np.ndarray,
-        probe_row: np.ndarray,
-        k: int,
-        allowed: np.ndarray | None = None,
-    ) -> TopKHeap:
-        """One query through prewarm + per-shard dimension pipelines."""
-        heap = TopKHeap(k)
-        prewarmed = self._prewarm(query, probe_row, heap, allowed)
-        for shard in touched_shards(self.plan, probe_row):
-            lists_here = shard_candidate_lists(
-                self.plan, probe_row, int(shard)
-            )
-            candidates = self.index.candidates(lists_here, allowed=allowed)
-            if prewarmed.size:
-                candidates = np.setdiff1d(
-                    candidates, prewarmed, assume_unique=False
-                )
-            if candidates.size == 0:
-                continue
-            norms = None
-            if self._base_slice_norms is not None:
-                norms = self._base_slice_norms[candidates]
-            scan = ShardScan(
-                base=self.index.base,
-                candidate_ids=candidates,
-                query=query,
-                slices=self.plan.slices,
-                metric=self.index.metric,
-                base_slice_norms=norms,
-            )
-            for block in range(self.plan.n_dim_blocks):
-                if scan.n_alive == 0:
-                    break
-                scan.process_slice(block)
-                if self.enable_pruning:
-                    scan.prune(heap.threshold)
-            if scan.n_alive:
-                ids, scores = scan.survivors()
-                for cid, score in zip(ids, scores):
-                    heap.push(float(score), int(cid))
-        return heap
-
-    def _prewarm(
-        self,
-        query: np.ndarray,
-        probe_row: np.ndarray,
-        heap: TopKHeap,
-        allowed: np.ndarray | None = None,
-    ) -> np.ndarray:
-        if self.prewarm_size == 0 or not self.enable_pruning:
-            return np.empty(0, dtype=np.int64)
-        ids = self.index.list_members(int(probe_row[0]))
-        if allowed is not None:
-            ids = ids[allowed[ids]]
-        ids = ids[: self.prewarm_size]
-        if ids.size == 0:
-            return ids
-        rows = self.index.base[ids].astype(np.float64)
-        if self.index.metric is Metric.L2:
-            diff = rows - query.astype(np.float64)
-            scores = np.einsum("ij,ij->i", diff, diff)
-        else:
-            scores = -(rows @ query.astype(np.float64))
-        for cid, score in zip(ids, scores):
-            heap.push(float(score), int(cid))
-        return ids

@@ -4,13 +4,19 @@ The engine runs a query batch against a partition plan on the simulated
 cluster. It interleaves two concerns that the paper deliberately
 couples:
 
-1. *Real computation* — every partial distance is actually computed
-   (``ShardScan``), every pruning decision is taken on real numbers,
+1. *Real computation* — every algorithm step is delegated to the shared
+   :class:`~repro.core.executor.kernel.ScanKernel` (the same code the
+   serial and thread backends run), so every partial distance is
+   actually computed, every pruning decision is taken on real numbers,
    and the returned top-K sets are exact for the probed lists.
-2. *Simulated timing* — each computation is charged to the hosting
+2. *Simulated timing* — each kernel step is charged to the hosting
    machine's timeline and each message to the network, so the batch
    makespan reflects queueing, load imbalance, pipelining, and the
    communication mode, just like the paper's MPI deployment.
+
+This module owns only the *timing shell*: machine selection, message
+transfers, timeline charging, and the stage-synchronous round loop.
+The search algorithm itself lives in ``repro.core.executor``.
 
 Execution is *stage-synchronous*, mirroring the paper's Figure 5: all
 in-flight (query, shard) scans advance one dimension block per round,
@@ -46,17 +52,16 @@ from repro.cluster.messages import (
     result_set_bytes,
 )
 from repro.core.config import HarmonyConfig
+from repro.core.executor.kernel import (
+    QueryState,
+    ScanKernel,
+    collect_results,
+)
 from repro.core.heap import TopKHeap
 from repro.core.partition import PartitionPlan
 from repro.core.pruning import PruningStats, ShardScan
 from repro.core.results import ExecutionReport, PlacementReport, SearchResult
-from repro.core.routing import (
-    shard_candidate_lists,
-    staggered_order,
-    touched_shards,
-)
-from repro.distance.metrics import Metric, normalize_rows
-from repro.distance.partial import slice_norms
+from repro.core.routing import staggered_order
 from repro.index.ivf import IVFFlatIndex
 
 #: Client-side cost of merging one partial-result batch (barrier mode).
@@ -146,9 +151,14 @@ class PipelineEngine:
         # replica routing balances against this because real loads are
         # still zero while a batch is being dispatched.
         self._dispatch_loads = np.zeros(cluster.n_workers, dtype=np.float64)
-        self._base_slice_norms: np.ndarray | None = None
-        if config.metric is not Metric.L2:
-            self._base_slice_norms = slice_norms(index.base, plan.slices)
+        # The algorithm itself: shared with the serial/thread backends.
+        self.kernel = ScanKernel(
+            index,
+            plan,
+            metric=config.metric,
+            prewarm_size=config.prewarm_size,
+            enable_pruning=config.enable_pruning,
+        )
 
     # ------------------------------------------------------------------
     # Data placement
@@ -260,7 +270,7 @@ class PipelineEngine:
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         nprobe = nprobe if nprobe is not None else self.config.nprobe
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        queries = self.kernel.prepare_queries(queries)
         if arrival_times is not None:
             arrival_times = np.asarray(arrival_times, dtype=np.float64)
             if arrival_times.shape != (queries.shape[0],):
@@ -272,8 +282,6 @@ class PipelineEngine:
                 arrival_times < 0
             ):
                 raise ValueError("arrival_times must be ascending and >= 0")
-        if self.config.metric is Metric.COSINE:
-            queries = normalize_rows(queries)
         cluster = self.cluster
         cluster.reset_time()
         self._drain_inflight()
@@ -293,11 +301,10 @@ class PipelineEngine:
         self._query_submit = np.zeros(nq, dtype=np.float64)
         self._query_complete = np.zeros(nq, dtype=np.float64)
 
-        # Dispatch phase: prewarm every query's heap and create the
-        # in-flight scan states with their chunk transfers.
+        # Dispatch phase: prewarm every query's heap (a kernel step,
+        # charged to the client) and create the in-flight scan states
+        # with their chunk transfers.
         for i in range(nq):
-            heap = TopKHeap(k)
-            heaps.append(heap)
             arrival = (
                 float(arrival_times[i]) if arrival_times is not None else 0.0
             )
@@ -305,9 +312,11 @@ class PipelineEngine:
             cluster.compute(
                 CLIENT_NODE, index.nlist * dim, earliest=arrival
             )
-            prewarmed = self._prewarm(
-                queries[i], probes[i], heap, earliest=arrival, allowed=allowed
+            query_state = self.kernel.begin_query(
+                i, queries[i], probes[i], k, allowed
             )
+            heaps.append(query_state.heap)
+            self._charge_prewarm(query_state, earliest=arrival)
             _, dispatch_t = cluster.overhead(
                 CLIENT_NODE, DISPATCH_OVERHEAD_SECONDS, earliest=arrival
             )
@@ -315,15 +324,13 @@ class PipelineEngine:
             # start (closed loop), so client queueing counts.
             self._query_submit[i] = arrival
             self._query_complete[i] = dispatch_t
-            for shard_pos, shard in enumerate(touched_shards(plan, probes[i])):
+            for shard_pos, shard in enumerate(
+                self.kernel.shards_for(query_state)
+            ):
                 state = self._make_state(
-                    query_index=i,
-                    query=queries[i],
-                    probe_row=probes[i],
+                    query_state=query_state,
                     shard=int(shard),
                     shard_pos=shard_pos,
-                    heap=heap,
-                    prewarmed=prewarmed,
                     dispatch_t=dispatch_t,
                     allowed=allowed,
                 )
@@ -343,13 +350,7 @@ class PipelineEngine:
                         continue
                     self._advance(state, stats, k)
 
-        out_dist = np.full((nq, k), np.inf, dtype=np.float64)
-        out_ids = np.full((nq, k), -1, dtype=np.int64)
-        for i, heap in enumerate(heaps):
-            for rank, (score, cid) in enumerate(heap.items()):
-                out_dist[i, rank] = score
-                out_ids[i, rank] = cid
-
+        result = collect_results(heaps, k)
         report = ExecutionReport(
             n_queries=nq,
             k=k,
@@ -367,64 +368,36 @@ class PipelineEngine:
             plan_summary=plan.describe(),
             latencies=self._query_complete - self._query_submit,
         )
-        return SearchResult(distances=out_dist, ids=out_ids), report
+        return result, report
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _prewarm(
-        self,
-        query: np.ndarray,
-        probe_row: np.ndarray,
-        heap: TopKHeap,
-        earliest: float = 0.0,
-        allowed: np.ndarray | None = None,
-    ) -> np.ndarray:
-        """Algorithm 1's PrewarmHeap: client-side seeding of the heap.
+    def _charge_prewarm(
+        self, query_state: QueryState, earliest: float
+    ) -> None:
+        """Charge the kernel's prewarm scoring to the client timeline.
 
-        Scores up to ``prewarm_size`` members of the nearest probed
-        list (those vectors are cached with the centroids on the client
-        in the paper's deployment). Returns the prewarmed ids so shard
-        scans can skip them.
+        Prewarm is base-vector scan work displaced from the workers, so
+        it is priced at the (scale-derated) worker rate even though it
+        runs on the client. No-op when nothing was prewarmed.
         """
-        size = self.config.prewarm_size
-        if size == 0 or not self.config.enable_pruning:
-            return np.empty(0, dtype=np.int64)
-        ids = self.index.list_members(int(probe_row[0]))
-        if allowed is not None:
-            ids = ids[allowed[ids]]
-        ids = ids[:size]
-        if ids.size == 0:
-            return ids
-        rows = self.index.base[ids]
-        if self.config.metric is Metric.L2:
-            diff = rows.astype(np.float64) - query.astype(np.float64)
-            scores = np.einsum("ij,ij->i", diff, diff)
-        else:
-            scores = -(rows.astype(np.float64) @ query.astype(np.float64))
-        # Prewarm is base-vector scan work displaced from the workers,
-        # so it is priced at the (scale-derated) worker rate even
-        # though it runs on the client.
+        n_scored = query_state.prewarmed.size
+        if n_scored == 0:
+            return
         worker_rate = self.cluster.workers[0].compute_rate
         self.cluster.client.occupy(
-            ids.size * self.index.dim / worker_rate,
+            n_scored * self.index.dim / worker_rate,
             earliest=earliest,
             category="computation",
         )
-        for cid, score in zip(ids, scores):
-            heap.push(float(score), int(cid))
-        return ids
 
     def _make_state(
         self,
-        query_index: int,
-        query: np.ndarray,
-        probe_row: np.ndarray,
+        query_state: QueryState,
         shard: int,
         shard_pos: int,
-        heap: TopKHeap,
-        prewarmed: np.ndarray,
         dispatch_t: float,
         allowed: np.ndarray | None = None,
     ) -> _ScanState | None:
@@ -432,26 +405,10 @@ class PipelineEngine:
         plan = self.plan
         cluster = self.cluster
         config = self.config
-        lists_here = shard_candidate_lists(plan, probe_row, shard)
-        candidates = self.index.candidates(lists_here, allowed=allowed)
-        if prewarmed.size:
-            candidates = np.setdiff1d(
-                candidates, prewarmed, assume_unique=False
-            )
-        if candidates.size == 0:
+        scan = self.kernel.make_scan(query_state, shard, allowed)
+        if scan is None:
             return None
-
-        norms = None
-        if self._base_slice_norms is not None:
-            norms = self._base_slice_norms[candidates]
-        scan = ShardScan(
-            base=self.index.base,
-            candidate_ids=candidates,
-            query=query,
-            slices=plan.slices,
-            metric=config.metric,
-            base_slice_norms=norms,
-        )
+        candidates = scan.candidate_ids
 
         fixed_order: np.ndarray | None
         if plan.n_dim_blocks == 1:
@@ -460,7 +417,7 @@ class PipelineEngine:
             fixed_order = None  # chosen lazily per round, load-aware
         elif config.enable_pipeline:
             fixed_order = staggered_order(
-                plan.n_dim_blocks, query_index, shard
+                plan.n_dim_blocks, query_state.query_index, shard
             )
         else:
             fixed_order = np.arange(plan.n_dim_blocks, dtype=np.int64)
@@ -512,10 +469,10 @@ class PipelineEngine:
                 self._charge_inflight(machine, acc_bytes)
 
         return _ScanState(
-            query_index=query_index,
+            query_index=query_state.query_index,
             shard=shard,
             scan=scan,
-            heap=heap,
+            heap=query_state.heap,
             chunk_arrival=chunk_arrival,
             involved=involved,
             start_round=shard_pos,
@@ -602,12 +559,13 @@ class PipelineEngine:
                 arrival = max(arrival, go_ahead)
             ready = max(ready, arrival)
 
-        processed = scan.process_slice(block)
+        # One kernel step: accumulate the slice, prune against the
+        # query heap. The compute charge covers the rows that were
+        # actually processed (pruning shrinks later stages).
+        processed = self.kernel.step(scan, state.heap, block)
         _, end = cluster.compute(
             machine, processed * widths[block], earliest=ready
         )
-        if config.enable_pruning:
-            scan.prune(state.heap.threshold)
         state.prev_end = end
         state.prev_machine = machine
         state.position += 1
@@ -622,12 +580,10 @@ class PipelineEngine:
             )
             done_at = result_arrival
             if scan.n_alive:
-                ids, scores = scan.survivors()
-                for cid, score in zip(ids, scores):
-                    state.heap.push(float(score), int(cid))
+                n_merged = self.kernel.merge_survivors(scan, state.heap)
                 done_at = self._client_merge(
                     DISPATCH_OVERHEAD_SECONDS
-                    + ids.size * HEAP_COST_PER_CANDIDATE,
+                    + n_merged * HEAP_COST_PER_CANDIDATE,
                     earliest=result_arrival,
                 )
             self._query_complete[state.query_index] = max(

@@ -44,6 +44,55 @@ def pairwise_inner_product(queries: np.ndarray, base: np.ndarray) -> np.ndarray:
     return queries @ base.T
 
 
+def squared_l2_to_query(rows: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Squared L2 distance of each row to a single query vector.
+
+    Uses the direct difference formulation (not the norm expansion of
+    :func:`pairwise_squared_l2`) so the result is bitwise identical to
+    accumulating :func:`repro.distance.partial.partial_squared_l2` over
+    a full dimension cover — the property the executor relies on to
+    keep prewarm scores and pipeline scores interchangeable.
+
+    Args:
+        rows: candidate matrix ``(n, d)``.
+        query: query vector ``(d,)``.
+
+    Returns:
+        Non-negative array of length ``n``.
+    """
+    diff = np.asarray(rows, dtype=np.float64) - np.asarray(
+        query, dtype=np.float64
+    )
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def inner_product_to_query(rows: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Inner product of each row with a single query vector.
+
+    Returns an array of length ``n`` in float64.
+    """
+    return np.asarray(rows, dtype=np.float64) @ np.asarray(
+        query, dtype=np.float64
+    )
+
+
+def scores_to_query(
+    rows: np.ndarray, query: np.ndarray, metric: "object"
+) -> np.ndarray:
+    """Library-convention scores (smaller is better) against one query.
+
+    Squared L2 for the L2 metric; negated dot product for the inner-
+    product family (cosine inputs are assumed pre-normalized). This is
+    the single scoring routine every executor backend's prewarm stage
+    routes through.
+    """
+    from repro.distance.metrics import Metric
+
+    if metric is Metric.L2:
+        return squared_l2_to_query(rows, query)
+    return -inner_product_to_query(rows, query)
+
+
 def top_k_smallest(values: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     """Indices and values of the ``k`` smallest entries, ascending.
 

@@ -1,10 +1,16 @@
 """Deployment validation utilities.
 
 The library's central guarantee is that distributed execution —
-whatever the partition grid, machine count, pruning, or scheduling —
-returns exactly what a single-node IVF scan would. These helpers let
-users *check* that guarantee on their own deployment and data, e.g.
-after an upgrade or a custom configuration.
+whatever the partition grid, machine count, pruning, scheduling, or
+execution backend — returns exactly what a plain serial scan would.
+These helpers let users *check* that guarantee on their own deployment
+and data, e.g. after an upgrade or a custom configuration.
+
+The reference oracle is :class:`~repro.core.executor.serial.SerialBackend`
+with pruning disabled: a plain loop that accumulates every slice of
+every candidate, with no early stop, no threads, and no scheduling
+freedom. (Its own agreement with ``IVFFlatIndex.search`` is covered by
+the test suite, so the oracle is anchored to the single-node scan.)
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.database import HarmonyDB
+from repro.core.executor.serial import SerialBackend
 
 
 @dataclass(frozen=True)
@@ -22,7 +29,7 @@ class ExactnessReport:
 
     Attributes:
         exact: True when every returned id and distance matched the
-            single-node reference scan.
+            serial reference scan.
         n_queries: queries checked.
         mismatched_queries: indices of queries whose result rows
             differ (empty when exact).
@@ -41,17 +48,20 @@ def check_exactness(
     queries: np.ndarray,
     k: int = 10,
     nprobe: int | None = None,
+    filter_labels: "np.ndarray | list[int] | None" = None,
 ) -> ExactnessReport:
-    """Verify a deployment against the single-node reference scan.
+    """Verify a deployment against the serial reference backend.
 
-    Runs the distributed engine and a plain ``IVFFlatIndex.search``
-    with identical parameters and compares ids and distances row by
-    row.
+    Runs the deployment's configured engine and an unpruned
+    :class:`SerialBackend` over the same index and plan with identical
+    parameters, and compares ids and distances row by row.
 
     Args:
         db: a built deployment.
         queries: query batch to verify with.
         k / nprobe: search parameters (nprobe defaults to the config's).
+        filter_labels: optional metadata label filter applied to both
+            executions.
 
     Raises:
         RuntimeError: if ``db`` is not built.
@@ -60,12 +70,21 @@ def check_exactness(
         raise RuntimeError("build() must be called before validation")
     nprobe = nprobe if nprobe is not None else db.config.nprobe
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-    result, _ = db.search(queries, k=k, nprobe=nprobe)
-    ref_dist, ref_ids = db.index.search(queries, k=k, nprobe=nprobe)
-    id_rows = np.all(result.ids == ref_ids, axis=1)
+    result, _ = db.search(
+        queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+    )
+    oracle = SerialBackend(
+        db.index, plan=db.plan, prewarm_size=0, enable_pruning=False
+    )
+    reference = oracle.search(
+        queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+    )
+    id_rows = np.all(result.ids == reference.ids, axis=1)
     dist_rows = np.all(
-        np.isclose(result.distances, ref_dist, rtol=1e-9, atol=1e-12)
-        | (np.isinf(result.distances) & np.isinf(ref_dist)),
+        np.isclose(
+            result.distances, reference.distances, rtol=1e-9, atol=1e-12
+        )
+        | (np.isinf(result.distances) & np.isinf(reference.distances)),
         axis=1,
     )
     good = id_rows & dist_rows

@@ -86,3 +86,68 @@ class TestTopKHeap:
         for (es, ei), (gs, gi) in zip(expected, got):
             assert gi == ei
             assert gs == pytest.approx(float(es))
+
+
+class TestPushMany:
+    def _reference(self, k, batches):
+        heap = TopKHeap(k)
+        for scores, ids in batches:
+            for s, i in zip(scores, ids):
+                heap.push(float(s), int(i))
+        return heap.items()
+
+    def test_matches_sequential_pushes(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        for k in (1, 3, 10, 50):
+            batches = [
+                (rng.standard_normal(n), rng.integers(0, 1000, n))
+                for n in (0, 1, 5, 40, 200)
+            ]
+            heap = TopKHeap(k)
+            for scores, ids in batches:
+                heap.push_many(scores, ids)
+            assert heap.items() == self._reference(k, batches)
+
+    def test_returns_retained_count(self):
+        import numpy as np
+
+        heap = TopKHeap(3)
+        assert heap.push_many(np.array([3.0, 1.0, 2.0]), np.array([0, 1, 2])) == 3
+        # All worse than the current threshold: nothing retained.
+        assert heap.push_many(np.array([9.0, 8.0]), np.array([3, 4])) == 0
+        # One better offer displaces the worst.
+        assert heap.push_many(np.array([0.5]), np.array([5])) == 1
+
+    def test_ties_broken_by_id(self):
+        import numpy as np
+
+        heap = TopKHeap(2)
+        heap.push_many(np.array([1.0, 1.0, 1.0]), np.array([7, 3, 5]))
+        assert [cid for _, cid in heap.items()] == [3, 5]
+        # Equal score, larger id than the root: not retained.
+        assert heap.push_many(np.array([1.0]), np.array([9])) == 0
+        # Equal score, smaller id: displaces the root.
+        assert heap.push_many(np.array([1.0]), np.array([1])) == 1
+        assert [cid for _, cid in heap.items()] == [1, 3]
+
+    def test_empty_and_shape_validation(self):
+        import numpy as np
+
+        heap = TopKHeap(2)
+        assert heap.push_many(np.empty(0), np.empty(0, dtype=np.int64)) == 0
+        with pytest.raises(ValueError, match="congruent"):
+            heap.push_many(np.ones(3), np.ones(2, dtype=np.int64))
+
+    def test_oversized_batch_keeps_k_smallest(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        scores = rng.standard_normal(500)
+        ids = np.arange(500)
+        heap = TopKHeap(4)
+        heap.push_many(scores, ids)
+        expected = sorted(zip(scores.tolist(), ids.tolist()))[:4]
+        got = heap.items()
+        assert [cid for _, cid in got] == [cid for _, cid in expected]

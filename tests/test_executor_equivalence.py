@@ -1,0 +1,201 @@
+"""Cross-backend exactness: serial == thread == simulated.
+
+The executor refactor's contract: every backend runs the one shared
+``ScanKernel``, so ids and distances are byte-identical across
+execution substrates — for every metric, filter, prewarm size, and
+after arbitrary add/remove mutation sequences.
+
+The simulated engine is compared in two configurations: with canonical
+slice ordering (pipeline/load-balance ablations off) its float
+accumulation order matches the serial loop exactly, so even distances
+must be bitwise equal; with the default adaptive ordering the per-slice
+partial sums are added in a different order, so ids must still match
+exactly while distances may differ only by float associativity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HarmonyConfig
+from repro.core.executor import (
+    SerialBackend,
+    SimulatedBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.core.partition import build_plan
+from repro.distance.metrics import Metric
+from repro.index.ivf import IVFFlatIndex
+
+METRICS = [Metric.L2, Metric.INNER_PRODUCT, Metric.COSINE]
+N_LABELS = 4
+
+
+def make_index(metric, n=400, dim=24, nlist=16, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((n, dim)).astype(np.float32)
+    index = IVFFlatIndex(dim=dim, nlist=nlist, metric=metric, seed=0)
+    index.train(base)
+    index.add(base, labels=rng.integers(0, N_LABELS, n))
+    return index
+
+
+def make_queries(dim, nq=12, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((nq, dim)).astype(np.float32)
+
+
+def sim_backend(index, plan, prewarm_size, canonical_order):
+    config = HarmonyConfig(
+        n_machines=plan.n_machines,
+        nlist=index.nlist,
+        metric=index.metric,
+        prewarm_size=prewarm_size,
+        enable_pipeline=not canonical_order,
+        enable_load_balance=not canonical_order,
+    )
+    return SimulatedBackend(index, plan=plan, config=config)
+
+
+def assert_equivalent(results, ids_ref, dist_ref, bitwise):
+    for name, result in results.items():
+        np.testing.assert_array_equal(
+            result.ids, ids_ref, err_msg=f"ids diverge in {name}"
+        )
+        if bitwise.get(name, True):
+            np.testing.assert_array_equal(
+                result.distances, dist_ref,
+                err_msg=f"distances diverge in {name}",
+            )
+        else:
+            np.testing.assert_allclose(
+                result.distances, dist_ref, rtol=1e-9, atol=1e-12,
+                err_msg=f"distances diverge in {name}",
+            )
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("prewarm", [0, 32])
+@pytest.mark.parametrize("filtered", [False, True])
+def test_three_backends_identical(metric, prewarm, filtered):
+    index = make_index(metric)
+    queries = make_queries(index.dim)
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    filter_labels = [0, 2] if filtered else None
+
+    serial = SerialBackend(index, plan=plan, prewarm_size=prewarm)
+    thread = ThreadBackend(
+        index, plan=plan, n_threads=4, prewarm_size=prewarm
+    )
+    sim_canonical = sim_backend(index, plan, prewarm, canonical_order=True)
+    sim_default = sim_backend(index, plan, prewarm, canonical_order=False)
+
+    kwargs = dict(k=5, nprobe=4, filter_labels=filter_labels)
+    reference = serial.search(queries, **kwargs)
+    results = {
+        "thread": thread.search(queries, **kwargs),
+        "sim-canonical": sim_canonical.search(queries, **kwargs),
+        "sim-default": sim_default.search(queries, **kwargs),
+    }
+    assert_equivalent(
+        results,
+        reference.ids,
+        reference.distances,
+        bitwise={"thread": True, "sim-canonical": True, "sim-default": False},
+    )
+
+
+@pytest.mark.parametrize("metric", METRICS)
+def test_backends_identical_after_mutations(metric):
+    index = make_index(metric, n=300)
+    rng = np.random.default_rng(5)
+    queries = make_queries(index.dim, nq=8, seed=3)
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+
+    # Interleave grows and tombstoned deletes, validating after each.
+    for step in range(3):
+        extra = rng.standard_normal((40, index.dim)).astype(np.float32)
+        index.add(extra, labels=rng.integers(0, N_LABELS, 40))
+        alive = np.flatnonzero(~index._deleted)
+        index.remove_ids(rng.choice(alive, size=15, replace=False))
+
+        serial = SerialBackend(index, plan=plan)
+        thread = ThreadBackend(index, plan=plan, n_threads=4)
+        sim = sim_backend(index, plan, prewarm_size=32, canonical_order=True)
+        reference = serial.search(queries, k=5, nprobe=4)
+        results = {
+            "thread": thread.search(queries, k=5, nprobe=4),
+            "sim-canonical": sim.search(queries, k=5, nprobe=4),
+        }
+        assert_equivalent(
+            results, reference.ids, reference.distances, bitwise={}
+        )
+
+
+def test_serial_backend_matches_single_node_scan():
+    """Anchor the oracle itself: SerialBackend == IVFFlatIndex.search."""
+    for metric in METRICS:
+        index = make_index(metric)
+        queries = make_queries(index.dim)
+        serial = SerialBackend(
+            index,
+            plan=build_plan(index, 4, 2, 2),
+        )
+        result = serial.search(queries, k=5, nprobe=4)
+        ref_dist, ref_ids = index.search(queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+        np.testing.assert_allclose(
+            result.distances, ref_dist, rtol=1e-9, atol=1e-12
+        )
+
+
+def test_resolve_backend_names():
+    assert resolve_backend("serial") is SerialBackend
+    assert resolve_backend("THREAD") is ThreadBackend
+    assert resolve_backend("sim") is SimulatedBackend
+    with pytest.raises(ValueError, match="unknown backend"):
+        resolve_backend("mpi")
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    metric=st.sampled_from(METRICS),
+    n_vector_shards=st.integers(1, 2),
+    n_dim_blocks=st.integers(1, 3),
+    prewarm=st.sampled_from([0, 8, 32]),
+    nprobe=st.integers(1, 8),
+    k=st.integers(1, 12),
+    filtered=st.booleans(),
+)
+def test_property_backend_equivalence(
+    seed, metric, n_vector_shards, n_dim_blocks, prewarm, nprobe, k, filtered
+):
+    """For ANY small deployment, all three backends agree byte-for-byte."""
+    index = make_index(metric, n=150, dim=9, nlist=8, seed=seed)
+    queries = make_queries(index.dim, nq=6, seed=seed + 1)
+    plan = build_plan(
+        index,
+        n_machines=n_vector_shards * n_dim_blocks,
+        n_vector_shards=n_vector_shards,
+        n_dim_blocks=n_dim_blocks,
+    )
+    filter_labels = [1, 3] if filtered else None
+    kwargs = dict(k=k, nprobe=nprobe, filter_labels=filter_labels)
+
+    serial = SerialBackend(index, plan=plan, prewarm_size=prewarm)
+    thread = ThreadBackend(index, plan=plan, n_threads=2, prewarm_size=prewarm)
+    sim = sim_backend(index, plan, prewarm, canonical_order=True)
+
+    reference = serial.search(queries, **kwargs)
+    results = {
+        "thread": thread.search(queries, **kwargs),
+        "sim-canonical": sim.search(queries, **kwargs),
+    }
+    assert_equivalent(results, reference.ids, reference.distances, bitwise={})
