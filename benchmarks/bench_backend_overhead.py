@@ -15,6 +15,7 @@ wall-clock stays in the same ballpark as the serial loop rather than
 collapsing under contention.
 """
 
+import json
 import time
 
 import numpy as np
@@ -71,6 +72,26 @@ def test_bench_backend_overhead(benchmark, capsys):
         title="backend overhead (host wall-clock, sift1m analogue)",
     )
     c.save_result("backend_overhead.txt", text)
+    c.save_result(
+        "backend_overhead.json",
+        json.dumps(
+            {
+                "dataset": "sift1m",
+                "k": c.K,
+                "nprobe": c.NPROBE,
+                "rows": [
+                    {
+                        "backend": name,
+                        "threads": n,
+                        "seconds": seconds,
+                        "speedup_vs_serial": speedup,
+                    }
+                    for name, n, seconds, speedup in rows
+                ],
+            },
+            indent=2,
+        ),
+    )
     with capsys.disabled():
         print("\n" + text)
 

@@ -1,0 +1,310 @@
+"""Scan-kernel microbenchmark: gather vs packed, per-query vs batched.
+
+Real host wall-clock (like ``bench_backend_overhead``, unlike the
+simulated figures) over a synthetic gaussian workload, comparing four
+executions of the identical search:
+
+- ``legacy_per_query``  — the pre-batching executor, reconstructed
+  here verbatim: per-(query, shard) fancy-gather of the full base
+  matrix, per-slice re-gather of alive rows, ``np.setdiff1d`` prewarm
+  exclusion. This is the baseline the packed/batched path must beat.
+- ``packed_per_query``  — today's ``search_one`` loop: packed shard
+  layout + compacted ``ShardScan`` (``batch_queries=False``).
+- ``batched_serial``    — fused shard-major ``search_batch`` on the
+  serial backend.
+- ``batched_thread``    — the same, with shard-groups fanned out over
+  host threads.
+
+All four must return byte-identical ids (asserted). Results are saved
+both as a text table and as machine-readable
+``results/BENCH_scan_kernel.json`` so the perf trajectory accumulates
+across PRs; ``--smoke`` runs a small workload and exits non-zero if
+the batched path is slower than the legacy per-query path (the CI
+perf-smoke gate).
+
+Usage::
+
+    PYTHONPATH=../src python bench_scan_kernel.py            # full
+    PYTHONPATH=../src python bench_scan_kernel.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+import _common as c
+from repro.core.executor import ScanKernel, SerialBackend, ThreadBackend, collect_results
+from repro.core.partition import build_plan
+from repro.core.routing import shard_candidate_lists
+from repro.distance.partial import partial_squared_l2
+from repro.index.ivf import IVFFlatIndex
+
+FULL = dict(
+    n=100_000, dim=128, nlist=64, nprobe=8, k=10,
+    n_shards=4, slice_counts=(4, 8), batches=(16, 64, 256), repeats=3,
+)
+SMOKE = dict(
+    n=15_000, dim=64, nlist=32, nprobe=8, k=10,
+    n_shards=2, slice_counts=(4,), batches=(32,), repeats=2,
+)
+
+
+class LegacyShardScan:
+    """The pre-batching ``ShardScan``, kept verbatim as the baseline.
+
+    Gathers all candidate rows up front, then re-gathers the alive
+    subset (full dimensionality) on every slice — the per-slice
+    ``rows[alive_idx]`` traffic the compacted scan eliminated. L2 only;
+    the benchmark workload is L2.
+    """
+
+    def __init__(self, base, candidate_ids, query, slices):
+        self.candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        self.query = np.asarray(query, dtype=np.float32)
+        self.slices = slices
+        self._rows = base[self.candidate_ids]
+        n = self.candidate_ids.size
+        self.accumulated = np.zeros(n, dtype=np.float64)
+        self.alive = np.ones(n, dtype=bool)
+        self.done: list[int] = []
+
+    @property
+    def n_alive(self):
+        return int(self.alive.sum())
+
+    def process_slice(self, slice_id):
+        alive_idx = np.flatnonzero(self.alive)
+        if alive_idx.size:
+            rows = self.slices.take(self._rows[alive_idx], slice_id)
+            q_slice = self.slices.take(self.query, slice_id)
+            self.accumulated[alive_idx] += partial_squared_l2(rows, q_slice)
+        self.done.append(slice_id)
+        return int(alive_idx.size)
+
+    def prune(self, threshold):
+        if not np.isfinite(threshold):
+            return
+        self.alive &= self.accumulated <= threshold
+
+    def survivors(self):
+        alive_idx = np.flatnonzero(self.alive)
+        return self.candidate_ids[alive_idx], self.accumulated[alive_idx]
+
+
+def run_legacy(index, plan, queries, k, nprobe):
+    """The pre-batching per-query executor, end to end."""
+    kernel = ScanKernel(index, plan, use_packed_base=False)
+    queries = kernel.prepare_queries(queries)
+    probes = index.probe(queries, nprobe)
+    heaps = []
+    for i in range(queries.shape[0]):
+        state = kernel.begin_query(i, queries[i], probes[i], k, None)
+        for shard in kernel.shards_for(state):
+            lists_here = shard_candidate_lists(
+                plan, state.probe_row, int(shard)
+            )
+            candidates = index.candidates(lists_here)
+            if state.prewarmed.size:
+                candidates = np.setdiff1d(
+                    candidates, state.prewarmed, assume_unique=False
+                )
+            if candidates.size == 0:
+                continue
+            scan = LegacyShardScan(
+                index.base, candidates, state.query, plan.slices
+            )
+            for block in range(plan.n_dim_blocks):
+                if scan.n_alive == 0:
+                    break
+                scan.process_slice(block)
+                scan.prune(state.heap.threshold)
+            if scan.n_alive:
+                ids, scores = scan.survivors()
+                state.heap.push_many(scores, ids)
+        heaps.append(state.heap)
+    return collect_results(heaps, k)
+
+
+def build_workload(params, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((params["n"], params["dim"]))
+    base = base.astype(np.float32)
+    queries = rng.standard_normal((max(params["batches"]), params["dim"]))
+    queries = queries.astype(np.float32)
+    index = IVFFlatIndex(
+        dim=params["dim"],
+        nlist=params["nlist"],
+        seed=0,
+        max_iterations=10,
+    )
+    index.train(base[: min(20_000, params["n"])])
+    index.add(base)
+    return index, queries
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_suite(params, log=print):
+    index, all_queries = build_workload(params)
+    nprobe, k = params["nprobe"], params["k"]
+    cases = []
+    for n_slices in params["slice_counts"]:
+        plan = build_plan(
+            index,
+            n_machines=params["n_shards"] * n_slices,
+            n_vector_shards=params["n_shards"],
+            n_dim_blocks=n_slices,
+        )
+        per_query = SerialBackend(index, plan=plan, batch_queries=False)
+        batched = SerialBackend(index, plan=plan, batch_queries=True)
+        threaded = ThreadBackend(
+            index, plan=plan, n_threads=params["n_shards"],
+            batch_queries=True,
+        )
+        for batch in params["batches"]:
+            queries = all_queries[:batch]
+            seconds = {}
+            seconds["legacy_per_query"], ref = _best_of(
+                lambda: run_legacy(index, plan, queries, k, nprobe),
+                params["repeats"],
+            )
+            variants = {
+                "packed_per_query": per_query,
+                "batched_serial": batched,
+                "batched_thread": threaded,
+            }
+            for name, backend in variants.items():
+                seconds[name], result = _best_of(
+                    lambda b=backend: b.search(queries, k=k, nprobe=nprobe),
+                    params["repeats"],
+                )
+                assert np.array_equal(result.ids, ref.ids), (
+                    f"{name} ids diverge from the legacy path"
+                )
+                assert np.array_equal(result.distances, ref.distances), (
+                    f"{name} distances diverge from the legacy path"
+                )
+            legacy = seconds["legacy_per_query"]
+            best_batched = min(
+                seconds["batched_serial"], seconds["batched_thread"]
+            )
+            case = {
+                "batch": batch,
+                "n_slices": n_slices,
+                "n_shards": params["n_shards"],
+                "seconds": seconds,
+                "speedup_batched_vs_legacy": legacy / best_batched,
+                "speedup_batched_vs_packed_per_query": (
+                    seconds["packed_per_query"] / best_batched
+                ),
+            }
+            cases.append(case)
+            log(
+                f"  batch {batch:4d} x {n_slices} slices: "
+                + "  ".join(
+                    f"{name} {sec * 1e3:8.1f} ms"
+                    for name, sec in seconds.items()
+                )
+                + f"  (batched {case['speedup_batched_vs_legacy']:.2f}x"
+                f" vs legacy)"
+            )
+    return cases
+
+
+def save_outputs(params, cases, smoke):
+    payload = {
+        "workload": {
+            key: params[key]
+            for key in ("n", "dim", "nlist", "nprobe", "k", "n_shards")
+        }
+        | {"smoke": smoke},
+        "cases": cases,
+    }
+    c.save_result("BENCH_scan_kernel.json", json.dumps(payload, indent=2))
+    rows = [
+        [
+            case["batch"],
+            case["n_slices"],
+            round(case["seconds"]["legacy_per_query"] * 1e3, 1),
+            round(case["seconds"]["packed_per_query"] * 1e3, 1),
+            round(case["seconds"]["batched_serial"] * 1e3, 1),
+            round(case["seconds"]["batched_thread"] * 1e3, 1),
+            round(case["speedup_batched_vs_legacy"], 2),
+        ]
+        for case in cases
+    ]
+    text = c.format_table(
+        [
+            "batch", "slices", "legacy (ms)", "packed (ms)",
+            "batched (ms)", "threaded (ms)", "speedup vs legacy",
+        ],
+        rows,
+        title=(
+            "scan kernel: packed layout + fused batching "
+            "(host wall-clock, synthetic gaussian)"
+        ),
+    )
+    c.save_result("scan_kernel.txt", text)
+    return text
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload; fail if batched is slower than per-query",
+    )
+    args = parser.parse_args(argv)
+    params = SMOKE if args.smoke else FULL
+    label = "smoke" if args.smoke else "full"
+    print(
+        f"scan-kernel benchmark ({label}): {params['n']:,} x "
+        f"{params['dim']}, nlist {params['nlist']}, nprobe "
+        f"{params['nprobe']}"
+    )
+    cases = run_suite(params)
+    print("\n" + save_outputs(params, cases, smoke=args.smoke))
+    if args.smoke:
+        slow = [
+            case
+            for case in cases
+            if case["speedup_batched_vs_legacy"] < 1.0
+        ]
+        if slow:
+            print(
+                "FAIL: batched path slower than the legacy per-query "
+                f"path in {len(slow)} case(s)"
+            )
+            return 1
+        print("OK: batched path beats the legacy per-query path")
+    return 0
+
+
+def test_bench_scan_kernel(benchmark, capsys):
+    """Pytest entry point (smoke workload) for the benchmark suite."""
+    cases = benchmark.pedantic(
+        lambda: run_suite(SMOKE, log=lambda *_: None), rounds=1, iterations=1
+    )
+    text = save_outputs(SMOKE, cases, smoke=True)
+    with capsys.disabled():
+        print("\n" + text)
+    for case in cases:
+        assert case["speedup_batched_vs_legacy"] >= 1.0, case
+
+
+if __name__ == "__main__":
+    sys.exit(main())

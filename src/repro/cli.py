@@ -68,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker threads for --backend thread",
     )
+    run.add_argument(
+        "--no-batch-queries",
+        action="store_true",
+        help="disable the fused multi-query scan path on host "
+        "backends (results are bitwise identical either way)",
+    )
     run.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("datasets", help="list dataset analogues")
@@ -136,6 +142,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         n_threads=args.threads,
+        batch_queries=not args.no_batch_queries,
     )
     print(
         f"dataset {dataset.name}: {dataset.size:,} x {dataset.dim} vectors, "

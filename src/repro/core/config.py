@@ -79,6 +79,10 @@ class HarmonyConfig:
             byte-identical results; only the timing side differs.
         n_threads: worker threads for the ``"thread"`` backend
             (None = executor default).
+        batch_queries: on the host backends, fuse multi-query batches
+            into shard-major matrix-matrix scans (bitwise identical to
+            the per-query loop, just faster). False forces one scan
+            per query; the simulated backend always steps per query.
     """
 
     n_machines: int = 4
@@ -98,6 +102,7 @@ class HarmonyConfig:
     replicas: int = 1
     backend: str = "sim"
     n_threads: "int | None" = None
+    batch_queries: bool = True
 
     def __post_init__(self) -> None:
         self.metric = resolve_metric(self.metric)
@@ -136,6 +141,7 @@ class HarmonyConfig:
             raise ValueError(
                 f"n_threads must be positive, got {self.n_threads}"
             )
+        self.batch_queries = bool(self.batch_queries)
 
     def replace(self, **changes: object) -> "HarmonyConfig":
         """Copy of this config with the given fields replaced."""

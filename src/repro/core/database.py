@@ -385,6 +385,7 @@ class HarmonyDB:
                     n_threads=self.config.n_threads,
                     prewarm_size=self.config.prewarm_size,
                     enable_pruning=self.config.enable_pruning,
+                    batch_queries=self.config.batch_queries,
                 )
             else:
                 self._host_backend = SerialBackend(
@@ -392,6 +393,7 @@ class HarmonyDB:
                     plan=self.plan,
                     prewarm_size=self.config.prewarm_size,
                     enable_pruning=self.config.enable_pruning,
+                    batch_queries=self.config.batch_queries,
                 )
         return self._host_backend
 
@@ -428,6 +430,7 @@ class HarmonyDB:
                 "seed": config.seed,
                 "backend": config.backend,
                 "n_threads": config.n_threads,
+                "batch_queries": config.batch_queries,
             }
         )
         assignment = np.full(self.index.ntotal, -1, dtype=np.int64)

@@ -68,6 +68,12 @@ class HostBackend(Backend):
         prewarm_size: heap-seeding candidates per query (0 disables
             pruning entirely).
         enable_pruning: toggle lossless early-stop pruning.
+        batch_queries: route multi-query batches through the kernel's
+            fused shard-major ``search_batch`` path (bitwise identical
+            to the per-query loop); False forces one ``search_one``
+            call per query.
+        use_packed_base: cache and gather from the shard-major packed
+            layout instead of fancy-indexing the full base matrix.
     """
 
     def __init__(
@@ -76,16 +82,20 @@ class HostBackend(Backend):
         plan: PartitionPlan | None = None,
         prewarm_size: int = 32,
         enable_pruning: bool = True,
+        batch_queries: bool = True,
+        use_packed_base: bool = True,
     ) -> None:
         if not index.is_trained:
             raise RuntimeError("backend requires a trained index")
         self.index = index
         self.plan = plan if plan is not None else default_plan(index)
+        self.batch_queries = batch_queries
         self.kernel = ScanKernel(
             index,
             self.plan,
             prewarm_size=prewarm_size,
             enable_pruning=enable_pruning,
+            use_packed_base=use_packed_base,
         )
 
     @property
@@ -111,7 +121,13 @@ class HostBackend(Backend):
         probes = self.index.probe(queries, nprobe)
         allowed = self.index.allowed_mask(filter_labels)
         nq = queries.shape[0]
-        heaps: list = [None] * nq
+        if self.batch_queries and nq > 1:
+            heaps = kernel.search_batch(
+                queries, probes, k, allowed,
+                map_groups=self._group_mapper(),
+            )
+            return collect_results(heaps, k)
+        heaps = [None] * nq
 
         def run_query(i: int) -> None:
             heaps[i] = kernel.search_one(
@@ -124,6 +140,15 @@ class HostBackend(Backend):
     @abc.abstractmethod
     def _map(self, fn, nq: int) -> None:
         """Run ``fn(i)`` for every query index; substrate-specific."""
+
+    def _group_mapper(self):
+        """Optional concurrent executor for batched shard-groups.
+
+        Returns ``fn(task, shards)`` running ``task(shard)`` for every
+        shard, or None to process groups sequentially in shard order
+        (the serial default).
+        """
+        return None
 
 
 BACKENDS: dict[str, str] = {

@@ -8,28 +8,49 @@ pruning, and merge the survivors into the heap. Historically that
 algorithm lived in two private copies (``PipelineEngine`` and
 ``ThreadedSearcher``); :class:`ScanKernel` is its single home.
 
-The kernel is deliberately *timing-free*: it gathers candidates, scores
+The kernel is deliberately *timing-free*: it gathers candidates (from a
+cached :class:`~repro.core.layout.ShardPackedBase` when enabled), scores
 batches, steps :class:`~repro.core.pruning.ShardScan` objects slice by
 slice, and maintains heaps. Backends decide *when* and *where* each
 step runs (host threads, simulated machines) and charge whatever cost
 model they like around the kernel calls — which is what keeps results
 byte-identical across backends by construction.
+
+Two execution shapes share the kernel:
+
+- :meth:`ScanKernel.search_one` — the per-query reference loop;
+- :meth:`ScanKernel.search_batch` — the throughput path: queries are
+  grouped by touched shard and every (shard, slice) stage advances the
+  whole group at once (:class:`~repro.core.pruning.ShardGroupScan`) —
+  dense vectorized bookkeeping and pruning across the group, per-query
+  row blocks scored with the per-query broadcast kernel. Because the
+  group stage reuses the per-query einsum reduction row for row, its
+  results are *bitwise identical* to the looped :meth:`search_one` — a
+  property the equivalence tests pin.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.heap import TopKHeap
+from repro.core.layout import ShardPackedBase
 from repro.core.partition import PartitionPlan
-from repro.core.pruning import ShardScan
+from repro.core.pruning import ShardGroupScan, ShardScan
 from repro.core.results import SearchResult
 from repro.core.routing import shard_candidate_lists, touched_shards
 from repro.distance.kernels import scores_to_query
 from repro.distance.metrics import Metric, normalize_rows
-from repro.distance.partial import slice_norms
+from repro.distance.partial import query_slice_norms, slice_norms
+
+#: Upper bound on float32 elements per fused group chunk (~32 MB of
+#: candidate rows). Groups larger than this are processed in sequential
+#: query-disjoint chunks so the batched path's working set stays
+#: cache-and-RAM friendly at any batch size.
+GROUP_BLOCK_ELEMENTS = 8_000_000
 
 
 @dataclass
@@ -43,6 +64,13 @@ class QueryState:
         heap: the query's top-K heap; its threshold drives pruning.
         prewarmed: ids already scored during prewarm (shard scans skip
             them).
+        prewarmed_mask: boolean mask over all ids, True at prewarmed
+            ids; None when nothing was prewarmed. Precomputed once so
+            per-shard candidate exclusion is a mask lookup instead of a
+            set difference.
+        query_norms: per-slice query norms (IP metrics only), computed
+            once per query and shared by every shard scan's
+            Cauchy-Schwarz bound.
     """
 
     query_index: int
@@ -50,6 +78,8 @@ class QueryState:
     probe_row: np.ndarray
     heap: TopKHeap
     prewarmed: np.ndarray
+    prewarmed_mask: np.ndarray | None = None
+    query_norms: np.ndarray | None = None
 
 
 class ScanKernel:
@@ -59,7 +89,9 @@ class ScanKernel:
     by every backend searching it. All methods are thread-safe for
     *disjoint* queries (they mutate only the per-query
     :class:`QueryState` / :class:`ShardScan` objects passed in), which
-    is what lets the thread backend fan queries out without locks.
+    is what lets the thread backend fan queries out without locks; the
+    batched path adds per-query locks only where shard-groups sharing a
+    query run concurrently.
 
     Args:
         index: trained+populated IVF index.
@@ -67,6 +99,11 @@ class ScanKernel:
         metric: similarity metric; defaults to the index's.
         prewarm_size: heap-seeding candidates per query (0 disables).
         enable_pruning: toggle lossless early-stop pruning.
+        use_packed_base: cache a :class:`ShardPackedBase` and gather
+            candidates from it (cheap shard-local indexing) instead of
+            fancy-indexing the full base matrix per (query, shard).
+            The packed copy is invalidated automatically when the
+            index's version moves (streaming adds / deletes).
     """
 
     def __init__(
@@ -76,6 +113,7 @@ class ScanKernel:
         metric: Metric | None = None,
         prewarm_size: int = 32,
         enable_pruning: bool = True,
+        use_packed_base: bool = True,
     ) -> None:
         if not index.is_trained:
             raise RuntimeError("kernel requires a trained index")
@@ -88,6 +126,8 @@ class ScanKernel:
         self.metric = index.metric if metric is None else metric
         self.prewarm_size = prewarm_size
         self.enable_pruning = enable_pruning
+        self.use_packed_base = use_packed_base
+        self._packed: ShardPackedBase | None = None
         self._base_slice_norms: np.ndarray | None = None
         if self.metric is not Metric.L2:
             self._base_slice_norms = slice_norms(index.base, plan.slices)
@@ -102,6 +142,47 @@ class ScanKernel:
         if self.metric is Metric.COSINE:
             queries = normalize_rows(queries)
         return queries
+
+    # ------------------------------------------------------------------
+    # Cached data plane
+    # ------------------------------------------------------------------
+
+    def packed_base(self) -> ShardPackedBase | None:
+        """The shard-major packed layout, rebuilt lazily on staleness.
+
+        Returns None when packing is disabled, in which case candidate
+        gathering falls back to fancy-indexing ``index.base``.
+        """
+        if not self.use_packed_base:
+            return None
+        packed = self._packed
+        if packed is not None and packed.matches(self.index):
+            return packed
+        self._refresh_base_norms()
+        packed = ShardPackedBase.build(
+            self.index, self.plan, base_slice_norms=self._base_slice_norms
+        )
+        self._packed = packed
+        return packed
+
+    def _refresh_base_norms(self) -> None:
+        if (
+            self._base_slice_norms is not None
+            and self._base_slice_norms.shape[0] != self.index.base.shape[0]
+        ):
+            # The index grew since kernel construction (streaming adds);
+            # refresh the per-slice norm cache so IP bounds stay lossless.
+            self._base_slice_norms = slice_norms(
+                self.index.base, self.plan.slices
+            )
+
+    def _candidate_slice_norms(
+        self, candidates: np.ndarray
+    ) -> np.ndarray | None:
+        if self._base_slice_norms is None:
+            return None
+        self._refresh_base_norms()
+        return self._base_slice_norms[candidates]
 
     # ------------------------------------------------------------------
     # Algorithm 1 steps
@@ -119,18 +200,31 @@ class ScanKernel:
 
         Prewarm scores up to ``prewarm_size`` members of the nearest
         probed list in one batched distance call, seeding the heap with
-        a finite threshold before any shard scan starts.
+        a finite threshold before any shard scan starts. Per-query
+        reusables — the prewarm exclusion mask and (for IP metrics) the
+        per-slice query norms — are computed here exactly once.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         heap = TopKHeap(k)
         prewarmed = self._prewarm(query, probe_row, heap, allowed)
+        prewarmed_mask = None
+        if prewarmed.size:
+            prewarmed_mask = np.zeros(self.index.ntotal, dtype=bool)
+            prewarmed_mask[prewarmed] = True
+        query_norms = None
+        if self.metric is not Metric.L2:
+            query_norms = query_slice_norms(
+                np.asarray(query, dtype=np.float32), self.plan.slices
+            )
         return QueryState(
             query_index=query_index,
             query=query,
             probe_row=probe_row,
             heap=heap,
             prewarmed=prewarmed,
+            prewarmed_mask=prewarmed_mask,
+            query_norms=query_norms,
         )
 
     def _prewarm(
@@ -156,6 +250,40 @@ class ScanKernel:
         """Vector shards the query must visit, ascending."""
         return touched_shards(self.plan, state.probe_row)
 
+    def _gather_candidates(
+        self,
+        state: QueryState,
+        shard: int,
+        allowed: np.ndarray | None,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None] | None":
+        """One shard's (ids, rows, norms) for a query, or None if empty.
+
+        Uses the packed layout when enabled (contiguous shard-local
+        ranges); otherwise falls back to the legacy full-base gather.
+        Prewarmed ids are excluded via the precomputed boolean mask in
+        both paths.
+        """
+        lists_here = shard_candidate_lists(self.plan, state.probe_row, shard)
+        packed = self.packed_base()
+        if packed is not None:
+            ids, rows, norms = packed.gather(
+                shard,
+                lists_here,
+                allowed=allowed,
+                exclude=state.prewarmed_mask,
+            )
+            if ids.size == 0:
+                return None
+            return ids, rows, norms
+        candidates = self.index.candidates(lists_here, allowed=allowed)
+        if state.prewarmed_mask is not None and candidates.size:
+            candidates = candidates[~state.prewarmed_mask[candidates]]
+        if candidates.size == 0:
+            return None
+        rows = self.index.base[candidates]
+        norms = self._candidate_slice_norms(candidates)
+        return candidates, rows, norms
+
     def make_scan(
         self,
         state: QueryState,
@@ -167,38 +295,19 @@ class ScanKernel:
         Returns None when the shard contributes no candidates (all its
         probed lists are empty, filtered out, or fully prewarmed).
         """
-        lists_here = shard_candidate_lists(
-            self.plan, state.probe_row, int(shard)
-        )
-        candidates = self.index.candidates(lists_here, allowed=allowed)
-        if state.prewarmed.size:
-            candidates = np.setdiff1d(
-                candidates, state.prewarmed, assume_unique=False
-            )
-        if candidates.size == 0:
+        part = self._gather_candidates(state, int(shard), allowed)
+        if part is None:
             return None
-        norms = self._candidate_slice_norms(candidates)
+        ids, rows, norms = part
         return ShardScan(
-            base=self.index.base,
-            candidate_ids=candidates,
+            candidate_ids=ids,
             query=state.query,
             slices=self.plan.slices,
             metric=self.metric,
             base_slice_norms=norms,
+            rows=rows,
+            query_norms=state.query_norms,
         )
-
-    def _candidate_slice_norms(
-        self, candidates: np.ndarray
-    ) -> np.ndarray | None:
-        if self._base_slice_norms is None:
-            return None
-        if self._base_slice_norms.shape[0] != self.index.base.shape[0]:
-            # The index grew since kernel construction (streaming adds);
-            # refresh the per-slice norm cache so IP bounds stay lossless.
-            self._base_slice_norms = slice_norms(
-                self.index.base, self.plan.slices
-            )
-        return self._base_slice_norms[candidates]
 
     def step(self, scan: ShardScan, heap: TopKHeap, block: int) -> int:
         """Advance one scan by one dimension block, then prune.
@@ -251,6 +360,148 @@ class ScanKernel:
                 self.run_scan(scan, state.heap)
         return state.heap
 
+    # ------------------------------------------------------------------
+    # Batched shard-major execution
+    # ------------------------------------------------------------------
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        probes: np.ndarray,
+        k: int,
+        allowed: np.ndarray | None = None,
+        map_groups=None,
+    ) -> "list[TopKHeap]":
+        """Algorithm 1 for a whole batch, fused shard-major.
+
+        Queries are grouped by touched shard; shard-groups are
+        processed in ascending shard order (each query therefore sees
+        shards in exactly the order :meth:`search_one` would), and each
+        group's (shard, slice) stages run as single fused calls over
+        every member's candidates. Results are bitwise identical to
+        looping :meth:`search_one`.
+
+        Args:
+            queries: prepared query batch ``(nq, dim)``.
+            probes: probed list ids ``(nq, nprobe)``.
+            k: top-K size.
+            allowed: optional per-id admissibility mask.
+            map_groups: optional ``fn(task, shards)`` executor fanning
+                shard-group tasks out concurrently (the thread
+                backend); None processes groups in order on the caller.
+                When concurrent, per-query locks serialize heap merges
+                — pruning thresholds may be read stale, which is safe
+                because thresholds only tighten and pruning is
+                lossless.
+
+        Returns:
+            One populated heap per query.
+        """
+        nq = queries.shape[0]
+        states = [
+            self.begin_query(i, queries[i], probes[i], k, allowed)
+            for i in range(nq)
+        ]
+        groups: dict[int, list[QueryState]] = {}
+        for state in states:
+            for shard in self.shards_for(state):
+                groups.setdefault(int(shard), []).append(state)
+        shard_order = sorted(groups)
+        if map_groups is None:
+            for shard in shard_order:
+                self.run_shard_group(shard, groups[shard], allowed)
+        else:
+            locks = [threading.Lock() for _ in states]
+            map_groups(
+                lambda shard: self.run_shard_group(
+                    shard, groups[shard], allowed, locks
+                ),
+                shard_order,
+            )
+        return [state.heap for state in states]
+
+    def run_shard_group(
+        self,
+        shard: int,
+        group: "list[QueryState]",
+        allowed: np.ndarray | None = None,
+        locks: "list[threading.Lock] | None" = None,
+    ) -> None:
+        """Process one shard for every query in ``group``, fused.
+
+        The group is split into query-disjoint chunks bounded by
+        :data:`GROUP_BLOCK_ELEMENTS` so the concatenated row block stays
+        memory-friendly at any batch size; chunking cannot change
+        results because chunks never share a query.
+        """
+        dim = int(self.index.base.shape[1])
+        max_rows = max(1, GROUP_BLOCK_ELEMENTS // dim)
+        chunk_states: list[QueryState] = []
+        chunk_parts: list[tuple] = []
+        chunk_rows = 0
+        for state in group:
+            part = self._gather_candidates(state, int(shard), allowed)
+            if part is None:
+                continue
+            chunk_states.append(state)
+            chunk_parts.append(part)
+            chunk_rows += int(part[0].size)
+            if chunk_rows >= max_rows:
+                self._run_group_chunk(chunk_states, chunk_parts, locks)
+                chunk_states, chunk_parts, chunk_rows = [], [], 0
+        if chunk_states:
+            self._run_group_chunk(chunk_states, chunk_parts, locks)
+
+    def _run_group_chunk(
+        self,
+        states: "list[QueryState]",
+        parts: "list[tuple]",
+        locks: "list[threading.Lock] | None",
+    ) -> None:
+        ids = np.concatenate([part[0] for part in parts])
+        rows = [part[1] for part in parts]
+        sizes = [part[0].size for part in parts]
+        query_of = np.repeat(np.arange(len(states), dtype=np.intp), sizes)
+        queries = np.stack([state.query for state in states])
+        base_norms = None
+        query_norms = None
+        if self.metric is not Metric.L2:
+            base_norms = np.concatenate([part[2] for part in parts], axis=0)
+            query_norms = np.stack([state.query_norms for state in states])
+        scan = ShardGroupScan(
+            rows=rows,
+            ids=ids,
+            query_of=query_of,
+            queries=queries,
+            slices=self.plan.slices,
+            metric=self.metric,
+            base_slice_norms=base_norms,
+            query_norms=query_norms,
+        )
+        for block in range(self.plan.n_dim_blocks):
+            if scan.n_alive == 0:
+                break
+            scan.process_slice(block)
+            if self.enable_pruning:
+                thresholds = np.array(
+                    [state.heap.threshold for state in states]
+                )
+                scan.prune(thresholds)
+        if scan.n_alive == 0:
+            return
+        survivor_ids, survivor_scores, survivor_query = scan.survivors()
+        for local, state in enumerate(states):
+            mask = survivor_query == local
+            if not mask.any():
+                continue
+            scores = survivor_scores[mask]
+            cand = survivor_ids[mask]
+            if locks is None:
+                state.heap.push_many(scores, cand)
+            else:
+                with locks[state.query_index]:
+                    state.heap.push_many(scores, cand)
+
 
 def collect_results(heaps: "list[TopKHeap]", k: int) -> SearchResult:
     """Materialize per-query heaps into a padded :class:`SearchResult`."""
@@ -258,8 +509,9 @@ def collect_results(heaps: "list[TopKHeap]", k: int) -> SearchResult:
     out_dist = np.full((nq, k), np.inf, dtype=np.float64)
     out_ids = np.full((nq, k), -1, dtype=np.int64)
     for i, heap in enumerate(heaps):
-        items = heap.items()
-        if items:
-            out_dist[i, : len(items)] = [score for score, _ in items]
-            out_ids[i, : len(items)] = [cid for _, cid in items]
+        scores, ids = heap.items_arrays()
+        n = scores.size
+        if n:
+            out_dist[i, :n] = scores
+            out_ids[i, :n] = ids
     return SearchResult(distances=out_dist, ids=out_ids)

@@ -13,7 +13,13 @@ from repro.core.executor.base import HostBackend
 
 
 class SerialBackend(HostBackend):
-    """One query at a time, shards and slices in canonical order."""
+    """Single-threaded execution, shards and slices in canonical order.
+
+    Multi-query batches route through the kernel's fused
+    ``search_batch`` path by default (``batch_queries=False`` restores
+    the strict one-``search_one``-per-query loop); both are bitwise
+    identical by construction, and the equivalence tests pin that.
+    """
 
     name = "serial"
 

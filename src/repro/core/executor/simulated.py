@@ -7,6 +7,13 @@ is charged to a simulated machine's timeline and every partial-result
 hand-off to the network, so alongside the (byte-identical) answers the
 backend produces the full :class:`~repro.core.results.ExecutionReport`
 of the distributed execution.
+
+Unlike the host backends, simulation keeps *per-query* stepping — the
+timing model charges stages query by query — but it still reuses the
+kernel's packed shard layout and the compacted scans, so its host-side
+overhead drops with the same optimizations without perturbing any
+simulated timing (charges depend only on candidate counts, which the
+packed gather preserves exactly).
 """
 
 from __future__ import annotations

@@ -1,11 +1,16 @@
 """Thread backend: real host parallelism (no simulation).
 
-Queries are independent, so the backend fans them out across a thread
-pool; numpy kernels release the GIL while they run, so overlap grows
-with per-query work (large candidate sets and dimensionalities).
-Results are byte-identical to the serial backend regardless of thread
-count — that invariance, not raw speed, is the contract this class is
-tested on.
+In the batched path the unit of parallelism is a *shard-group* — all
+queries touching one vector shard, processed as fused matrix-matrix
+stages — so threads scale with the plan's shard count while each
+stage stays a large GIL-releasing numpy call. Per-query heap merges
+are serialized by the kernel's per-query locks; stale (looser)
+threshold reads under concurrency only prune less, never wrongly,
+because the pruning bound is lossless. In the per-query path
+(``batch_queries=False`` or single-query batches) queries themselves
+fan out across the pool. Results are byte-identical to the serial
+backend regardless of thread count — that invariance, not raw speed,
+is the contract this class is tested on.
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ class ThreadBackend(HostBackend):
         n_threads: int | None = None,
         prewarm_size: int = 32,
         enable_pruning: bool = True,
+        batch_queries: bool = True,
+        use_packed_base: bool = True,
     ) -> None:
         if n_threads is not None and n_threads <= 0:
             raise ValueError(f"n_threads must be positive, got {n_threads}")
@@ -46,9 +53,18 @@ class ThreadBackend(HostBackend):
             plan=plan,
             prewarm_size=prewarm_size,
             enable_pruning=enable_pruning,
+            batch_queries=batch_queries,
+            use_packed_base=use_packed_base,
         )
         self.n_threads = n_threads
 
     def _map(self, fn, nq: int) -> None:
         with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
             list(pool.map(fn, range(nq)))
+
+    def _group_mapper(self):
+        def run(task, shards) -> None:
+            with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
+                list(pool.map(task, shards))
+
+        return run

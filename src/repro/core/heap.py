@@ -100,3 +100,22 @@ class TopKHeap:
     def items(self) -> list[tuple[float, int]]:
         """Retained ``(score, id)`` pairs, best first."""
         return sorted((-s, -i) for s, i in self._heap)
+
+    def items_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Retained scores and ids as arrays, best first.
+
+        The vectorized form of :meth:`items` used by the executor's
+        result collection: one array conversion plus one lexsort
+        instead of per-entry tuple building. Ids are exact — they stay
+        well below 2**53, so the float64 round-trip is lossless.
+        """
+        if not self._heap:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        entries = np.array(self._heap, dtype=np.float64)
+        scores = -entries[:, 0]
+        ids = (-entries[:, 1]).astype(np.int64)
+        order = np.lexsort((ids, scores))
+        return scores[order], ids[order]

@@ -1,0 +1,185 @@
+"""Packed shard-major base layouts (the batched executor's data plane).
+
+Candidate gathering used to fancy-index the full base matrix once per
+(query, shard) — exactly the scattered DRAM traffic that dominates
+IVF scan cost at scale. :class:`ShardPackedBase` instead packs each
+vector shard's list members (and, for the inner-product family, their
+per-slice norms) into contiguous float32 arrays at plan time, ordered
+list-by-list, with a per-list local row range. Gathering a query's
+candidates then reduces to concatenating a handful of ``arange`` ranges
+and one fancy-index into a small shard-local array — cheap, cache-
+friendly, and independent of the total base size.
+
+The packed copy is a pure cache: :class:`~repro.core.executor.kernel.
+ScanKernel` builds it lazily and drops it whenever the index's
+:attr:`~repro.index.ivf.IVFFlatIndex.version` moves (streaming adds or
+deletes), mirroring the existing ``_base_slice_norms`` refresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import PartitionPlan
+
+
+class ShardPackedBase:
+    """Per-shard contiguous copies of list-member rows, ids, and norms.
+
+    Build with :meth:`build`; query with :meth:`gather`. All arrays are
+    immutable snapshots of the index at build time — use
+    :meth:`matches` to detect staleness.
+
+    Attributes:
+        version: the index version this layout was packed from.
+        ntotal: base size at build time (cheap secondary staleness
+            check for indexes that predate the version counter).
+    """
+
+    def __init__(
+        self,
+        rows: "list[np.ndarray]",
+        ids: "list[np.ndarray]",
+        norms: "list[np.ndarray | None]",
+        list_start: np.ndarray,
+        list_stop: np.ndarray,
+        version: int,
+        ntotal: int,
+    ) -> None:
+        self._rows = rows
+        self._ids = ids
+        self._norms = norms
+        self._list_start = list_start
+        self._list_stop = list_stop
+        self.version = version
+        self.ntotal = ntotal
+
+    @classmethod
+    def build(
+        cls,
+        index: "IVFFlatIndex",
+        plan: PartitionPlan,
+        base_slice_norms: np.ndarray | None = None,
+    ) -> "ShardPackedBase":
+        """Pack every shard's live list members into contiguous arrays.
+
+        Args:
+            index: trained+populated IVF index.
+            plan: the partition plan whose shard grouping to pack.
+            base_slice_norms: the kernel's per-slice norm table (IP
+                metrics); packed alongside the rows so scans never
+                index the full table again.
+        """
+        base = index.base
+        rows: list[np.ndarray] = []
+        ids: list[np.ndarray] = []
+        norms: list[np.ndarray | None] = []
+        list_start = np.zeros(index.nlist, dtype=np.int64)
+        list_stop = np.zeros(index.nlist, dtype=np.int64)
+        for shard in range(plan.n_vector_shards):
+            shard_lists = plan.lists_of_shard(shard)
+            members = [index.list_members(int(l)) for l in shard_lists]
+            offset = 0
+            for list_id, member_ids in zip(shard_lists, members):
+                list_start[list_id] = offset
+                offset += member_ids.size
+                list_stop[list_id] = offset
+            if members:
+                shard_ids = np.concatenate(members).astype(np.int64)
+            else:
+                shard_ids = np.empty(0, dtype=np.int64)
+            ids.append(shard_ids)
+            rows.append(np.ascontiguousarray(base[shard_ids]))
+            if base_slice_norms is None:
+                norms.append(None)
+            else:
+                norms.append(
+                    np.ascontiguousarray(base_slice_norms[shard_ids])
+                )
+        return cls(
+            rows=rows,
+            ids=ids,
+            norms=norms,
+            list_start=list_start,
+            list_stop=list_stop,
+            version=index.version,
+            ntotal=index.ntotal,
+        )
+
+    def matches(self, index: "IVFFlatIndex") -> bool:
+        """True while the layout still reflects the index's contents."""
+        return (
+            self.version == index.version and self.ntotal == index.ntotal
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._rows)
+
+    def shard_size(self, shard: int) -> int:
+        """Packed (live) row count of one shard."""
+        return self._ids[shard].size
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the packed arrays."""
+        total = 0
+        for arrays in (self._rows, self._ids, self._norms):
+            for arr in arrays:
+                if arr is not None:
+                    total += arr.nbytes
+        total += self._list_start.nbytes + self._list_stop.nbytes
+        return int(total)
+
+    def gather(
+        self,
+        shard: int,
+        lists: np.ndarray,
+        allowed: np.ndarray | None = None,
+        exclude: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Candidate (ids, rows, norms) for the probed lists of a shard.
+
+        Rows come back list-by-list in packed (insertion) order — a
+        different candidate order than the legacy ascending-id gather,
+        which is harmless because heap retention is order-independent.
+
+        Args:
+            shard: vector shard to gather from.
+            lists: probed inverted-list ids living in this shard.
+            allowed: optional per-global-id admissibility mask.
+            exclude: optional per-global-id mask of ids to drop
+                (e.g. already-prewarmed candidates).
+
+        Returns:
+            ``(ids, rows, norms)`` — global ids, a fresh float32 row
+            block, and the matching per-slice norm block (None for L2).
+        """
+        shard_ids = self._ids[shard]
+        parts = []
+        for list_id in np.asarray(lists, dtype=np.int64):
+            start = self._list_start[list_id]
+            stop = self._list_stop[list_id]
+            if stop > start:
+                parts.append(np.arange(start, stop, dtype=np.intp))
+        if not parts:
+            empty_ids = np.empty(0, dtype=np.int64)
+            empty_rows = np.empty(
+                (0, self._rows[shard].shape[1]), dtype=np.float32
+            )
+            return empty_ids, empty_rows, None
+        local = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        ids = shard_ids[local]
+        if allowed is not None or exclude is not None:
+            mask = np.ones(ids.size, dtype=bool)
+            if allowed is not None:
+                mask &= allowed[ids]
+            if exclude is not None:
+                mask &= ~exclude[ids]
+            if not mask.all():
+                local = local[mask]
+                ids = ids[mask]
+        rows = self._rows[shard][local]
+        shard_norms = self._norms[shard]
+        norms = None if shard_norms is None else shard_norms[local]
+        return ids, rows, norms

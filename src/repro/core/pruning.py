@@ -2,14 +2,18 @@
 
 :class:`ShardScan` tracks one (query, shard) candidate batch through
 the dimension pipeline: it accumulates per-slice partial scores,
-maintains the alive mask, and exposes the lossless lower bound compared
-against the top-K threshold. :class:`PruningStats` aggregates the
-per-slice pruning ratios reported in the paper's Figure 2(a) and
-Table 3.
+compacts the batch to its alive candidates after every prune, and
+exposes the lossless lower bound compared against the top-K threshold.
+:class:`ShardGroupScan` is its multi-query sibling used by the batched
+executor path: one dense block holding every group member's candidates,
+advanced through each (shard, slice) stage with a single fused
+partial-distance call. :class:`PruningStats` aggregates the per-slice
+pruning ratios reported in the paper's Figure 2(a) and Table 3.
 
 Score convention: smaller is better. For L2 the accumulated partial sum
 itself lower-bounds the final score; for inner product the bound
-subtracts the Cauchy-Schwarz cap on the remaining slices' contribution.
+subtracts the Cauchy-Schwarz cap on the remaining slices' contribution,
+read from a suffix-sum table precomputed at scan construction.
 """
 
 from __future__ import annotations
@@ -18,10 +22,13 @@ import numpy as np
 
 from repro.distance.metrics import Metric
 from repro.distance.partial import (
+    BOUND_ABS_EPS,
+    BOUND_REL_EPS,
     DimensionSlices,
     partial_inner_product,
     partial_squared_l2,
-    remaining_ip_bound,
+    query_slice_norms,
+    suffix_ip_bounds,
 )
 
 
@@ -76,49 +83,72 @@ class PruningStats:
 class ShardScan:
     """Pipelined partial-distance scan of one (query, shard) batch.
 
+    The scan keeps *dense* state: after every prune it compacts rows,
+    ids, accumulated scores, and norm tables down to the alive
+    candidates, so each slice stage touches only surviving rows (no
+    per-slice ``rows[alive_idx]`` re-gather, no bound arithmetic for
+    already-dead candidates). :attr:`alive` remains a full-length mask
+    over the *original* candidate order for reporting.
+
     Args:
         base: full base-vector matrix (rows indexed by global id).
-        candidate_ids: global ids of this shard's candidates, ascending.
+            Optional when ``rows`` is given.
+        candidate_ids: global ids of this shard's candidates.
         query: the query vector, full dimensionality.
         slices: the plan's dimension slicing.
         metric: L2 or inner-product family.
         base_slice_norms: per-candidate per-slice norms (IP only),
             shape ``(n_candidates, n_slices)``.
+        rows: pre-gathered candidate rows ``(n_candidates, dim)`` —
+            e.g. from a packed shard layout — replacing the
+            ``base[candidate_ids]`` gather.
+        query_norms: per-slice query norms (IP only), hoisted out of
+            the scan when the caller computes them once per query.
     """
 
     def __init__(
         self,
-        base: np.ndarray,
-        candidate_ids: np.ndarray,
-        query: np.ndarray,
-        slices: DimensionSlices,
+        base: np.ndarray | None = None,
+        candidate_ids: np.ndarray | None = None,
+        query: np.ndarray | None = None,
+        slices: DimensionSlices | None = None,
         metric: Metric = Metric.L2,
         base_slice_norms: np.ndarray | None = None,
+        rows: np.ndarray | None = None,
+        query_norms: np.ndarray | None = None,
     ) -> None:
         self.candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
         self.query = np.asarray(query, dtype=np.float32)
         self.slices = slices
         self.metric = metric
-        self._rows = base[self.candidate_ids]
+        if rows is None:
+            if base is None:
+                raise ValueError("need either base or pre-gathered rows")
+            rows = base[self.candidate_ids]
+        self._rows = rows
         n = self.candidate_ids.size
+        self.ids = self.candidate_ids
         self.accumulated = np.zeros(n, dtype=np.float64)
         self.alive = np.ones(n, dtype=bool)
+        self._orig_idx = np.arange(n, dtype=np.intp)
         self.done: list[int] = []
+        self._done_mask = np.zeros(slices.n_slices, dtype=bool)
+        self._canonical = True
         if metric is Metric.L2:
-            self._base_norms = None
-            self._query_norms = None
+            self._contrib = None
+            self._suffix = None
         else:
             if base_slice_norms is None:
                 raise ValueError(
                     "inner-product pruning requires base_slice_norms"
                 )
-            self._base_norms = np.asarray(base_slice_norms, dtype=np.float64)
-            self._query_norms = np.array(
-                [
-                    float(np.linalg.norm(slices.take(self.query, j)))
-                    for j in range(slices.n_slices)
-                ]
+            if query_norms is None:
+                query_norms = query_slice_norms(self.query, slices)
+            contrib = np.asarray(base_slice_norms, dtype=np.float64) * (
+                np.asarray(query_norms, dtype=np.float64)[None, :]
             )
+            self._contrib = contrib
+            self._suffix = suffix_ip_bounds(contrib)
 
     @property
     def n_candidates(self) -> int:
@@ -126,7 +156,7 @@ class ShardScan:
 
     @property
     def n_alive(self) -> int:
-        return int(self.alive.sum())
+        return self.ids.size
 
     @property
     def is_complete(self) -> bool:
@@ -140,55 +170,268 @@ class ShardScan:
             Number of candidate rows actually processed (the compute
             volume the simulator should charge for this stage).
         """
-        if slice_id in self.done:
+        if self._done_mask[slice_id]:
             raise ValueError(f"slice {slice_id} already processed")
-        alive_idx = np.flatnonzero(self.alive)
-        if alive_idx.size:
-            rows = self.slices.take(self._rows[alive_idx], slice_id)
-            q_slice = self.slices.take(self.query, slice_id)
+        n = self.ids.size
+        if n:
+            start, stop = self.slices.slice_range(slice_id)
+            rows = self._rows[:, start:stop]
+            q_slice = self.query[start:stop]
             if self.metric is Metric.L2:
                 partial = partial_squared_l2(rows, q_slice)
             else:
                 partial = -partial_inner_product(rows, q_slice)
-            self.accumulated[alive_idx] += partial
+            self.accumulated += partial
+        if slice_id != len(self.done):
+            self._canonical = False
         self.done.append(slice_id)
-        return int(alive_idx.size)
+        self._done_mask[slice_id] = True
+        return int(n)
 
     def lower_bounds(self) -> np.ndarray:
-        """Lossless lower bound on every candidate's final score.
+        """Lossless lower bound on every alive candidate's final score.
 
         For L2 the accumulated sum is itself the bound (remaining
         slices only add non-negative terms). For inner product the
         remaining slices can still *decrease* the score by at most the
-        Cauchy-Schwarz cap, which is subtracted.
+        Cauchy-Schwarz cap, which is subtracted. Canonical slice order
+        reads the cap straight out of the precomputed suffix-sum table;
+        out-of-order processing (the simulator's staggered/adaptive
+        schedules) falls back to summing the remaining columns.
         """
         if self.metric is Metric.L2 or self.is_complete:
             return self.accumulated
-        assert self._base_norms is not None and self._query_norms is not None
-        cap = remaining_ip_bound(
-            self._base_norms,
-            self._query_norms,
-            self.done,
-            self.slices.n_slices,
-        )
-        return self.accumulated - cap
+        assert self._contrib is not None and self._suffix is not None
+        if self._canonical:
+            raw = self._suffix[:, len(self.done)]
+        else:
+            remaining = np.flatnonzero(~self._done_mask)
+            raw = self._contrib[:, remaining].sum(axis=1)
+        return self.accumulated - (raw * (1.0 + BOUND_REL_EPS) + BOUND_ABS_EPS)
 
     def prune(self, threshold: float) -> int:
         """Kill candidates whose lower bound exceeds ``threshold``.
 
         Uses a strict comparison so boundary ties survive to the heap,
-        keeping results identical to an unpruned scan. Returns the
-        number of candidates pruned by this call.
+        keeping results identical to an unpruned scan. Survivors are
+        compacted into dense arrays. Returns the number of candidates
+        pruned by this call.
         """
-        if not np.isfinite(threshold):
+        if not np.isfinite(threshold) or self.ids.size == 0:
             return 0
-        before = self.n_alive
-        self.alive &= self.lower_bounds() <= threshold
-        return before - self.n_alive
+        keep = self.lower_bounds() <= threshold
+        if keep.all():
+            return 0
+        return self._compact(keep)
+
+    def _compact(self, keep: np.ndarray) -> int:
+        killed = int(keep.size) - int(keep.sum())
+        self.alive[self._orig_idx[~keep]] = False
+        self.ids = self.ids[keep]
+        self.accumulated = self.accumulated[keep]
+        self._rows = self._rows[keep]
+        self._orig_idx = self._orig_idx[keep]
+        if self._contrib is not None:
+            self._contrib = self._contrib[keep]
+            self._suffix = self._suffix[keep]
+        return killed
 
     def survivors(self) -> tuple[np.ndarray, np.ndarray]:
         """(ids, final scores) of alive candidates; requires completion."""
         if not self.is_complete:
             raise RuntimeError("scan has unprocessed slices")
-        alive_idx = np.flatnonzero(self.alive)
-        return self.candidate_ids[alive_idx], self.accumulated[alive_idx]
+        return self.ids, self.accumulated
+
+
+class ShardGroupScan:
+    """Fused multi-query scan of one shard (the batched executor path).
+
+    Holds every group member's candidates at once: the cheap per-row
+    bookkeeping (ids, owning query, accumulated scores, bound tables)
+    lives in dense concatenated arrays so pruning is one vectorized
+    pass against each row's *own* query threshold, while the fat
+    float32 row blocks stay per query and are never copied by
+    compaction — each (shard, slice) stage gathers just the alive
+    rows' slice columns and applies exactly the broadcast kernel
+    :class:`ShardScan` uses. Identical inputs, identical reduction,
+    hence bitwise-identical partial scores. (An earlier variant scored
+    one concatenated block against a materialized per-row query
+    matrix; same flop count, but the query-matrix traffic and
+    whole-block row compaction made it slower than the per-query
+    loop it was meant to beat.)
+
+    Args:
+        rows: candidate rows grouped by owning query — either one
+            ``(n, dim)`` float32 block ordered by ``query_of``, or a
+            list with one ``(n_q, dim)`` block per query (the batched
+            executor passes its per-query gathers straight through,
+            skipping the concatenation).
+        ids: concatenated global candidate ids, ``(n,)``.
+        query_of: local (within-group) query index owning each row;
+            must be non-decreasing.
+        queries: the group's query vectors, ``(n_queries, dim)`` float32.
+        slices: the plan's dimension slicing.
+        metric: L2 or inner-product family.
+        base_slice_norms: per-row per-slice norms (IP only), ``(n, m)``.
+        query_norms: per-query per-slice norms (IP only),
+            ``(n_queries, m)``.
+    """
+
+    def __init__(
+        self,
+        rows: "np.ndarray | list[np.ndarray]",
+        ids: np.ndarray,
+        query_of: np.ndarray,
+        queries: np.ndarray,
+        slices: DimensionSlices,
+        metric: Metric = Metric.L2,
+        base_slice_norms: np.ndarray | None = None,
+        query_norms: np.ndarray | None = None,
+    ) -> None:
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.query_of = np.asarray(query_of, dtype=np.intp)
+        if self.query_of.size and np.any(np.diff(self.query_of) < 0):
+            raise ValueError("rows must be grouped by query (sorted query_of)")
+        self.queries = np.asarray(queries, dtype=np.float32)
+        self.slices = slices
+        self.metric = metric
+        self.n_queries = self.queries.shape[0]
+        n = self.ids.size
+        bounds = np.searchsorted(
+            self.query_of, np.arange(self.n_queries + 1)
+        )
+        if isinstance(rows, list):
+            self._row_parts = list(rows)
+        else:
+            self._row_parts = [
+                rows[bounds[q] : bounds[q + 1]] for q in range(self.n_queries)
+            ]
+        if sum(part.shape[0] for part in self._row_parts) != n:
+            raise ValueError("row blocks do not cover the candidate ids")
+        #: per-query indices of alive rows within the query's block;
+        #: None means the whole block is still alive (no copy needed).
+        self._alive_parts: "list[np.ndarray | None]" = [None] * self.n_queries
+        self.accumulated = np.zeros(n, dtype=np.float64)
+        self.done: list[int] = []
+        self._done_mask = np.zeros(slices.n_slices, dtype=bool)
+        if metric is Metric.L2:
+            self._suffix = None
+        else:
+            if base_slice_norms is None or query_norms is None:
+                raise ValueError(
+                    "inner-product pruning requires base_slice_norms "
+                    "and query_norms"
+                )
+            contrib = np.asarray(base_slice_norms, dtype=np.float64) * (
+                np.asarray(query_norms, dtype=np.float64)[self.query_of]
+            )
+            self._suffix = suffix_ip_bounds(contrib)
+
+    @property
+    def n_alive(self) -> int:
+        return self.ids.size
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self.done) == self.slices.n_slices
+
+    def _alive_size(self, q: int) -> int:
+        alive = self._alive_parts[q]
+        if alive is None:
+            return int(self._row_parts[q].shape[0])
+        return int(alive.size)
+
+    def process_slice(self, slice_id: int) -> int:
+        """One dimension stage over the whole group.
+
+        Walks the group's per-query row blocks (each owning one
+        contiguous segment of the dense bookkeeping arrays) and applies
+        the same broadcast partial-distance kernel :class:`ShardScan`
+        uses.
+        """
+        if self._done_mask[slice_id]:
+            raise ValueError(f"slice {slice_id} already processed")
+        n = self.ids.size
+        if n:
+            start, stop = self.slices.slice_range(slice_id)
+            partial = np.empty(n, dtype=np.float64)
+            pos = 0
+            for q in range(self.n_queries):
+                size = self._alive_size(q)
+                if size == 0:
+                    continue
+                alive = self._alive_parts[q]
+                part = self._row_parts[q]
+                if alive is None:
+                    rows = part[:, start:stop]
+                else:
+                    rows = part[alive, start:stop]
+                q_slice = self.queries[q, start:stop]
+                if self.metric is Metric.L2:
+                    partial[pos : pos + size] = partial_squared_l2(
+                        rows, q_slice
+                    )
+                else:
+                    partial[pos : pos + size] = -partial_inner_product(
+                        rows, q_slice
+                    )
+                pos += size
+            self.accumulated += partial
+        self.done.append(slice_id)
+        self._done_mask[slice_id] = True
+        return int(n)
+
+    def lower_bounds(self) -> np.ndarray:
+        """Per-row lossless lower bound (same arithmetic as ShardScan)."""
+        if self.metric is Metric.L2 or self.is_complete:
+            return self.accumulated
+        assert self._suffix is not None
+        raw = self._suffix[:, len(self.done)]
+        return self.accumulated - (raw * (1.0 + BOUND_REL_EPS) + BOUND_ABS_EPS)
+
+    def prune(self, thresholds: np.ndarray) -> int:
+        """Compact away rows beating their own query's threshold.
+
+        Args:
+            thresholds: per-query thresholds, ``(n_queries,)``; ``inf``
+                entries (heap not yet full) keep all their rows.
+
+        Returns:
+            Number of rows pruned by this call.
+        """
+        if self.ids.size == 0:
+            return 0
+        thr = np.asarray(thresholds, dtype=np.float64)[self.query_of]
+        keep = self.lower_bounds() <= thr
+        if keep.all():
+            return 0
+        killed = int(keep.size) - int(keep.sum())
+        # The fat row blocks are never copied: only the per-query alive
+        # index arrays move, and the next stage gathers alive rows'
+        # slice columns directly from the original blocks.
+        pos = 0
+        for q in range(self.n_queries):
+            size = self._alive_size(q)
+            if size == 0:
+                continue
+            seg = keep[pos : pos + size]
+            pos += size
+            if seg.all():
+                continue
+            alive = self._alive_parts[q]
+            if alive is None:
+                self._alive_parts[q] = np.flatnonzero(seg)
+            else:
+                self._alive_parts[q] = alive[seg]
+        self.ids = self.ids[keep]
+        self.query_of = self.query_of[keep]
+        self.accumulated = self.accumulated[keep]
+        if self._suffix is not None:
+            self._suffix = self._suffix[keep]
+        return killed
+
+    def survivors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(ids, final scores, owning query) of surviving rows."""
+        if not self.is_complete:
+            raise RuntimeError("scan has unprocessed slices")
+        return self.ids, self.accumulated, self.query_of

@@ -111,10 +111,17 @@ def partial_squared_l2(
 def partial_inner_product(
     base_slice: np.ndarray, query_slice: np.ndarray
 ) -> np.ndarray:
-    """Per-row inner-product contribution of one dimension slice."""
-    return np.asarray(base_slice, dtype=np.float64) @ np.asarray(
-        query_slice, dtype=np.float64
-    )
+    """Per-row inner-product contribution of one dimension slice.
+
+    Computed as a broadcast einsum rather than a BLAS gemv: gemm and
+    gemv accumulate in different orders, so a matrix-vector product
+    here would not be bitwise reproducible across batch shapes. The
+    einsum reduction is the one loop the per-query and batched
+    executor paths share.
+    """
+    base = np.asarray(base_slice, dtype=np.float64)
+    query = np.asarray(query_slice, dtype=np.float64)
+    return np.einsum("ij,ij->i", base, np.broadcast_to(query, base.shape))
 
 
 def slice_norms(base: np.ndarray, slices: DimensionSlices) -> np.ndarray:
@@ -128,6 +135,51 @@ def slice_norms(base: np.ndarray, slices: DimensionSlices) -> np.ndarray:
     out = np.empty((base.shape[0], slices.n_slices), dtype=np.float64)
     for j in range(slices.n_slices):
         out[:, j] = np.linalg.norm(slices.take(base, j), axis=1)
+    return out
+
+
+def query_slice_norms(
+    query: np.ndarray, slices: DimensionSlices
+) -> np.ndarray:
+    """L2 norm of one query vector restricted to every slice.
+
+    Computed once per query (hoisted into the executor's ``QueryState``)
+    and reused by every shard scan's Cauchy-Schwarz bound.
+    """
+    query = np.asarray(query)
+    return np.array(
+        [
+            float(np.linalg.norm(slices.take(query, j)))
+            for j in range(slices.n_slices)
+        ]
+    )
+
+
+#: Relative / absolute inflation applied to Cauchy-Schwarz caps: sqrt
+#: rounding can place the exact bound a few ulp *below* the true dot
+#: product for (anti)parallel vectors, which would make pruning lossy.
+BOUND_REL_EPS = 1e-7
+BOUND_ABS_EPS = 1e-12
+
+
+def suffix_ip_bounds(contrib: np.ndarray) -> np.ndarray:
+    """Suffix sums of per-slice Cauchy-Schwarz contributions.
+
+    Args:
+        contrib: non-negative per-candidate per-slice caps
+            ``||b^(j)|| * ||q^(j)||``, shape ``(n, n_slices)``.
+
+    Returns:
+        Array of shape ``(n, n_slices + 1)`` where column ``p`` holds
+        ``sum_{j >= p} contrib[:, j]`` (column ``n_slices`` is 0). A
+        scan processing slices in canonical order reads its remaining
+        bound directly from column ``len(done)`` instead of rebuilding
+        the remaining-column set on every ``lower_bounds()`` call.
+    """
+    contrib = np.asarray(contrib, dtype=np.float64)
+    n, m = contrib.shape
+    out = np.zeros((n, m + 1), dtype=np.float64)
+    out[:, :m] = np.cumsum(contrib[:, ::-1], axis=1)[:, ::-1]
     return out
 
 
@@ -159,7 +211,4 @@ def remaining_ip_bound(
         return np.zeros(base_norms.shape[0], dtype=np.float64)
     cols = np.asarray(remaining, dtype=np.intp)
     bound = base_norms[:, cols] @ query_norms[cols]
-    # Inflate by a relative epsilon: sqrt rounding can place the exact
-    # Cauchy-Schwarz product a few ulp *below* the true dot product for
-    # (anti)parallel vectors, which would make pruning lossy.
-    return bound * (1.0 + 1e-7) + 1e-12
+    return bound * (1.0 + BOUND_REL_EPS) + BOUND_ABS_EPS

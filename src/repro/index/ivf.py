@@ -74,6 +74,17 @@ class IVFFlatIndex:
         self._labels = np.zeros(0, dtype=np.int64)
         self._train_elements = 0
         self._add_elements = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumps on every add and effective delete.
+
+        Derived caches (packed shard layouts, per-slice norm tables)
+        compare this against their build-time value to detect
+        staleness without content hashing.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -161,6 +172,7 @@ class IVFFlatIndex:
                 self._list_ids[list_id] = np.concatenate(
                     [self._list_ids[list_id], ids[mask]]
                 )
+        self._version += 1
 
     def build_stats(self) -> IVFBuildStats:
         """Element counts accumulated so far by train/add."""
@@ -202,7 +214,10 @@ class IVFFlatIndex:
             )
         before = int(self._deleted.sum())
         self._deleted[ids] = True
-        return int(self._deleted.sum()) - before
+        removed = int(self._deleted.sum()) - before
+        if removed:
+            self._version += 1
+        return removed
 
     def is_deleted(self, ids: np.ndarray) -> np.ndarray:
         """Boolean deletion flags for the given ids."""

@@ -65,8 +65,30 @@ class TestShardScanAccumulation:
     def test_process_returns_alive_count(self, base, query, slices):
         scan = make_scan(base, query, slices)
         assert scan.process_slice(0) == 60
-        scan.alive[:30] = False
-        assert scan.process_slice(1) == 30
+        # Kill roughly half through the public pruning path; the next
+        # stage must only charge for the compacted survivors.
+        threshold = float(np.median(scan.lower_bounds()))
+        killed = scan.prune(threshold)
+        assert killed > 0
+        assert scan.process_slice(1) == 60 - killed
+
+    def test_prune_compacts_state(self, base, query, slices):
+        scan = make_scan(base, query, slices)
+        scan.process_slice(0)
+        threshold = float(np.median(scan.lower_bounds()))
+        killed = scan.prune(threshold)
+        n_alive = 60 - killed
+        # Dense arrays shrink to the survivors...
+        assert scan.ids.size == n_alive
+        assert scan.accumulated.size == n_alive
+        assert scan.n_alive == n_alive
+        # ...while the reporting mask and original ids keep full length.
+        assert scan.alive.size == 60
+        assert int(scan.alive.sum()) == n_alive
+        assert scan.candidate_ids.size == 60
+        np.testing.assert_array_equal(
+            scan.ids, scan.candidate_ids[scan.alive]
+        )
 
     def test_survivors_before_completion_raises(self, base, query, slices):
         scan = make_scan(base, query, slices)
@@ -159,6 +181,72 @@ class TestShardScanInnerProduct:
             scan.prune(threshold)
         should_survive = final <= threshold
         assert np.all(scan.alive[should_survive])
+
+
+class TestShardGroupScan:
+    """The fused multi-query block must be bitwise equal to per-query."""
+
+    @pytest.mark.parametrize(
+        "metric", [Metric.L2, Metric.INNER_PRODUCT]
+    )
+    def test_group_matches_per_query_scans(self, base, slices, metric):
+        from repro.core.pruning import ShardGroupScan
+        from repro.distance.partial import query_slice_norms
+
+        rng = np.random.default_rng(7)
+        queries = rng.standard_normal((3, 16)).astype(np.float32)
+        norms = None
+        if metric is not Metric.L2:
+            norms = slice_norms(base, slices)
+
+        # Per-query references, each scanning all 60 candidates.
+        singles = [make_scan(base, q, slices, metric=metric) for q in queries]
+        thresholds = np.array([np.inf, 2.0, 5.0])
+
+        ids = np.tile(np.arange(60, dtype=np.int64), 3)
+        group = ShardGroupScan(
+            rows=np.concatenate([base] * 3, axis=0),
+            ids=ids,
+            query_of=np.repeat(np.arange(3), 60),
+            queries=queries,
+            slices=slices,
+            metric=metric,
+            base_slice_norms=(
+                None if norms is None else np.concatenate([norms] * 3)
+            ),
+            query_norms=(
+                None
+                if norms is None
+                else np.stack(
+                    [query_slice_norms(q, slices) for q in queries]
+                )
+            ),
+        )
+        for j in range(4):
+            group.process_slice(j)
+            group.prune(thresholds)
+            for q, scan in enumerate(singles):
+                scan.process_slice(j)
+                scan.prune(float(thresholds[q]))
+        got_ids, got_scores, got_query = group.survivors()
+        for q, scan in enumerate(singles):
+            want_ids, want_scores = scan.survivors()
+            mask = got_query == q
+            np.testing.assert_array_equal(got_ids[mask], want_ids)
+            np.testing.assert_array_equal(got_scores[mask], want_scores)
+
+    def test_requires_norms_for_ip(self, base, slices):
+        from repro.core.pruning import ShardGroupScan
+
+        with pytest.raises(ValueError, match="base_slice_norms"):
+            ShardGroupScan(
+                rows=base,
+                ids=np.arange(60),
+                query_of=np.zeros(60, dtype=np.intp),
+                queries=base[:1],
+                slices=slices,
+                metric=Metric.INNER_PRODUCT,
+            )
 
 
 class TestPruningStats:

@@ -159,6 +159,96 @@ def test_resolve_backend_names():
         resolve_backend("mpi")
 
 
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("prewarm", [0, 32])
+@pytest.mark.parametrize("filtered", [False, True])
+def test_batched_search_matches_per_query_loop(metric, prewarm, filtered):
+    """search_batch == looping search_one, bitwise, on both host backends."""
+    index = make_index(metric)
+    queries = make_queries(index.dim, nq=16)
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    kwargs = dict(
+        k=5, nprobe=4, filter_labels=[0, 2] if filtered else None
+    )
+
+    looped = SerialBackend(
+        index, plan=plan, prewarm_size=prewarm, batch_queries=False
+    ).search(queries, **kwargs)
+    results = {
+        "batched-serial": SerialBackend(
+            index, plan=plan, prewarm_size=prewarm, batch_queries=True
+        ).search(queries, **kwargs),
+        "batched-thread": ThreadBackend(
+            index, plan=plan, n_threads=4, prewarm_size=prewarm,
+            batch_queries=True,
+        ).search(queries, **kwargs),
+    }
+    assert_equivalent(results, looped.ids, looped.distances, bitwise={})
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    metric=st.sampled_from(METRICS),
+    n_vector_shards=st.integers(1, 2),
+    n_dim_blocks=st.integers(1, 3),
+    prewarm=st.sampled_from([0, 8, 32]),
+    nprobe=st.integers(1, 8),
+    k=st.integers(1, 12),
+    filtered=st.booleans(),
+    mutate=st.booleans(),
+)
+def test_property_batched_equals_looped(
+    seed,
+    metric,
+    n_vector_shards,
+    n_dim_blocks,
+    prewarm,
+    nprobe,
+    k,
+    filtered,
+    mutate,
+):
+    """For ANY small deployment — including after streaming mutations
+    that invalidate the packed layout — the fused batched path is
+    byte-identical to the per-query loop."""
+    index = make_index(metric, n=150, dim=9, nlist=8, seed=seed)
+    rng = np.random.default_rng(seed + 2)
+    if mutate:
+        extra = rng.standard_normal((25, index.dim)).astype(np.float32)
+        index.add(extra, labels=rng.integers(0, N_LABELS, 25))
+        alive = np.flatnonzero(~index._deleted)
+        index.remove_ids(rng.choice(alive, size=10, replace=False))
+    queries = make_queries(index.dim, nq=6, seed=seed + 1)
+    plan = build_plan(
+        index,
+        n_machines=n_vector_shards * n_dim_blocks,
+        n_vector_shards=n_vector_shards,
+        n_dim_blocks=n_dim_blocks,
+    )
+    kwargs = dict(
+        k=k, nprobe=nprobe, filter_labels=[1, 3] if filtered else None
+    )
+
+    looped = SerialBackend(
+        index, plan=plan, prewarm_size=prewarm, batch_queries=False
+    ).search(queries, **kwargs)
+    results = {
+        "batched-serial": SerialBackend(
+            index, plan=plan, prewarm_size=prewarm, batch_queries=True
+        ).search(queries, **kwargs),
+        "batched-thread": ThreadBackend(
+            index, plan=plan, n_threads=2, prewarm_size=prewarm,
+            batch_queries=True,
+        ).search(queries, **kwargs),
+    }
+    assert_equivalent(results, looped.ids, looped.distances, bitwise={})
+
+
 @settings(
     max_examples=12,
     deadline=None,

@@ -1,0 +1,186 @@
+"""Unit tests for repro.core.layout (ShardPackedBase + kernel caching)."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import ScanKernel
+from repro.core.layout import ShardPackedBase
+from repro.core.partition import build_plan
+from repro.core.routing import shard_candidate_lists
+from repro.distance.metrics import Metric
+from repro.distance.partial import slice_norms
+from repro.index.ivf import IVFFlatIndex
+
+N, DIM, NLIST = 300, 12, 8
+
+
+def make_index(metric=Metric.L2, n=N, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((n, DIM)).astype(np.float32)
+    index = IVFFlatIndex(dim=DIM, nlist=NLIST, metric=metric, seed=0)
+    index.train(base)
+    index.add(base)
+    return index
+
+
+def make_plan(index, n_vector_shards=2, n_dim_blocks=2):
+    return build_plan(
+        index,
+        n_machines=n_vector_shards * n_dim_blocks,
+        n_vector_shards=n_vector_shards,
+        n_dim_blocks=n_dim_blocks,
+    )
+
+
+class TestBuildAndGather:
+    def test_packed_rows_match_base(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan)
+        assert packed.n_shards == 2
+        total = sum(packed.shard_size(s) for s in range(packed.n_shards))
+        assert total == index.ntotal
+        assert packed.nbytes > 0
+        for shard in range(plan.n_vector_shards):
+            lists = plan.lists_of_shard(shard)
+            ids, rows, norms = packed.gather(shard, lists)
+            assert norms is None
+            np.testing.assert_array_equal(rows, index.base[ids])
+            # Same candidate *set* as the unpacked gather.
+            np.testing.assert_array_equal(
+                np.sort(ids), np.sort(index.candidates(lists))
+            )
+
+    def test_gather_subset_of_lists(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan)
+        lists = plan.lists_of_shard(0)[:1]
+        ids, rows, _ = packed.gather(0, lists)
+        np.testing.assert_array_equal(
+            np.sort(ids), np.sort(index.list_members(int(lists[0])))
+        )
+        np.testing.assert_array_equal(rows, index.base[ids])
+
+    def test_gather_empty_lists(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan)
+        ids, rows, norms = packed.gather(0, np.empty(0, dtype=np.int64))
+        assert ids.size == 0
+        assert rows.shape == (0, DIM)
+        assert norms is None
+
+    def test_gather_allowed_and_exclude_masks(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan)
+        lists = plan.lists_of_shard(0)
+        all_ids, _, _ = packed.gather(0, lists)
+        allowed = np.zeros(index.ntotal, dtype=bool)
+        allowed[all_ids[::2]] = True
+        exclude = np.zeros(index.ntotal, dtype=bool)
+        exclude[all_ids[:4]] = True
+        ids, rows, _ = packed.gather(0, lists, allowed=allowed, exclude=exclude)
+        expected = [
+            i for i in all_ids if allowed[i] and not exclude[i]
+        ]
+        np.testing.assert_array_equal(ids, expected)
+        np.testing.assert_array_equal(rows, index.base[ids])
+
+    def test_norm_blocks_follow_rows(self):
+        index = make_index(metric=Metric.INNER_PRODUCT)
+        plan = make_plan(index)
+        table = slice_norms(index.base, plan.slices)
+        packed = ShardPackedBase.build(index, plan, base_slice_norms=table)
+        lists = plan.lists_of_shard(1)
+        ids, _, norms = packed.gather(1, lists)
+        np.testing.assert_array_equal(norms, table[ids])
+
+
+class TestInvalidation:
+    def test_version_moves_on_add_and_remove(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan)
+        assert packed.matches(index)
+        index.add(np.ones((3, DIM), dtype=np.float32))
+        assert not packed.matches(index)
+        packed = ShardPackedBase.build(index, plan)
+        assert packed.matches(index)
+        index.remove_ids([0, 1])
+        assert not packed.matches(index)
+        # Removing already-dead ids is a no-op and must NOT invalidate.
+        packed = ShardPackedBase.build(index, plan)
+        index.remove_ids([0, 1])
+        assert packed.matches(index)
+
+    def test_kernel_caches_until_stale(self):
+        index = make_index()
+        plan = make_plan(index)
+        kernel = ScanKernel(index, plan)
+        first = kernel.packed_base()
+        assert first is kernel.packed_base()  # cached, not rebuilt
+        index.add(np.ones((2, DIM), dtype=np.float32))
+        rebuilt = kernel.packed_base()
+        assert rebuilt is not first
+        assert rebuilt.matches(index)
+        assert rebuilt is kernel.packed_base()
+
+    def test_rebuilt_layout_sees_mutations(self):
+        index = make_index()
+        plan = make_plan(index)
+        kernel = ScanKernel(index, plan)
+        kernel.packed_base()
+        new_rows = np.full((2, DIM), 0.5, dtype=np.float32)
+        index.add(new_rows)
+        removed = index.list_members(int(plan.lists_of_shard(0)[0]))[:3]
+        index.remove_ids(removed)
+        packed = kernel.packed_base()
+        gathered: list[np.ndarray] = []
+        for shard in range(plan.n_vector_shards):
+            ids, rows, _ = packed.gather(shard, plan.lists_of_shard(shard))
+            np.testing.assert_array_equal(rows, index.base[ids])
+            gathered.append(ids)
+        all_ids = np.concatenate(gathered)
+        new_ids = np.arange(N, N + 2)
+        assert np.isin(new_ids, all_ids).all()  # added rows present
+        assert not np.isin(removed, all_ids).any()  # deleted ids gone
+
+    def test_disabled_packing_returns_none(self):
+        index = make_index()
+        plan = make_plan(index)
+        kernel = ScanKernel(index, plan, use_packed_base=False)
+        assert kernel.packed_base() is None
+
+    def test_packed_gather_matches_legacy_candidates(self):
+        """Per (query, shard): same candidate set as index.candidates."""
+        index = make_index()
+        plan = make_plan(index)
+        kernel = ScanKernel(index, plan)
+        packed = kernel.packed_base()
+        rng = np.random.default_rng(3)
+        queries = rng.standard_normal((4, DIM)).astype(np.float32)
+        probes = index.probe(queries, 4)
+        for probe_row in probes:
+            for shard in range(plan.n_vector_shards):
+                lists_here = shard_candidate_lists(plan, probe_row, shard)
+                ids, _, _ = packed.gather(shard, lists_here)
+                np.testing.assert_array_equal(
+                    np.sort(ids), np.sort(index.candidates(lists_here))
+                )
+
+
+def test_gather_is_independent_of_base_size():
+    """The point of packing: gather cost scales with the shard, and the
+    returned blocks are fresh copies (mutating them must not corrupt
+    the layout)."""
+    index = make_index()
+    plan = make_plan(index)
+    packed = ShardPackedBase.build(index, plan)
+    lists = plan.lists_of_shard(0)
+    ids, rows, _ = packed.gather(0, lists)
+    rows[:] = -1.0
+    ids2, rows2, _ = packed.gather(0, lists)
+    np.testing.assert_array_equal(ids, ids2)
+    np.testing.assert_array_equal(rows2, index.base[ids2])
