@@ -30,6 +30,12 @@ Architecture (bottom-up):
 - :mod:`repro.bench` — benchmark harness utilities.
 """
 
+from repro.cluster.faults import (
+    FaultEvent,
+    FaultSchedule,
+    WorkerUnavailableError,
+)
+from repro.cluster.recovery import RecoveryManager, ReplicaDirectory
 from repro.core.config import HarmonyConfig, Mode
 from repro.core.database import HarmonyDB
 from repro.core.executor import (
@@ -42,7 +48,9 @@ from repro.core.executor import (
 from repro.core.parallel import ThreadedSearcher
 from repro.core.results import (
     BuildReport,
+    DegradedReport,
     ExecutionReport,
+    FaultStats,
     SearchResult,
 )
 from repro.distance.metrics import Metric
@@ -53,18 +61,25 @@ __version__ = "1.0.0"
 __all__ = [
     "Backend",
     "BuildReport",
+    "DegradedReport",
     "ExactnessReport",
     "ExecutionReport",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultStats",
     "HarmonyConfig",
     "HarmonyDB",
     "Metric",
     "Mode",
+    "RecoveryManager",
+    "ReplicaDirectory",
     "ScanKernel",
     "SearchResult",
     "SerialBackend",
     "SimulatedBackend",
     "ThreadBackend",
     "ThreadedSearcher",
+    "WorkerUnavailableError",
     "check_exactness",
     "__version__",
 ]

@@ -19,6 +19,11 @@ up exactly as they would on real hardware.
 """
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import (
+    FaultEvent,
+    FaultSchedule,
+    WorkerUnavailableError,
+)
 from repro.cluster.messages import (
     MESSAGE_HEADER_BYTES,
     partial_result_bytes,
@@ -27,16 +32,29 @@ from repro.cluster.messages import (
 )
 from repro.cluster.network import CommMode, NetworkModel
 from repro.cluster.node import WorkerNode
+from repro.cluster.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    ReplicaDirectory,
+    unavailable_shards,
+)
 from repro.cluster.stats import TimeBreakdown
 
 __all__ = [
     "Cluster",
     "CommMode",
+    "FaultEvent",
+    "FaultSchedule",
     "MESSAGE_HEADER_BYTES",
     "NetworkModel",
+    "RecoveryManager",
+    "RecoveryReport",
+    "ReplicaDirectory",
     "TimeBreakdown",
     "WorkerNode",
+    "WorkerUnavailableError",
     "partial_result_bytes",
     "query_chunk_bytes",
     "result_set_bytes",
+    "unavailable_shards",
 ]

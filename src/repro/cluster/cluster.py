@@ -10,6 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.faults import (
+    MAX_RETRANSMITS,
+    FaultSchedule,
+    WorkerUnavailableError,
+)
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import (
     DEFAULT_CLIENT_COMPUTE_RATE,
@@ -65,6 +70,11 @@ class Cluster:
             compute_rate=client_compute_rate or DEFAULT_CLIENT_COMPUTE_RATE,
         )
         self._failed: set[int] = set()
+        self._fault_schedule: FaultSchedule | None = None
+        self._message_counter = 0
+        #: Per-run fault bookkeeping (reset by reset_time): message
+        #: drops and retransmits observed by transfer().
+        self.fault_counters: dict[str, int] = {"dropped_messages": 0}
         #: Optional event trace: (category, node_id, start, end) tuples
         #: recorded while tracing is enabled (see enable_tracing).
         self.events: list[tuple[str, int, float, float]] | None = None
@@ -106,15 +116,78 @@ class Cluster:
         self._failed.add(node_id)
 
     def restore_worker(self, node_id: int) -> None:
-        """Bring a failed worker back into service."""
+        """Bring a failed worker back into service.
+
+        Raises:
+            IndexError: for out-of-range worker ids.
+            ValueError: for ``CLIENT_NODE`` (it can never fail, so it
+                can never be restored either).
+        """
+        self.node(node_id)  # validates the id
+        if node_id == CLIENT_NODE:
+            raise ValueError("the client node cannot be restored")
         self._failed.discard(node_id)
 
-    def is_failed(self, node_id: int) -> bool:
-        return node_id in self._failed
+    def is_failed(self, node_id: int, at_time: float | None = None) -> bool:
+        """Whether a worker is out of service.
+
+        Manual ``fail_worker`` marks are time-independent; with a fault
+        schedule attached and ``at_time`` given, scheduled crash
+        windows are also consulted at that simulated time.
+        """
+        if node_id in self._failed:
+            return True
+        if self._fault_schedule is not None and at_time is not None:
+            return self._fault_schedule.is_down(node_id, at_time)
+        return False
 
     @property
     def failed_workers(self) -> frozenset:
         return frozenset(self._failed)
+
+    # ------------------------------------------------------------------
+    # Fault schedule (timed crash / straggler / link events)
+    # ------------------------------------------------------------------
+
+    @property
+    def fault_schedule(self) -> FaultSchedule | None:
+        return self._fault_schedule
+
+    def set_fault_schedule(self, schedule: FaultSchedule | None) -> None:
+        """Attach (or clear, with ``None``) a timed fault schedule.
+
+        The schedule is consulted by :meth:`compute` / :meth:`transfer`
+        at each work item's requested start time, so crashes,
+        stragglers, and link degradation hit mid-run. With no schedule
+        attached every code path is bit-identical to the fault-free
+        simulator.
+        """
+        if schedule is not None and not isinstance(schedule, FaultSchedule):
+            raise TypeError(
+                f"expected a FaultSchedule or None, got {type(schedule)!r}"
+            )
+        self._fault_schedule = schedule
+        self._message_counter = 0
+
+    def rate_multiplier(self, node_id: int, at_time: float) -> float:
+        """Straggler compute-rate multiplier on a node at ``at_time``."""
+        if self._fault_schedule is None:
+            return 1.0
+        return self._fault_schedule.rate_multiplier(node_id, at_time)
+
+    def projected_compute_seconds(
+        self, node_id: int, elements: float, at_time: float = 0.0
+    ) -> float:
+        """Straggler-aware duration estimate for a compute request.
+
+        This is what hedging policies compare against their latency
+        threshold before committing to a replica.
+        """
+        duration = self.node(node_id).compute_duration(elements)
+        multiplier = self.rate_multiplier(node_id, at_time)
+        if multiplier != 1.0:
+            duration /= multiplier
+        return duration
 
     # ------------------------------------------------------------------
     # Work primitives
@@ -144,15 +217,29 @@ class Cluster:
         """Charge a distance-kernel computation to a node's timeline.
 
         Returns the ``(start, end)`` simulated timestamps.
+
+        Raises:
+            WorkerUnavailableError: when the node is manually failed,
+                or a fault schedule has it crashed at ``earliest``.
         """
         if node_id in self._failed:
-            raise RuntimeError(
+            raise WorkerUnavailableError(
                 f"worker {node_id} is failed and cannot compute"
             )
         node = self.node(node_id)
-        start, end = node.occupy(
-            node.compute_duration(elements), earliest, "computation"
-        )
+        duration = node.compute_duration(elements)
+        if self._fault_schedule is not None:
+            if self._fault_schedule.is_down(node_id, earliest):
+                raise WorkerUnavailableError(
+                    f"worker {node_id} is crashed at simulated time "
+                    f"{earliest:.6g}"
+                )
+            multiplier = self._fault_schedule.rate_multiplier(
+                node_id, earliest
+            )
+            if multiplier != 1.0:
+                duration /= multiplier
+        start, end = node.occupy(duration, earliest, "computation")
         self._record("computation", node_id, start, end)
         return start, end
 
@@ -180,9 +267,35 @@ class Cluster:
         if src_id == dst_id:
             return earliest
         src = self.node(src_id)
-        full = self.network.transfer_time(nbytes)
-        busy = self.network.sender_busy_time(nbytes)
-        start, end = src.occupy(busy, earliest, "communication")
+        schedule = self._fault_schedule
+        if schedule is None:
+            full = self.network.transfer_time(nbytes)
+            busy = self.network.sender_busy_time(nbytes)
+            start, end = src.occupy(busy, earliest, "communication")
+            self._record("communication", src_id, start, end)
+            return start + full
+        bandwidth_factor, drop_p = schedule.link_state(earliest)
+        full = self.network.transfer_time(
+            nbytes, bandwidth_factor=bandwidth_factor
+        )
+        busy = self.network.sender_busy_time(
+            nbytes, bandwidth_factor=bandwidth_factor
+        )
+        # Dropped messages: the sender pays the send, waits out the
+        # detection delay, and retransmits. Drops are decided by the
+        # schedule's counter-based RNG, so replays are byte-identical.
+        clock = earliest
+        if drop_p > 0.0:
+            for _ in range(MAX_RETRANSMITS):
+                roll = schedule.drop_roll(self._message_counter)
+                self._message_counter += 1
+                if roll >= drop_p:
+                    break
+                self.fault_counters["dropped_messages"] += 1
+                start, end = src.occupy(busy, clock, "communication")
+                self._record("communication", src_id, start, end)
+                clock = start + full + schedule.drop_detect_seconds
+        start, end = src.occupy(busy, clock, "communication")
         self._record("communication", src_id, start, end)
         return start + full
 
@@ -229,8 +342,15 @@ class Cluster:
         return total
 
     def reset_time(self) -> None:
-        """Clear all timelines; keeps memory-tracking state."""
+        """Clear all timelines; keeps memory-tracking state.
+
+        Fault bookkeeping (message counter, drop counts) is also
+        cleared so repeated runs under the same schedule replay
+        byte-identically.
+        """
         for node in self.all_nodes():
             node.reset_time()
         if self.events is not None:
             self.events = []
+        self._message_counter = 0
+        self.fault_counters = {"dropped_messages": 0}

@@ -1,0 +1,303 @@
+"""Deterministic fault injection for the simulated cluster.
+
+A :class:`FaultSchedule` is a seeded, immutable list of timed events in
+*simulated* time that the :class:`~repro.cluster.cluster.Cluster`
+consults on every ``compute()`` / ``transfer()`` call:
+
+- ``crash`` / ``recover`` — a worker leaves service at time ``t`` and
+  (optionally) returns later. Work routed to a down worker raises
+  :class:`WorkerUnavailableError`, which the execution engine turns
+  into timed retries, replica failover, or (under ``degraded_mode``)
+  an explicitly coverage-flagged partial result.
+- ``straggler`` — a per-node compute-rate multiplier takes effect at
+  time ``t`` (``0.25`` means the node runs 4x slower; ``1.0`` clears
+  it). Stragglers trigger hedged requests when the engine's
+  ``hedge_latency_threshold`` is set.
+- ``link`` — the shared interconnect degrades at time ``t``: a
+  bandwidth multiplier and/or a per-message drop probability. Dropped
+  messages are retransmitted after a detection delay, charging the
+  sender each attempt; drops are decided by a counter-based seeded
+  RNG, so a fixed schedule replays **byte-identically** run to run.
+
+The schedule is purely declarative — it never mutates the cluster.
+Availability is sampled at each work item's requested start time, so a
+single pipelined batch can straddle crash, recovery, and degradation
+windows mid-run.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Recognised event kinds.
+EVENT_KINDS = ("crash", "recover", "straggler", "link")
+
+#: Per-message drop probabilities above this are rejected: they make
+#: expected retransmit counts explode and model a partition, which is
+#: what ``crash`` is for.
+MAX_DROP_PROBABILITY = 0.9
+
+#: Retransmits per message are capped so a pathological schedule cannot
+#: stall the simulation; past the cap the message goes through.
+MAX_RETRANSMITS = 16
+
+
+class WorkerUnavailableError(RuntimeError):
+    """A simulated RPC reached a worker that is failed or crashed.
+
+    Subclasses ``RuntimeError`` so pre-existing callers that treated
+    failed-worker computes as fatal keep matching; fault-aware engines
+    catch this type specifically and retry / fail over / degrade.
+    """
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault transition.
+
+    Attributes:
+        time: simulated timestamp at which the event takes effect.
+        kind: one of :data:`EVENT_KINDS`.
+        node: target worker id (``crash`` / ``recover`` / ``straggler``);
+            ignored for ``link`` events, which affect the shared fabric.
+        rate_multiplier: straggler compute-rate multiplier from ``time``
+            on (``1.0`` restores full speed).
+        bandwidth_factor: link bandwidth multiplier from ``time`` on.
+        drop_probability: per-message drop probability from ``time`` on.
+    """
+
+    time: float
+    kind: str
+    node: int = -1
+    rate_multiplier: float = 1.0
+    bandwidth_factor: float = 1.0
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; supported: "
+                f"{', '.join(EVENT_KINDS)}"
+            )
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.kind in ("crash", "recover", "straggler") and self.node < 0:
+            raise ValueError(f"{self.kind} events need a worker id >= 0")
+        if self.rate_multiplier <= 0:
+            raise ValueError(
+                f"rate_multiplier must be positive, got {self.rate_multiplier}"
+            )
+        if not 0 < self.bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"bandwidth_factor must be in (0, 1], got "
+                f"{self.bandwidth_factor}"
+            )
+        if not 0 <= self.drop_probability <= MAX_DROP_PROBABILITY:
+            raise ValueError(
+                f"drop_probability must be in [0, {MAX_DROP_PROBABILITY}], "
+                f"got {self.drop_probability}"
+            )
+
+
+class FaultSchedule:
+    """An immutable, seeded timeline of fault events.
+
+    Args:
+        events: fault events in any order; sorted by time internally.
+        seed: seeds the counter-based RNG deciding message drops (and
+            records which seed generated a random schedule).
+        drop_detect_seconds: simulated delay before a sender notices a
+            dropped message and retransmits.
+    """
+
+    def __init__(
+        self,
+        events: "list[FaultEvent] | tuple[FaultEvent, ...]",
+        seed: int = 0,
+        drop_detect_seconds: float = 5e-5,
+    ) -> None:
+        if drop_detect_seconds < 0:
+            raise ValueError(
+                f"drop_detect_seconds must be >= 0, got {drop_detect_seconds}"
+            )
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.kind, e.node))
+        )
+        self.seed = int(seed)
+        self.drop_detect_seconds = float(drop_detect_seconds)
+        # Per-node availability toggles and straggler steps, presorted
+        # for bisect lookups at arbitrary simulated times.
+        self._down_times: dict[int, list[float]] = {}
+        self._down_state: dict[int, list[bool]] = {}
+        self._rate_times: dict[int, list[float]] = {}
+        self._rate_mult: dict[int, list[float]] = {}
+        self._link_times: list[float] = []
+        self._link_state: list[tuple[float, float]] = []
+        for event in self.events:
+            if event.kind in ("crash", "recover"):
+                self._down_times.setdefault(event.node, []).append(event.time)
+                self._down_state.setdefault(event.node, []).append(
+                    event.kind == "crash"
+                )
+            elif event.kind == "straggler":
+                self._rate_times.setdefault(event.node, []).append(event.time)
+                self._rate_mult.setdefault(event.node, []).append(
+                    event.rate_multiplier
+                )
+            else:  # link
+                self._link_times.append(event.time)
+                self._link_state.append(
+                    (event.bandwidth_factor, event.drop_probability)
+                )
+
+    # ------------------------------------------------------------------
+    # State queries (all sampled at a simulated time t)
+    # ------------------------------------------------------------------
+
+    def is_down(self, node: int, t: float) -> bool:
+        """Whether ``node`` is crashed at simulated time ``t``."""
+        times = self._down_times.get(node)
+        if not times:
+            return False
+        pos = bisect.bisect_right(times, t)
+        if pos == 0:
+            return False
+        return self._down_state[node][pos - 1]
+
+    def rate_multiplier(self, node: int, t: float) -> float:
+        """Compute-rate multiplier in effect on ``node`` at ``t``."""
+        times = self._rate_times.get(node)
+        if not times:
+            return 1.0
+        pos = bisect.bisect_right(times, t)
+        if pos == 0:
+            return 1.0
+        return self._rate_mult[node][pos - 1]
+
+    def link_state(self, t: float) -> tuple[float, float]:
+        """``(bandwidth_factor, drop_probability)`` in effect at ``t``."""
+        if not self._link_times:
+            return 1.0, 0.0
+        pos = bisect.bisect_right(self._link_times, t)
+        if pos == 0:
+            return 1.0, 0.0
+        return self._link_state[pos - 1]
+
+    def drop_roll(self, message_index: int) -> float:
+        """Deterministic uniform draw in ``[0, 1)`` for one message.
+
+        Counter-based (seed, message index) seeding makes drop
+        decisions independent of call history, so identical runs see
+        identical drops.
+        """
+        return float(
+            np.random.default_rng((self.seed, int(message_index))).random()
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """Timestamp of the last scheduled event (0.0 when empty)."""
+        if not self.events:
+            return 0.0
+        return self.events[-1].time
+
+    def events_between(
+        self, start: float, end: float
+    ) -> tuple[FaultEvent, ...]:
+        """Events with ``start <= time < end`` (timeline windowing)."""
+        return tuple(e for e in self.events if start <= e.time < end)
+
+    def nodes_touched(self) -> frozenset:
+        """Workers named by any node-scoped event."""
+        return frozenset(
+            e.node for e in self.events if e.kind != "link"
+        )
+
+    def describe(self) -> str:
+        return (
+            f"FaultSchedule({len(self.events)} events, seed={self.seed}, "
+            f"horizon={self.horizon:.3g}s)"
+        )
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        n_workers: int,
+        duration: float,
+        seed: int = 0,
+        crash_prob: float = 0.5,
+        recover_prob: float = 0.7,
+        straggler_prob: float = 0.4,
+        link_prob: float = 0.3,
+        min_rate_multiplier: float = 0.1,
+        max_drop_probability: float = 0.15,
+    ) -> "FaultSchedule":
+        """A deterministic random schedule over ``[0, duration]``.
+
+        Every worker independently may crash once (recovering with
+        probability ``recover_prob``) and may straggle for a window;
+        the shared link may degrade for a window. Two calls with the
+        same arguments produce identical schedules — the backbone of
+        the chaos property tests.
+        """
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for node in range(n_workers):
+            if rng.random() < crash_prob:
+                t0 = float(rng.uniform(0.05, 0.7) * duration)
+                events.append(FaultEvent(time=t0, kind="crash", node=node))
+                if rng.random() < recover_prob:
+                    t1 = t0 + float(rng.uniform(0.05, 0.3) * duration)
+                    events.append(
+                        FaultEvent(time=t1, kind="recover", node=node)
+                    )
+            if rng.random() < straggler_prob:
+                t0 = float(rng.uniform(0.0, 0.6) * duration)
+                mult = float(rng.uniform(min_rate_multiplier, 0.5))
+                events.append(
+                    FaultEvent(
+                        time=t0,
+                        kind="straggler",
+                        node=node,
+                        rate_multiplier=mult,
+                    )
+                )
+                t1 = t0 + float(rng.uniform(0.1, 0.4) * duration)
+                events.append(
+                    FaultEvent(
+                        time=t1,
+                        kind="straggler",
+                        node=node,
+                        rate_multiplier=1.0,
+                    )
+                )
+        if rng.random() < link_prob:
+            t0 = float(rng.uniform(0.0, 0.6) * duration)
+            events.append(
+                FaultEvent(
+                    time=t0,
+                    kind="link",
+                    bandwidth_factor=float(rng.uniform(0.25, 0.9)),
+                    drop_probability=float(
+                        rng.uniform(0.0, max_drop_probability)
+                    ),
+                )
+            )
+            t1 = t0 + float(rng.uniform(0.1, 0.4) * duration)
+            events.append(FaultEvent(time=t1, kind="link"))
+        return cls(events, seed=seed)

@@ -83,6 +83,21 @@ class HarmonyConfig:
             into shard-major matrix-matrix scans (bitwise identical to
             the per-query loop, just faster). False forces one scan
             per query; the simulated backend always steps per query.
+        degraded_mode: serve partial results instead of raising when a
+            grid block has no live replica — skipped work is reported
+            as a per-query coverage fraction and recall-vs-healthy
+            delta in ``ExecutionReport.degraded``. Off by default:
+            losing data silently is the wrong default for a database.
+        retry_timeout: simulated seconds before a shard request to a
+            crashed worker is retried (base of the exponential
+            backoff: attempt ``i`` waits ``retry_timeout * 2**i``).
+        max_retries: retry attempts per shard request after the first;
+            exhausting them abandons the scan (``degraded_mode``) or
+            raises.
+        hedge_latency_threshold: projected per-scan latency (seconds)
+            above which a duplicate request is hedged to a second live
+            replica, taking whichever finishes first. ``None`` (the
+            default) disables hedging.
     """
 
     n_machines: int = 4
@@ -103,6 +118,10 @@ class HarmonyConfig:
     backend: str = "sim"
     n_threads: "int | None" = None
     batch_queries: bool = True
+    degraded_mode: bool = False
+    retry_timeout: float = 2e-4
+    max_retries: int = 3
+    hedge_latency_threshold: "float | None" = None
 
     def __post_init__(self) -> None:
         self.metric = resolve_metric(self.metric)
@@ -142,6 +161,23 @@ class HarmonyConfig:
                 f"n_threads must be positive, got {self.n_threads}"
             )
         self.batch_queries = bool(self.batch_queries)
+        self.degraded_mode = bool(self.degraded_mode)
+        if self.retry_timeout <= 0:
+            raise ValueError(
+                f"retry_timeout must be positive, got {self.retry_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if (
+            self.hedge_latency_threshold is not None
+            and self.hedge_latency_threshold <= 0
+        ):
+            raise ValueError(
+                f"hedge_latency_threshold must be positive or None, got "
+                f"{self.hedge_latency_threshold}"
+            )
 
     def replace(self, **changes: object) -> "HarmonyConfig":
         """Copy of this config with the given fields replaced."""

@@ -345,18 +345,82 @@ class HarmonyDB:
         nprobe: int | None,
         filter_labels: "np.ndarray | list[int] | None",
     ) -> tuple[SearchResult, ExecutionReport]:
-        """Run the batch on a host backend; report host wall-clock."""
+        """Run the batch on a host backend; report host wall-clock.
+
+        Host backends honor the cluster's failure state the same way
+        the simulator does: a shard whose every replica of some block
+        is failed either raises (default) or is skipped with coverage
+        accounting (``degraded_mode``). Timed fault schedules need the
+        simulated timeline and are rejected here.
+        """
         import time
 
         from repro.cluster.stats import TimeBreakdown
 
+        if self.cluster.fault_schedule is not None:
+            raise ValueError(
+                "fault schedules require the 'sim' backend; the "
+                f"{self.config.backend!r} backend has no simulated "
+                "timeline to apply timed events to"
+            )
         backend = self._get_host_backend()
         nprobe = nprobe if nprobe is not None else self.config.nprobe
+        dead: set[int] = set()
+        if self.cluster.failed_workers:
+            from repro.cluster.recovery import unavailable_shards
+
+            dead = unavailable_shards(self.cluster, self.plan)
+            if dead and not self.config.degraded_mode:
+                shard = sorted(dead)[0]
+                raise RuntimeError(
+                    f"no live replica of grid blocks of shard {shard}; "
+                    f"failed workers: "
+                    f"{sorted(self.cluster.failed_workers)}; enable "
+                    f"degraded_mode to serve partial results"
+                )
+        coverage = None
+        skip_shards = None
+        if self.config.degraded_mode:
+            prepared = backend.kernel.prepare_queries(queries)
+            coverage = np.zeros((prepared.shape[0], 2), dtype=np.int64)
+            skip_shards = frozenset(dead) if dead else None
         start = time.perf_counter()
         result = backend.search(
-            queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+            queries, k=k, nprobe=nprobe, filter_labels=filter_labels,
+            skip_shards=skip_shards, coverage=coverage,
         )
         elapsed = time.perf_counter() - start
+        fault_stats = None
+        degraded = None
+        if coverage is not None:
+            from repro.core.executor.kernel import recall_vs_healthy
+            from repro.core.results import DegradedReport, FaultStats
+            from repro.core.routing import touched_shards
+
+            prepared = backend.kernel.prepare_queries(queries)
+            probes = self.index.probe(prepared, nprobe)
+            allowed = self.index.allowed_mask(filter_labels)
+            skipped = 0
+            if dead:
+                for i in range(prepared.shape[0]):
+                    shards = touched_shards(self.plan, probes[i])
+                    skipped += sum(1 for s in shards if int(s) in dead)
+            scanned, total = coverage[:, 0], coverage[:, 1]
+            fractions = np.where(
+                total > 0, scanned / np.maximum(total, 1), 1.0
+            )
+            degraded_idx = np.flatnonzero(scanned < total)
+            degraded = DegradedReport(
+                coverage=fractions,
+                n_degraded_queries=int(degraded_idx.size),
+                skipped_scans=skipped,
+                recall_vs_healthy=recall_vs_healthy(
+                    backend.kernel, prepared, probes, k, allowed,
+                    degraded_idx, result.ids,
+                ),
+            )
+            stats = FaultStats(skipped_scans=skipped)
+            fault_stats = stats if stats.any_activity else None
         report = ExecutionReport(
             n_queries=result.n_queries,
             k=k,
@@ -370,6 +434,8 @@ class HarmonyDB:
                 f"{self.plan.describe()} [{backend.name} backend, "
                 f"host wall-clock]"
             ),
+            fault_stats=fault_stats,
+            degraded=degraded,
         )
         return result, report
 
@@ -396,6 +462,44 @@ class HarmonyDB:
                     batch_queries=self.config.batch_queries,
                 )
         return self._host_backend
+
+    # ------------------------------------------------------------------
+    # Faults and recovery
+    # ------------------------------------------------------------------
+
+    def set_fault_schedule(self, schedule) -> None:
+        """Attach (or clear, with None) a timed fault schedule.
+
+        See :class:`repro.cluster.faults.FaultSchedule`. Only the
+        ``"sim"`` backend applies timed events; host-backend searches
+        raise while a schedule is attached.
+        """
+        self.cluster.set_fault_schedule(schedule)
+
+    def enable_fault_recovery(self):
+        """Track live replicas and return a :class:`RecoveryManager`.
+
+        Wires a :class:`~repro.cluster.recovery.ReplicaDirectory` into
+        the execution engine (replica routing then follows the live
+        directory instead of the plan's static placement) and returns
+        the manager whose ``fail(node, now)`` / ``restore(node, now)``
+        drive simulated re-replication and rebalancing.
+        """
+        if not self.is_built:
+            raise RuntimeError(
+                "build() must be called before enable_fault_recovery()"
+            )
+        assert self._engine is not None
+        from repro.cluster.recovery import RecoveryManager, ReplicaDirectory
+
+        directory = ReplicaDirectory(self.plan, self.index)
+        self._engine.replica_directory = directory
+        return RecoveryManager(
+            cluster=self.cluster,
+            plan=self.plan,
+            index=self.index,
+            directory=directory,
+        )
 
     # ------------------------------------------------------------------
     # Persistence
@@ -431,6 +535,10 @@ class HarmonyDB:
                 "backend": config.backend,
                 "n_threads": config.n_threads,
                 "batch_queries": config.batch_queries,
+                "degraded_mode": config.degraded_mode,
+                "retry_timeout": config.retry_timeout,
+                "max_retries": config.max_retries,
+                "hedge_latency_threshold": config.hedge_latency_threshold,
             }
         )
         assignment = np.full(self.index.ntotal, -1, dtype=np.int64)

@@ -112,8 +112,16 @@ class HostBackend(Backend):
         k: int,
         nprobe: int = 1,
         filter_labels: "np.ndarray | list[int] | None" = None,
+        skip_shards: "frozenset[int] | set[int] | None" = None,
+        coverage: np.ndarray | None = None,
     ) -> SearchResult:
-        """Pruned top-``k`` search, exact w.r.t. a single-node IVF scan."""
+        """Pruned top-``k`` search, exact w.r.t. a single-node IVF scan.
+
+        ``skip_shards`` / ``coverage`` are the degraded-mode hooks (see
+        :meth:`ScanKernel.search_one`): skipped shards' candidates are
+        counted but never scored, so host backends serve the same
+        coverage-flagged partial results the simulator does.
+        """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         kernel = self.kernel
@@ -125,13 +133,16 @@ class HostBackend(Backend):
             heaps = kernel.search_batch(
                 queries, probes, k, allowed,
                 map_groups=self._group_mapper(),
+                skip_shards=skip_shards,
+                coverage=coverage,
             )
             return collect_results(heaps, k)
         heaps = [None] * nq
 
         def run_query(i: int) -> None:
             heaps[i] = kernel.search_one(
-                i, queries[i], probes[i], k, allowed
+                i, queries[i], probes[i], k, allowed,
+                skip_shards=skip_shards, coverage=coverage,
             )
 
         self._map(run_query, nq)

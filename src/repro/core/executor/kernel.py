@@ -309,6 +309,23 @@ class ScanKernel:
             query_norms=state.query_norms,
         )
 
+    def count_candidates(
+        self,
+        state: QueryState,
+        shard: int,
+        allowed: np.ndarray | None = None,
+    ) -> int:
+        """Candidate count a shard *would* contribute to a query.
+
+        Degraded-mode coverage accounting: shards skipped for lack of a
+        live replica still enter the coverage denominator, so a partial
+        result honestly reports how much of its candidate set it saw.
+        """
+        part = self._gather_candidates(state, int(shard), allowed)
+        if part is None:
+            return 0
+        return int(part[0].size)
+
     def step(self, scan: ShardScan, heap: TopKHeap, block: int) -> int:
         """Advance one scan by one dimension block, then prune.
 
@@ -347,16 +364,37 @@ class ScanKernel:
         probe_row: np.ndarray,
         k: int,
         allowed: np.ndarray | None = None,
+        skip_shards: "frozenset[int] | set[int] | None" = None,
+        coverage: np.ndarray | None = None,
     ) -> TopKHeap:
         """Algorithm 1 end-to-end for one query (no timing, no threads).
 
         This is the reference execution the serial backend exposes and
         the thread backend fans out per query.
+
+        Args:
+            skip_shards: shards to drop from the scan (degraded mode:
+                shards with no live replica). Their candidates count
+                toward coverage but are never scored.
+            coverage: optional ``(nq, 2)`` array of
+                ``[scanned, total]`` candidate counts, updated in place
+                at row ``query_index``.
         """
         state = self.begin_query(query_index, query, probe_row, k, allowed)
+        if coverage is not None:
+            coverage[query_index, :] += state.prewarmed.size
         for shard in self.shards_for(state):
-            scan = self.make_scan(state, int(shard), allowed)
+            shard = int(shard)
+            if skip_shards and shard in skip_shards:
+                if coverage is not None:
+                    coverage[query_index, 1] += self.count_candidates(
+                        state, shard, allowed
+                    )
+                continue
+            scan = self.make_scan(state, shard, allowed)
             if scan is not None:
+                if coverage is not None:
+                    coverage[query_index, :] += scan.n_candidates
                 self.run_scan(scan, state.heap)
         return state.heap
 
@@ -371,6 +409,8 @@ class ScanKernel:
         k: int,
         allowed: np.ndarray | None = None,
         map_groups=None,
+        skip_shards: "frozenset[int] | set[int] | None" = None,
+        coverage: np.ndarray | None = None,
     ) -> "list[TopKHeap]":
         """Algorithm 1 for a whole batch, fused shard-major.
 
@@ -393,6 +433,10 @@ class ScanKernel:
                 — pruning thresholds may be read stale, which is safe
                 because thresholds only tighten and pruning is
                 lossless.
+            skip_shards / coverage: degraded-mode accounting, exactly
+                as in :meth:`search_one`. Coverage is accumulated here
+                in the single-threaded grouping pass, so the
+                concurrent group executor never races on it.
 
         Returns:
             One populated heap per query.
@@ -402,10 +446,24 @@ class ScanKernel:
             self.begin_query(i, queries[i], probes[i], k, allowed)
             for i in range(nq)
         ]
+        if coverage is not None:
+            for state in states:
+                coverage[state.query_index, :] += state.prewarmed.size
         groups: dict[int, list[QueryState]] = {}
         for state in states:
             for shard in self.shards_for(state):
-                groups.setdefault(int(shard), []).append(state)
+                shard = int(shard)
+                if skip_shards and shard in skip_shards:
+                    if coverage is not None:
+                        coverage[state.query_index, 1] += (
+                            self.count_candidates(state, shard, allowed)
+                        )
+                    continue
+                if coverage is not None:
+                    coverage[state.query_index, :] += self.count_candidates(
+                        state, shard, allowed
+                    )
+                groups.setdefault(shard, []).append(state)
         shard_order = sorted(groups)
         if map_groups is None:
             for shard in shard_order:
@@ -501,6 +559,38 @@ class ScanKernel:
             else:
                 with locks[state.query_index]:
                     state.heap.push_many(scores, cand)
+
+
+def recall_vs_healthy(
+    kernel: ScanKernel,
+    queries: np.ndarray,
+    probes: np.ndarray,
+    k: int,
+    allowed: np.ndarray | None,
+    query_indices: np.ndarray,
+    result_ids: np.ndarray,
+) -> float:
+    """Mean top-k id overlap between degraded results and a healthy rerun.
+
+    Re-executes the *degraded* queries (only) through the timing-free
+    reference loop with every shard available, and measures what
+    fraction of the healthy top-k each partial result retained. ``1.0``
+    when ``query_indices`` is empty — nothing was degraded.
+    """
+    if len(query_indices) == 0:
+        return 1.0
+    overlaps = []
+    for i in query_indices:
+        i = int(i)
+        heap = kernel.search_one(i, queries[i], probes[i], k, allowed)
+        _, ids = heap.items_arrays()
+        healthy = {int(x) for x in ids}
+        if not healthy:
+            overlaps.append(1.0)
+            continue
+        got = {int(x) for x in result_ids[i] if x >= 0}
+        overlaps.append(len(got & healthy) / len(healthy))
+    return float(np.mean(overlaps))
 
 
 def collect_results(heaps: "list[TopKHeap]", k: int) -> SearchResult:

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.cluster import CLIENT_NODE, Cluster
+from repro.cluster.faults import WorkerUnavailableError
 from repro.cluster.messages import (
     MESSAGE_HEADER_BYTES,
     PARTIAL_ENTRY_BYTES,
@@ -56,11 +57,18 @@ from repro.core.executor.kernel import (
     QueryState,
     ScanKernel,
     collect_results,
+    recall_vs_healthy,
 )
 from repro.core.heap import TopKHeap
 from repro.core.partition import PartitionPlan
 from repro.core.pruning import PruningStats, ShardScan
-from repro.core.results import ExecutionReport, PlacementReport, SearchResult
+from repro.core.results import (
+    DegradedReport,
+    ExecutionReport,
+    FaultStats,
+    PlacementReport,
+    SearchResult,
+)
 from repro.core.routing import staggered_order
 from repro.index.ivf import IVFFlatIndex
 
@@ -151,6 +159,13 @@ class PipelineEngine:
         # replica routing balances against this because real loads are
         # still zero while a batch is being dispatched.
         self._dispatch_loads = np.zeros(cluster.n_workers, dtype=np.float64)
+        # Live replica locations; when a recovery manager is wired in
+        # (HarmonyDB.enable_fault_recovery) this directory overrides the
+        # plan's static placement, so re-replicated copies are routable.
+        self.replica_directory = None
+        # Per-run fault bookkeeping, rebuilt by run().
+        self._fault_stats = FaultStats()
+        self._coverage: np.ndarray | None = None
         # The algorithm itself: shared with the serial/thread backends.
         self.kernel = ScanKernel(
             index,
@@ -300,6 +315,14 @@ class PipelineEngine:
         states: list[_ScanState] = []
         self._query_submit = np.zeros(nq, dtype=np.float64)
         self._query_complete = np.zeros(nq, dtype=np.float64)
+        self._fault_stats = FaultStats()
+        # [scanned, total] candidate counts per query; only maintained
+        # under degraded_mode (the healthy fast path stays untouched).
+        self._coverage = (
+            np.zeros((nq, 2), dtype=np.int64)
+            if self.config.degraded_mode
+            else None
+        )
 
         # Dispatch phase: prewarm every query's heap (a kernel step,
         # charged to the client) and create the in-flight scan states
@@ -316,6 +339,8 @@ class PipelineEngine:
                 i, queries[i], probes[i], k, allowed
             )
             heaps.append(query_state.heap)
+            if self._coverage is not None:
+                self._coverage[i, :] += query_state.prewarmed.size
             self._charge_prewarm(query_state, earliest=arrival)
             _, dispatch_t = cluster.overhead(
                 CLIENT_NODE, DISPATCH_OVERHEAD_SECONDS, earliest=arrival
@@ -351,6 +376,28 @@ class PipelineEngine:
                     self._advance(state, stats, k)
 
         result = collect_results(heaps, k)
+        fault_stats = self._fault_stats
+        fault_stats.dropped_messages = cluster.fault_counters[
+            "dropped_messages"
+        ]
+        degraded = None
+        if self._coverage is not None:
+            scanned = self._coverage[:, 0]
+            total = self._coverage[:, 1]
+            coverage = np.where(
+                total > 0, scanned / np.maximum(total, 1), 1.0
+            )
+            degraded_idx = np.flatnonzero(scanned < total)
+            degraded = DegradedReport(
+                coverage=coverage,
+                n_degraded_queries=int(degraded_idx.size),
+                skipped_scans=fault_stats.skipped_scans,
+                abandoned_scans=fault_stats.abandoned_scans,
+                recall_vs_healthy=recall_vs_healthy(
+                    self.kernel, queries, probes, k, allowed,
+                    degraded_idx, result.ids,
+                ),
+            )
         report = ExecutionReport(
             n_queries=nq,
             k=k,
@@ -367,6 +414,13 @@ class PipelineEngine:
             mean_peak_memory_bytes=cluster.mean_peak_memory_bytes(),
             plan_summary=plan.describe(),
             latencies=self._query_complete - self._query_submit,
+            fault_stats=(
+                fault_stats
+                if cluster.fault_schedule is not None
+                or fault_stats.any_activity
+                else None
+            ),
+            degraded=degraded,
         )
         return result, report
 
@@ -409,6 +463,9 @@ class PipelineEngine:
         if scan is None:
             return None
         candidates = scan.candidate_ids
+        qidx = query_state.query_index
+        if self._coverage is not None:
+            self._coverage[qidx, 1] += scan.n_candidates
 
         fixed_order: np.ndarray | None
         if plan.n_dim_blocks == 1:
@@ -426,16 +483,20 @@ class PipelineEngine:
         # replication, the replica with the least *projected* load wins
         # (real loads are still zero during the dispatch phase). Failed
         # workers are routed around; a block with no live replica makes
-        # the search fail loudly rather than return partial answers.
+        # the search fail loudly — unless degraded_mode accepts the
+        # coverage loss and skips the whole shard instead.
         machine_for: dict[int, int] = {}
         widths_all = plan.slices.widths()
         for block in range(plan.n_dim_blocks):
             options = [
-                int(m)
-                for m in plan.replica_machines(shard, block)
-                if not cluster.is_failed(int(m))
+                m
+                for m in self._replica_options(shard, block)
+                if not cluster.is_failed(m)
             ]
             if not options:
+                if config.degraded_mode:
+                    self._fault_stats.skipped_scans += 1
+                    return None
                 raise RuntimeError(
                     f"no live replica of grid block (shard {shard}, "
                     f"block {block}); failed workers: "
@@ -450,6 +511,8 @@ class PipelineEngine:
                 * widths_all[block]
                 / cluster.workers[chosen].compute_rate
             )
+        if self._coverage is not None:
+            self._coverage[qidx, 0] += scan.n_candidates
 
         # Query chunks are dispatched to every involved machine up front.
         widths = plan.slices.widths()
@@ -480,6 +543,111 @@ class PipelineEngine:
             machine_for=machine_for,
             remaining=list(range(plan.n_dim_blocks)),
         )
+
+    def _replica_options(self, shard: int, block: int) -> list[int]:
+        """Machines currently holding (shard, block), ascending.
+
+        The live replica directory (when recovery is enabled) overrides
+        the plan's static placement, so blocks re-replicated after a
+        crash — or trimmed after a restore — route correctly.
+        """
+        if self.replica_directory is not None:
+            return [int(m) for m in self.replica_directory.holders(shard, block)]
+        return [int(m) for m in self.plan.replica_machines(shard, block)]
+
+    def _pick_alternate(
+        self, state: _ScanState, block: int, exclude: int, at_time: float
+    ) -> int | None:
+        """Least-loaded live replica of a block other than ``exclude``."""
+        options = [
+            m
+            for m in self._replica_options(state.shard, block)
+            if m != exclude and not self.cluster.is_failed(m, at_time=at_time)
+        ]
+        if not options:
+            return None
+        return min(options, key=lambda m: (self._dispatch_loads[m], m))
+
+    def _robust_compute(
+        self, state: _ScanState, block: int, elements: float, ready: float
+    ) -> "tuple[int, float] | tuple[None, None]":
+        """Fault-tolerant replacement for one ``cluster.compute`` call.
+
+        Retries with exponential backoff when the chosen machine is
+        crashed (each attempt charging simulated wait time), fails over
+        to another live replica when one exists (re-shipping the query
+        chunk), and — when ``hedge_latency_threshold`` is set — hedges
+        a duplicate request to a second replica if the primary's
+        projected latency (straggler-aware) exceeds the threshold,
+        keeping whichever finishes first.
+
+        Returns ``(machine, end_time)`` on success, ``(None, None)``
+        after exhausting retries (degraded mode abandons the scan;
+        otherwise the caller's contract is to raise).
+        """
+        cluster = self.cluster
+        config = self.config
+        fstats = self._fault_stats
+        widths = self.plan.slices.widths()
+        machine = state.machine_for[block]
+        clock = ready
+        for attempt in range(config.max_retries + 1):
+            hedge_machine = None
+            hedge_end = None
+            if (
+                config.hedge_latency_threshold is not None
+                and cluster.projected_compute_seconds(
+                    machine, elements, at_time=clock
+                )
+                > config.hedge_latency_threshold
+            ):
+                hedge_machine = self._pick_alternate(
+                    state, block, machine, clock
+                )
+                if hedge_machine is not None:
+                    chunk = cluster.transfer(
+                        CLIENT_NODE,
+                        hedge_machine,
+                        query_chunk_bytes(widths[block]),
+                        earliest=clock,
+                    )
+                    try:
+                        _, hedge_end = cluster.compute(
+                            hedge_machine, elements, earliest=chunk
+                        )
+                        fstats.hedges += 1
+                    except WorkerUnavailableError:
+                        hedge_end = None
+            try:
+                _, end = cluster.compute(machine, elements, earliest=clock)
+            except WorkerUnavailableError:
+                end = None
+            if end is not None:
+                if hedge_end is not None and hedge_end < end:
+                    fstats.hedge_wins += 1
+                    return hedge_machine, hedge_end
+                return machine, end
+            if hedge_end is not None:
+                # Primary crashed but the hedge already landed.
+                fstats.hedge_wins += 1
+                return hedge_machine, hedge_end
+            # Timed retry: wait out the backoff, then either fail over
+            # to another live replica (re-shipping the query chunk) or
+            # knock on the same machine again — it may have recovered.
+            fstats.retries += 1
+            clock += config.retry_timeout * (2.0 ** attempt)
+            alternate = self._pick_alternate(state, block, machine, clock)
+            if alternate is not None:
+                fstats.failovers += 1
+                chunk = cluster.transfer(
+                    CLIENT_NODE,
+                    alternate,
+                    query_chunk_bytes(widths[block]),
+                    earliest=clock,
+                )
+                clock = max(clock, chunk)
+                machine = alternate
+        return None, None
 
     def _next_block(self, state: _ScanState) -> int:
         """Pick the state's next dimension block.
@@ -563,9 +731,19 @@ class PipelineEngine:
         # query heap. The compute charge covers the rows that were
         # actually processed (pruning shrinks later stages).
         processed = self.kernel.step(scan, state.heap, block)
-        _, end = cluster.compute(
-            machine, processed * widths[block], earliest=ready
-        )
+        elements = processed * widths[block]
+        if (
+            cluster.fault_schedule is None
+            and config.hedge_latency_threshold is None
+        ):
+            _, end = cluster.compute(machine, elements, earliest=ready)
+        else:
+            machine, end = self._robust_compute(
+                state, block, elements, ready
+            )
+            if machine is None:
+                self._abandon_scan(state)
+                return
         state.prev_end = end
         state.prev_machine = machine
         state.position += 1
@@ -589,6 +767,28 @@ class PipelineEngine:
             self._query_complete[state.query_index] = max(
                 self._query_complete[state.query_index], done_at
             )
+
+    def _abandon_scan(self, state: _ScanState) -> None:
+        """Drop a scan whose every retry failed.
+
+        Under ``degraded_mode`` the scan's candidates leave the
+        coverage numerator (they were counted as scheduled work at
+        dispatch) and the query completes partial; otherwise the
+        failure is fatal, matching the no-live-replica dispatch error.
+        """
+        if not self.config.degraded_mode:
+            raise WorkerUnavailableError(
+                f"scan of shard {state.shard} for query "
+                f"{state.query_index} exhausted its "
+                f"{self.config.max_retries} retries with no live replica"
+            )
+        self._fault_stats.abandoned_scans += 1
+        if self._coverage is not None:
+            self._coverage[state.query_index, 0] -= state.scan.n_candidates
+        state.finished = True
+        self._query_complete[state.query_index] = max(
+            self._query_complete[state.query_index], state.prev_end
+        )
 
     def _client_merge(self, seconds: float, earliest: float) -> float:
         """Charge result-merge work to the client's merge timeline.

@@ -34,6 +34,113 @@ class SearchResult:
 
 
 @dataclass
+class FaultStats:
+    """Fault-handling activity observed during one search batch.
+
+    Attributes:
+        retries: compute attempts re-issued after hitting a crashed
+            worker (each retry charges its backoff delay in simulated
+            time).
+        failovers: scans moved to a different live replica after the
+            originally chosen machine became unavailable.
+        hedges: duplicate scans speculatively issued to a second
+            replica because the primary's projected latency exceeded
+            ``hedge_latency_threshold``.
+        hedge_wins: hedged duplicates that finished before the primary.
+        dropped_messages: simulated message drops (each one charged a
+            retransmit after the schedule's detection delay).
+        skipped_scans: shard scans skipped at dispatch because no live
+            replica existed (``degraded_mode`` only).
+        abandoned_scans: shard scans abandoned mid-run after exhausting
+            retries (``degraded_mode`` only).
+    """
+
+    retries: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    dropped_messages: int = 0
+    skipped_scans: int = 0
+    abandoned_scans: int = 0
+
+    @property
+    def any_activity(self) -> bool:
+        return any(
+            (
+                self.retries,
+                self.failovers,
+                self.hedges,
+                self.hedge_wins,
+                self.dropped_messages,
+                self.skipped_scans,
+                self.abandoned_scans,
+            )
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "dropped_messages": self.dropped_messages,
+            "skipped_scans": self.skipped_scans,
+            "abandoned_scans": self.abandoned_scans,
+        }
+
+
+@dataclass
+class DegradedReport:
+    """Availability / accuracy accounting for a degraded-mode search.
+
+    Attributes:
+        coverage: per-query fraction of the candidate set actually
+            scanned, in ``[0, 1]``; ``1.0`` means the result is exact
+            (identical to a healthy cluster's answer).
+        n_degraded_queries: queries with coverage below 1.0.
+        skipped_scans / abandoned_scans: shard scans lost to dead
+            replicas (at dispatch / mid-run).
+        recall_vs_healthy: mean overlap between degraded and healthy
+            top-k id sets over the *degraded* queries only (``1.0``
+            when no query was degraded — nothing was lost).
+    """
+
+    coverage: np.ndarray
+    n_degraded_queries: int = 0
+    skipped_scans: int = 0
+    abandoned_scans: int = 0
+    recall_vs_healthy: float = 1.0
+
+    @property
+    def mean_coverage(self) -> float:
+        if self.coverage.size == 0:
+            return 1.0
+        return float(np.mean(self.coverage))
+
+    @property
+    def min_coverage(self) -> float:
+        if self.coverage.size == 0:
+            return 1.0
+        return float(np.min(self.coverage))
+
+    @property
+    def recall_delta(self) -> float:
+        """Recall lost to degradation (``0.0`` when fully covered)."""
+        return 1.0 - self.recall_vs_healthy
+
+    def to_dict(self) -> dict:
+        return {
+            "mean_coverage": self.mean_coverage,
+            "min_coverage": self.min_coverage,
+            "n_degraded_queries": self.n_degraded_queries,
+            "skipped_scans": self.skipped_scans,
+            "abandoned_scans": self.abandoned_scans,
+            "recall_vs_healthy": self.recall_vs_healthy,
+            "recall_delta": self.recall_delta,
+        }
+
+
+@dataclass
 class ExecutionReport:
     """Simulated-performance record of one search batch.
 
@@ -54,6 +161,10 @@ class ExecutionReport:
         plan_summary: human-readable plan description.
         latencies: per-query simulated latency (dispatch to final
             result merge), seconds; empty when not recorded.
+        fault_stats: retry / hedge / drop counters (None on a healthy
+            run with no fault schedule attached).
+        degraded: coverage and recall accounting (None unless the
+            search ran with ``degraded_mode=True``).
     """
 
     n_queries: int
@@ -69,6 +180,8 @@ class ExecutionReport:
     latencies: np.ndarray = field(
         default_factory=lambda: np.zeros(0, dtype=np.float64)
     )
+    fault_stats: FaultStats | None = None
+    degraded: DegradedReport | None = None
 
     @property
     def qps(self) -> float:
@@ -150,6 +263,10 @@ class ExecutionReport:
             }
         if self.pruning is not None:
             out["pruning_ratios"] = self.pruning.ratios().tolist()
+        if self.fault_stats is not None:
+            out["fault_stats"] = self.fault_stats.to_dict()
+        if self.degraded is not None:
+            out["degraded"] = self.degraded.to_dict()
         return out
 
 
