@@ -13,6 +13,7 @@ discrete-event cluster model; see DESIGN.md "Scaling conventions".
 from __future__ import annotations
 
 import functools
+import os
 from pathlib import Path
 
 import numpy as np
@@ -95,13 +96,41 @@ def deploy(
     )
     cluster = Cluster(n_workers=n_machines, network=network)
     sample = sample_queries if sample_queries is not None else dataset.queries
-    return HarmonyDB.from_trained_index(
+    db = HarmonyDB.from_trained_index(
         get_index(name),
         config=config,
         cluster=cluster,
         sample_queries=sample,
         k=K,
     )
+    if TRACE_DIR is not None:
+        _traced_deployments.append((f"{name}-{config.mode.value}", db))
+        db.enable_tracing()
+    return db
+
+
+#: Opt-in trace capture: set HARMONY_TRACE_DIR=<dir> and every figure
+#: script's deployments record spans; each deployment's most recent
+#: batch is dumped as Chrome trace JSON at interpreter exit. Tracing
+#: is pure observation, so captured runs produce identical tables.
+TRACE_DIR = os.environ.get("HARMONY_TRACE_DIR") or None
+
+_traced_deployments: list[tuple[str, HarmonyDB]] = []
+
+
+def _dump_traces() -> None:
+    out = Path(TRACE_DIR)
+    out.mkdir(parents=True, exist_ok=True)
+    for i, (label, db) in enumerate(_traced_deployments):
+        if db.tracer is None or not len(db.tracer.spans()):
+            continue
+        db.tracer.trace().save_chrome(out / f"{i:03d}-{label}.json")
+
+
+if TRACE_DIR is not None:
+    import atexit
+
+    atexit.register(_dump_traces)
 
 
 def faiss_run(

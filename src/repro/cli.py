@@ -74,9 +74,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the fused multi-query scan path on host "
         "backends (results are bitwise identical either way)",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record per-query spans and write a Chrome trace_event "
+        "JSON timeline (loadable in about:tracing / Perfetto)",
+    )
+    run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write a Prometheus text dump of the run's metrics "
+        "('-' for stdout)",
+    )
     run.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("datasets", help="list dataset analogues")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a small traced search and export its cluster timeline",
+    )
+    trace.add_argument("--dataset", default="sift1m")
+    trace.add_argument("--size", type=int, default=None)
+    trace.add_argument("--queries", type=int, default=8)
+    trace.add_argument("--nmachine", type=int, default=4)
+    trace.add_argument(
+        "--mode", default="harmony", choices=[m.value for m in Mode]
+    )
+    trace.add_argument("--nlist", type=int, default=64)
+    trace.add_argument("--nprobe", type=int, default=8)
+    trace.add_argument("--k", type=int, default=10)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--output", default="trace.json", help="Chrome trace JSON path"
+    )
+    trace.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="also write a Prometheus text dump ('-' for stdout)",
+    )
 
     plan = sub.add_parser("plan", help="show the cost model's grid choices")
     plan.add_argument("--dataset", default="sift1m")
@@ -156,15 +195,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"add {build.add_seconds * 1e3:.1f} ms, "
         f"pre-assign {build.preassign_seconds * 1e3:.1f} ms"
     )
+    if args.trace is not None:
+        db.enable_tracing()
     result, report = db.search(dataset.queries, k=args.k)
     _, truth = exact_knn(dataset.base, dataset.queries, k=args.k)
     print(f"recall@{args.k}: {recall_at_k(result.ids, truth):.3f}")
     if args.backend == "sim":
         print(f"simulated QPS: {report.qps:,.0f}")
-        print(
-            f"latency (simulated): mean {report.mean_latency * 1e6:.0f} us, "
-            f"p99 {report.latency_percentile(99) * 1e6:.0f} us"
-        )
+        if report.latencies.size:
+            p99 = f"{report.latency_percentile(99) * 1e6:.0f} us"
+            mean = f"{report.mean_latency * 1e6:.0f} us"
+        else:
+            p99 = mean = "n/a"
+        print(f"latency (simulated): mean {mean}, p99 {p99}")
         print(f"load imbalance (CV): {report.normalized_imbalance:.3f}")
         if report.pruning is not None:
             ratios = " ".join(f"{r:.0%}" for r in report.pruning.ratios())
@@ -175,6 +218,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{report.simulated_seconds * 1e3:.1f} ms "
             f"({report.qps:,.0f} QPS)"
         )
+    _export_observability(db, report, args.trace, args.metrics)
+    return 0
+
+
+def _export_observability(
+    db: HarmonyDB, report, trace_path, metrics_path
+) -> None:
+    """Write the report's trace / metrics exports where requested."""
+    if trace_path is not None and report.trace is not None:
+        events = (
+            db.cluster.fault_schedule.events
+            if db.cluster.fault_schedule is not None
+            else ()
+        )
+        report.trace.save_chrome(trace_path, fault_events=events)
+        print(
+            f"trace: {len(report.trace)} spans -> {trace_path} "
+            "(load in about:tracing or https://ui.perfetto.dev)"
+        )
+    if metrics_path is not None:
+        from repro.obs.metrics import report_metrics
+
+        registry = report_metrics(report, registry=db.metrics)
+        text = registry.to_prometheus()
+        if metrics_path == "-":
+            print(text, end="")
+        else:
+            with open(metrics_path, "w") as f:
+                f.write(text)
+            print(f"metrics: {len(registry.families())} families "
+                  f"-> {metrics_path}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    dataset = load_dataset(
+        args.dataset, size=args.size, n_queries=args.queries, seed=args.seed
+    )
+    config = HarmonyConfig(
+        n_machines=args.nmachine,
+        nlist=args.nlist,
+        nprobe=args.nprobe,
+        mode=args.mode,
+        seed=args.seed,
+    )
+    db = HarmonyDB(dim=dataset.dim, config=config)
+    db.build(dataset.base, sample_queries=dataset.queries)
+    db.enable_tracing()
+    db.attach_metrics()
+    _, report = db.search(dataset.queries, k=args.k)
+    totals = report.trace.category_totals()
+    print(f"plan: {db.plan.describe()}")
+    print(
+        f"traced {report.n_queries} queries: {len(report.trace)} spans, "
+        + ", ".join(f"{c} {s * 1e6:.0f} us" for c, s in totals.items())
+    )
+    _export_observability(db, report, args.output, args.metrics)
     return 0
 
 
@@ -274,6 +373,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_datasets()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "plan":
         return _cmd_plan(args)
     if args.command == "tune":

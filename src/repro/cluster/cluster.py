@@ -78,6 +78,14 @@ class Cluster:
         #: Optional event trace: (category, node_id, start, end) tuples
         #: recorded while tracing is enabled (see enable_tracing).
         self.events: list[tuple[str, int, float, float]] | None = None
+        #: Optional structured span recorder (repro.obs.Tracer). Every
+        #: compute / transfer / overhead charge is recorded with the
+        #: producer's attribution context; None (the default) keeps the
+        #: hot path one attribute check from the untraced build.
+        self.tracer = None
+        #: Optional live metrics registry (repro.obs.MetricsRegistry):
+        #: scan counts, queue waits, transferred bytes, message drops.
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -206,10 +214,22 @@ class Cluster:
         self.events = None
 
     def _record(
-        self, category: str, node_id: int, start: float, end: float
+        self,
+        category: str,
+        node_id: int,
+        start: float,
+        end: float,
+        **args,
     ) -> None:
-        if self.events is not None and end > start:
+        if end <= start:
+            return
+        if self.events is not None:
             self.events.append((category, node_id, start, end))
+        if self.tracer is not None:
+            # The span name comes from the producer's tracer context
+            # (e.g. the engine's "scan" / "query-chunk" attribution);
+            # None falls back to the category.
+            self.tracer.record(None, category, node_id, start, end, **args)
 
     def compute(
         self, node_id: int, elements: float, earliest: float = 0.0
@@ -240,7 +260,17 @@ class Cluster:
             if multiplier != 1.0:
                 duration /= multiplier
         start, end = node.occupy(duration, earliest, "computation")
-        self._record("computation", node_id, start, end)
+        self._record("computation", node_id, start, end, elements=elements)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "harmony_compute_calls_total",
+                "Compute charges per node",
+                node=node_id,
+            ).inc()
+            self.metrics.histogram(
+                "harmony_queue_wait_seconds",
+                "Delay between a work item's readiness and its start",
+            ).observe(start - earliest)
         return start, end
 
     def overhead(
@@ -267,12 +297,20 @@ class Cluster:
         if src_id == dst_id:
             return earliest
         src = self.node(src_id)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "harmony_transferred_bytes_total",
+                "Payload bytes moved between nodes",
+            ).inc(nbytes)
         schedule = self._fault_schedule
         if schedule is None:
             full = self.network.transfer_time(nbytes)
             busy = self.network.sender_busy_time(nbytes)
             start, end = src.occupy(busy, earliest, "communication")
-            self._record("communication", src_id, start, end)
+            self._record(
+                "communication", src_id, start, end,
+                nbytes=nbytes, dst=dst_id,
+            )
             return start + full
         bandwidth_factor, drop_p = schedule.link_state(earliest)
         full = self.network.transfer_time(
@@ -292,11 +330,21 @@ class Cluster:
                 if roll >= drop_p:
                     break
                 self.fault_counters["dropped_messages"] += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "harmony_dropped_messages_total",
+                        "Simulated message drops (each retransmitted)",
+                    ).inc()
                 start, end = src.occupy(busy, clock, "communication")
-                self._record("communication", src_id, start, end)
+                self._record(
+                    "communication", src_id, start, end,
+                    nbytes=nbytes, dst=dst_id, dropped=True,
+                )
                 clock = start + full + schedule.drop_detect_seconds
         start, end = src.occupy(busy, clock, "communication")
-        self._record("communication", src_id, start, end)
+        self._record(
+            "communication", src_id, start, end, nbytes=nbytes, dst=dst_id
+        )
         return start + full
 
     # ------------------------------------------------------------------
@@ -352,5 +400,7 @@ class Cluster:
             node.reset_time()
         if self.events is not None:
             self.events = []
+        if self.tracer is not None:
+            self.tracer.clear()
         self._message_counter = 0
         self.fault_counters = {"dropped_messages": 0}

@@ -76,6 +76,18 @@ class FaultEvent:
     bandwidth_factor: float = 1.0
     drop_probability: float = 0.0
 
+    @property
+    def label(self) -> str:
+        """Short marker text (the trace exporter's instant-event name)."""
+        if self.kind == "straggler":
+            return f"straggler x{self.rate_multiplier:g}"
+        if self.kind == "link":
+            parts = [f"bw x{self.bandwidth_factor:g}"]
+            if self.drop_probability > 0:
+                parts.append(f"drop {self.drop_probability:g}")
+            return "link " + ", ".join(parts)
+        return self.kind
+
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
             raise ValueError(

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
 from repro.core.partition import PartitionPlan
+from repro.obs.trace import trace_context
 
 #: Bytes per fp32 coordinate / int64 id, mirroring PipelineEngine's
 #: placement accounting.
@@ -292,9 +293,18 @@ class RecoveryManager:
             if target is None:
                 continue
             nbytes = self.directory.block_nbytes(shard, block)
-            arrival = self.cluster.transfer(
-                survivors[0], target, nbytes, earliest=now
-            )
+            with trace_context(
+                self.cluster.tracer, "re-replicate",
+                shard=shard, block=block,
+            ):
+                arrival = self.cluster.transfer(
+                    survivors[0], target, nbytes, earliest=now
+                )
+            if self.cluster.metrics is not None:
+                self.cluster.metrics.counter(
+                    "harmony_repair_bytes_total",
+                    "Bytes re-replicated after failures",
+                ).inc(nbytes)
             self.cluster.allocate(target, nbytes)
             self.directory.add_copy(shard, block, target, extra=True)
             report.blocks_copied += 1

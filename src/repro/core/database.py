@@ -68,6 +68,8 @@ class HarmonyDB:
         self._decision: PlanDecision | None = None
         self._placement = None
         self._host_backend = None
+        self._tracer = None
+        self._metrics = None
 
     @classmethod
     def from_trained_index(
@@ -384,6 +386,10 @@ class HarmonyDB:
             prepared = backend.kernel.prepare_queries(queries)
             coverage = np.zeros((prepared.shape[0], 2), dtype=np.int64)
             skip_shards = frozenset(dead) if dead else None
+        if self._tracer is not None:
+            # One trace per batch, matching the sim backend's
+            # reset_time semantics.
+            self._tracer.clear()
         start = time.perf_counter()
         result = backend.search(
             queries, k=k, nprobe=nprobe, filter_labels=filter_labels,
@@ -436,6 +442,9 @@ class HarmonyDB:
             ),
             fault_stats=fault_stats,
             degraded=degraded,
+            trace=(
+                self._tracer.trace() if self._tracer is not None else None
+            ),
         )
         return result, report
 
@@ -461,7 +470,66 @@ class HarmonyDB:
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
                 )
+            self._host_backend.tracer = self._tracer
         return self._host_backend
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The attached :class:`repro.obs.Tracer`, or None."""
+        return self._tracer
+
+    @property
+    def metrics(self):
+        """The attached :class:`repro.obs.MetricsRegistry`, or None."""
+        return self._metrics
+
+    def enable_tracing(self, capacity: int | None = None):
+        """Attach a span tracer; subsequent searches carry a trace.
+
+        Under the ``"sim"`` backend the trace holds per-query spans
+        over simulated time, one lane per cluster node; under host
+        backends it holds wall-clock spans, one lane per worker
+        thread. Either way ``ExecutionReport.trace`` is populated and
+        exportable as Chrome ``trace_event`` JSON. Returns the tracer.
+        """
+        from repro.obs.trace import DEFAULT_CAPACITY, Tracer
+
+        self._tracer = Tracer(
+            capacity=capacity if capacity is not None else DEFAULT_CAPACITY
+        )
+        self.cluster.tracer = self._tracer
+        if self._host_backend is not None:
+            self._host_backend.tracer = self._tracer
+        return self._tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer; the hot path returns to untraced cost."""
+        self._tracer = None
+        self.cluster.tracer = None
+        if self._host_backend is not None:
+            self._host_backend.tracer = None
+
+    def attach_metrics(self, registry=None):
+        """Attach (or create) a live metrics registry; returns it.
+
+        The cluster publishes low-level series (compute calls, queue
+        waits, transferred bytes, message drops) as work is charged;
+        pair with :func:`repro.obs.report_metrics` to also publish a
+        finished report's aggregates.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        self._metrics = registry if registry is not None else MetricsRegistry()
+        self.cluster.metrics = self._metrics
+        return self._metrics
+
+    def detach_metrics(self) -> None:
+        self._metrics = None
+        self.cluster.metrics = None
 
     # ------------------------------------------------------------------
     # Faults and recovery

@@ -90,6 +90,10 @@ class HostBackend(Backend):
         self.index = index
         self.plan = plan if plan is not None else default_plan(index)
         self.batch_queries = batch_queries
+        #: Optional repro.obs.Tracer recording wall-clock spans, one
+        #: lane per host worker thread. None (default) keeps the
+        #: untraced path free of instrumentation.
+        self.tracer = None
         self.kernel = ScanKernel(
             index,
             self.plan,
@@ -125,14 +129,20 @@ class HostBackend(Backend):
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
         kernel = self.kernel
+        tracer = self.tracer
+        kernel.tracer = tracer  # per-(shard, slice) wall spans when set
         queries = kernel.prepare_queries(queries)
-        probes = self.index.probe(queries, nprobe)
+        if tracer is None:
+            probes = self.index.probe(queries, nprobe)
+        else:
+            with tracer.wall_span("route", "computation", n=queries.shape[0]):
+                probes = self.index.probe(queries, nprobe)
         allowed = self.index.allowed_mask(filter_labels)
         nq = queries.shape[0]
         if self.batch_queries and nq > 1:
             heaps = kernel.search_batch(
                 queries, probes, k, allowed,
-                map_groups=self._group_mapper(),
+                map_groups=self._traced_group_mapper(),
                 skip_shards=skip_shards,
                 coverage=coverage,
             )
@@ -145,7 +155,14 @@ class HostBackend(Backend):
                 skip_shards=skip_shards, coverage=coverage,
             )
 
-        self._map(run_query, nq)
+        if tracer is None:
+            self._map(run_query, nq)
+        else:
+            def traced_query(i: int) -> None:
+                with tracer.wall_span("query", "computation", query=i):
+                    run_query(i)
+
+            self._map(traced_query, nq)
         return collect_results(heaps, k)
 
     @abc.abstractmethod
@@ -160,6 +177,34 @@ class HostBackend(Backend):
         (the serial default).
         """
         return None
+
+    def _traced_group_mapper(self):
+        """The group mapper, wrapping each shard task in a wall span.
+
+        With no tracer attached this is exactly ``_group_mapper()``;
+        with one, each shard-group's wall-clock interval is recorded
+        on the executing thread's lane (results are unchanged — the
+        backend contract fixes *what* is computed).
+        """
+        mapper = self._group_mapper()
+        tracer = self.tracer
+        if tracer is None:
+            return mapper
+
+        def traced(task, shards) -> None:
+            def traced_task(shard) -> None:
+                with tracer.wall_span(
+                    "shard-group", "computation", shard=int(shard)
+                ):
+                    task(shard)
+
+            if mapper is None:
+                for shard in shards:
+                    traced_task(shard)
+            else:
+                mapper(traced_task, shards)
+
+        return traced
 
 
 BACKENDS: dict[str, str] = {

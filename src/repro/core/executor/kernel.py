@@ -127,6 +127,10 @@ class ScanKernel:
         self.prewarm_size = prewarm_size
         self.enable_pruning = enable_pruning
         self.use_packed_base = use_packed_base
+        #: Optional repro.obs.Tracer. When set, host execution records a
+        #: wall-clock span per (shard, slice) stage; None (default)
+        #: keeps the scan loops instrumentation-free.
+        self.tracer = None
         self._packed: ShardPackedBase | None = None
         self._base_slice_norms: np.ndarray | None = None
         if self.metric is not Metric.L2:
@@ -348,12 +352,25 @@ class ScanKernel:
         heap.push_many(scores, ids)
         return int(ids.size)
 
-    def run_scan(self, scan: ShardScan, heap: TopKHeap) -> None:
-        """Run one scan's full dimension pipeline in canonical order."""
+    def run_scan(
+        self, scan: ShardScan, heap: TopKHeap, shard: int | None = None
+    ) -> None:
+        """Run one scan's full dimension pipeline in canonical order.
+
+        ``shard`` only labels trace spans; it never affects execution.
+        """
+        tracer = self.tracer
         for block in range(self.plan.n_dim_blocks):
             if scan.n_alive == 0:
                 break
-            self.step(scan, heap, block)
+            if tracer is None:
+                self.step(scan, heap, block)
+            else:
+                with tracer.wall_span(
+                    "scan", "computation",
+                    shard=shard, block=block, alive=int(scan.n_alive),
+                ):
+                    self.step(scan, heap, block)
         if scan.n_alive:
             self.merge_survivors(scan, heap)
 
@@ -395,7 +412,7 @@ class ScanKernel:
             if scan is not None:
                 if coverage is not None:
                     coverage[query_index, :] += scan.n_candidates
-                self.run_scan(scan, state.heap)
+                self.run_scan(scan, state.heap, shard=shard)
         return state.heap
 
     # ------------------------------------------------------------------
@@ -505,16 +522,17 @@ class ScanKernel:
             chunk_parts.append(part)
             chunk_rows += int(part[0].size)
             if chunk_rows >= max_rows:
-                self._run_group_chunk(chunk_states, chunk_parts, locks)
+                self._run_group_chunk(chunk_states, chunk_parts, locks, shard)
                 chunk_states, chunk_parts, chunk_rows = [], [], 0
         if chunk_states:
-            self._run_group_chunk(chunk_states, chunk_parts, locks)
+            self._run_group_chunk(chunk_states, chunk_parts, locks, shard)
 
     def _run_group_chunk(
         self,
         states: "list[QueryState]",
         parts: "list[tuple]",
         locks: "list[threading.Lock] | None",
+        shard: int | None = None,
     ) -> None:
         ids = np.concatenate([part[0] for part in parts])
         rows = [part[1] for part in parts]
@@ -536,18 +554,48 @@ class ScanKernel:
             base_slice_norms=base_norms,
             query_norms=query_norms,
         )
+        tracer = self.tracer
         for block in range(self.plan.n_dim_blocks):
             if scan.n_alive == 0:
                 break
-            scan.process_slice(block)
-            if self.enable_pruning:
-                thresholds = np.array(
-                    [state.heap.threshold for state in states]
-                )
-                scan.prune(thresholds)
+            if tracer is None:
+                self._group_step(scan, states, block)
+            else:
+                with tracer.wall_span(
+                    "scan", "computation",
+                    shard=shard, block=block,
+                    group=len(states), alive=int(scan.n_alive),
+                ):
+                    self._group_step(scan, states, block)
         if scan.n_alive == 0:
             return
         survivor_ids, survivor_scores, survivor_query = scan.survivors()
+        self._merge_group_survivors(
+            states, survivor_ids, survivor_scores, survivor_query, locks
+        )
+
+    def _group_step(
+        self,
+        scan: ShardGroupScan,
+        states: "list[QueryState]",
+        block: int,
+    ) -> None:
+        """One fused (shard, slice) stage: accumulate, then group-prune."""
+        scan.process_slice(block)
+        if self.enable_pruning:
+            thresholds = np.array(
+                [state.heap.threshold for state in states]
+            )
+            scan.prune(thresholds)
+
+    def _merge_group_survivors(
+        self,
+        states: "list[QueryState]",
+        survivor_ids: np.ndarray,
+        survivor_scores: np.ndarray,
+        survivor_query: np.ndarray,
+        locks: "list[threading.Lock] | None",
+    ) -> None:
         for local, state in enumerate(states):
             mask = survivor_query == local
             if not mask.any():

@@ -19,6 +19,9 @@ class SerialBackend(HostBackend):
     ``search_batch`` path by default (``batch_queries=False`` restores
     the strict one-``search_one``-per-query loop); both are bitwise
     identical by construction, and the equivalence tests pin that.
+
+    With a ``tracer`` attached (see :class:`HostBackend`), every
+    wall-clock span lands on a single lane — the caller's thread.
     """
 
     name = "serial"

@@ -80,6 +80,29 @@ class SimulatedBackend(Backend):
     def kernel(self):
         return self.engine.kernel
 
+    @property
+    def tracer(self):
+        """The attached ``repro.obs.Tracer``, or None (untraced).
+
+        Forwards to the cluster so direct users get the same surface
+        as the host backends: assign a tracer and every simulated
+        charge becomes a span on its machine's lane.
+        """
+        return self.cluster.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self.cluster.tracer = tracer
+
+    @property
+    def metrics(self):
+        """The attached ``repro.obs.MetricsRegistry``, or None."""
+        return self.cluster.metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        self.cluster.metrics = registry
+
     def search(
         self,
         queries: np.ndarray,

@@ -32,6 +32,10 @@ class ThreadBackend(HostBackend):
         prewarm_size: heap-seeding candidates per query (0 disables
             pruning entirely).
         enable_pruning: toggle lossless early-stop pruning.
+
+    With a ``tracer`` attached (see :class:`HostBackend`), wall-clock
+    spans land on one lane per pool thread, so the exported timeline
+    shows the actual shard-group / query interleaving across threads.
     """
 
     name = "thread"

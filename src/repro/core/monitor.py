@@ -79,13 +79,48 @@ class DriftMonitor:
         self.window = window
         self.imbalance_threshold = imbalance_threshold
         self.min_observations = min_observations
-        self._recent = np.empty((0, db.index.dim), dtype=np.float32)
+        # Preallocated circular buffer: observe() writes rows in place
+        # instead of re-stacking the whole window on every call.
+        self._buffer = np.zeros((window, db.index.dim), dtype=np.float32)
+        self._pos = 0
+        self._count = 0
         self.replan_count = 0
 
+    @property
+    def _recent(self) -> np.ndarray:
+        """Windowed queries, oldest first (chronological view)."""
+        if self._count < self.window:
+            return self._buffer[: self._count]
+        return np.concatenate(
+            (self._buffer[self._pos :], self._buffer[: self._pos])
+        )
+
     def observe(self, queries: np.ndarray) -> None:
-        """Record served queries into the sliding window."""
+        """Record served queries into the sliding window.
+
+        Cost is O(rows added), independent of the window size: rows
+        land in a preallocated ring buffer rather than re-allocating
+        the whole window per call.
+        """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        self._recent = np.vstack([self._recent, queries])[-self.window :]
+        if queries.shape[1] != self._buffer.shape[1]:
+            raise ValueError(
+                f"expected dim {self._buffer.shape[1]} queries, got "
+                f"{queries.shape[1]}"
+            )
+        n = queries.shape[0]
+        if n >= self.window:
+            # Only the newest `window` rows can survive.
+            self._buffer[:] = queries[n - self.window :]
+            self._pos = 0
+            self._count = self.window
+            return
+        first = min(n, self.window - self._pos)
+        self._buffer[self._pos : self._pos + first] = queries[:first]
+        if first < n:
+            self._buffer[: n - first] = queries[first:]
+        self._pos = (self._pos + n) % self.window
+        self._count = min(self._count + n, self.window)
 
     def status(self) -> DriftStatus:
         """Estimate the active plan's imbalance on the windowed traffic."""

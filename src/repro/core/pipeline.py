@@ -71,6 +71,7 @@ from repro.core.results import (
 )
 from repro.core.routing import staggered_order
 from repro.index.ivf import IVFFlatIndex
+from repro.obs.trace import trace_context
 
 #: Client-side cost of merging one partial-result batch (barrier mode).
 MERGE_OVERHEAD_SECONDS = 2e-6
@@ -327,14 +328,16 @@ class PipelineEngine:
         # Dispatch phase: prewarm every query's heap (a kernel step,
         # charged to the client) and create the in-flight scan states
         # with their chunk transfers.
+        tracer = cluster.tracer
         for i in range(nq):
             arrival = (
                 float(arrival_times[i]) if arrival_times is not None else 0.0
             )
             # Client-side centroid ranking for this query.
-            cluster.compute(
-                CLIENT_NODE, index.nlist * dim, earliest=arrival
-            )
+            with trace_context(tracer, "route", query=i):
+                cluster.compute(
+                    CLIENT_NODE, index.nlist * dim, earliest=arrival
+                )
             query_state = self.kernel.begin_query(
                 i, queries[i], probes[i], k, allowed
             )
@@ -342,9 +345,10 @@ class PipelineEngine:
             if self._coverage is not None:
                 self._coverage[i, :] += query_state.prewarmed.size
             self._charge_prewarm(query_state, earliest=arrival)
-            _, dispatch_t = cluster.overhead(
-                CLIENT_NODE, DISPATCH_OVERHEAD_SECONDS, earliest=arrival
-            )
+            with trace_context(tracer, "dispatch", query=i):
+                _, dispatch_t = cluster.overhead(
+                    CLIENT_NODE, DISPATCH_OVERHEAD_SECONDS, earliest=arrival
+                )
             # Latency is measured from arrival (open loop) or batch
             # start (closed loop), so client queueing counts.
             self._query_submit[i] = arrival
@@ -421,6 +425,7 @@ class PipelineEngine:
                 else None
             ),
             degraded=degraded,
+            trace=tracer.trace() if tracer is not None else None,
         )
         return result, report
 
@@ -441,11 +446,24 @@ class PipelineEngine:
         if n_scored == 0:
             return
         worker_rate = self.cluster.workers[0].compute_rate
-        self.cluster.client.occupy(
+        start, end = self.cluster.client.occupy(
             n_scored * self.index.dim / worker_rate,
             earliest=earliest,
             category="computation",
         )
+        if self.cluster.tracer is not None:
+            # Direct client.occupy bypasses Cluster.compute, so the
+            # span must be recorded here for category totals to
+            # reconcile with the report breakdown.
+            self.cluster.tracer.record(
+                "prewarm",
+                "computation",
+                CLIENT_NODE,
+                start,
+                end,
+                query=query_state.query_index,
+                candidates=int(n_scored),
+            )
 
     def _make_state(
         self,
@@ -518,12 +536,16 @@ class PipelineEngine:
         widths = plan.slices.widths()
         chunk_arrival: dict[int, float] = {}
         for block in range(plan.n_dim_blocks):
-            chunk_arrival[block] = cluster.transfer(
-                CLIENT_NODE,
-                machine_for[block],
-                query_chunk_bytes(widths[block]),
-                earliest=dispatch_t,
-            )
+            with trace_context(
+                cluster.tracer, "query-chunk",
+                query=qidx, shard=shard, block=block,
+            ):
+                chunk_arrival[block] = cluster.transfer(
+                    CLIENT_NODE,
+                    machine_for[block],
+                    query_chunk_bytes(widths[block]),
+                    earliest=dispatch_t,
+                )
 
         involved = frozenset(machine_for.values())
         if plan.n_dim_blocks > 1:
@@ -605,19 +627,22 @@ class PipelineEngine:
                     state, block, machine, clock
                 )
                 if hedge_machine is not None:
-                    chunk = cluster.transfer(
-                        CLIENT_NODE,
-                        hedge_machine,
-                        query_chunk_bytes(widths[block]),
-                        earliest=clock,
-                    )
-                    try:
-                        _, hedge_end = cluster.compute(
-                            hedge_machine, elements, earliest=chunk
+                    with trace_context(
+                        cluster.tracer, "hedge-scan", hedged=1
+                    ):
+                        chunk = cluster.transfer(
+                            CLIENT_NODE,
+                            hedge_machine,
+                            query_chunk_bytes(widths[block]),
+                            earliest=clock,
                         )
-                        fstats.hedges += 1
-                    except WorkerUnavailableError:
-                        hedge_end = None
+                        try:
+                            _, hedge_end = cluster.compute(
+                                hedge_machine, elements, earliest=chunk
+                            )
+                            fstats.hedges += 1
+                        except WorkerUnavailableError:
+                            hedge_end = None
             try:
                 _, end = cluster.compute(machine, elements, earliest=clock)
             except WorkerUnavailableError:
@@ -639,12 +664,15 @@ class PipelineEngine:
             alternate = self._pick_alternate(state, block, machine, clock)
             if alternate is not None:
                 fstats.failovers += 1
-                chunk = cluster.transfer(
-                    CLIENT_NODE,
-                    alternate,
-                    query_chunk_bytes(widths[block]),
-                    earliest=clock,
-                )
+                with trace_context(
+                    cluster.tracer, "failover-chunk", failover=1
+                ):
+                    chunk = cluster.transfer(
+                        CLIENT_NODE,
+                        alternate,
+                        query_chunk_bytes(widths[block]),
+                        earliest=clock,
+                    )
                 clock = max(clock, chunk)
                 machine = alternate
         return None, None
@@ -696,34 +724,50 @@ class PipelineEngine:
         state.remaining.remove(block)
         machine = state.machine_for[block]
         widths = plan.slices.widths()
+        tracer = cluster.tracer
+        qidx = state.query_index
 
         # Data availability: the query chunk, plus (after position 0)
         # the partial results forwarded from the previous machine.
         ready = state.chunk_arrival[block]
         if state.position > 0 and state.prev_machine is not None:
             nbytes = partial_result_bytes(scan.n_alive)
-            arrival = cluster.transfer(
-                state.prev_machine, machine, nbytes, earliest=state.prev_end
-            )
+            with trace_context(
+                tracer, "partial-forward",
+                query=qidx, shard=state.shard, block=block,
+            ):
+                arrival = cluster.transfer(
+                    state.prev_machine, machine, nbytes,
+                    earliest=state.prev_end,
+                )
             if not config.enable_pipeline:
                 # Barrier semantics: the next stage may not start until
                 # the client has acknowledged the previous one. Data
                 # still moves worker-to-worker, but a control round
                 # trip (header-sized messages) plus a client merge sits
                 # on the critical path of every stage boundary.
-                notify = cluster.transfer(
-                    state.prev_machine,
-                    CLIENT_NODE,
-                    MESSAGE_HEADER_BYTES,
-                    earliest=state.prev_end,
-                )
+                with trace_context(
+                    tracer, "barrier-notify",
+                    query=qidx, shard=state.shard, block=block,
+                ):
+                    notify = cluster.transfer(
+                        state.prev_machine,
+                        CLIENT_NODE,
+                        MESSAGE_HEADER_BYTES,
+                        earliest=state.prev_end,
+                    )
                 merged = self._client_merge(
-                    MERGE_OVERHEAD_SECONDS, earliest=notify
+                    MERGE_OVERHEAD_SECONDS, earliest=notify,
+                    name="barrier-merge", query=qidx,
                 )
-                go_ahead = cluster.transfer(
-                    CLIENT_NODE, machine, MESSAGE_HEADER_BYTES,
-                    earliest=merged,
-                )
+                with trace_context(
+                    tracer, "barrier-go",
+                    query=qidx, shard=state.shard, block=block,
+                ):
+                    go_ahead = cluster.transfer(
+                        CLIENT_NODE, machine, MESSAGE_HEADER_BYTES,
+                        earliest=merged,
+                    )
                 arrival = max(arrival, go_ahead)
             ready = max(ready, arrival)
 
@@ -732,30 +776,40 @@ class PipelineEngine:
         # actually processed (pruning shrinks later stages).
         processed = self.kernel.step(scan, state.heap, block)
         elements = processed * widths[block]
-        if (
-            cluster.fault_schedule is None
-            and config.hedge_latency_threshold is None
+        with trace_context(
+            tracer, "scan",
+            query=qidx, shard=state.shard, block=block,
+            position=state.position, processed=int(processed),
+            alive=int(scan.n_alive),
+            pruned=int(processed - scan.n_alive),
         ):
-            _, end = cluster.compute(machine, elements, earliest=ready)
-        else:
-            machine, end = self._robust_compute(
-                state, block, elements, ready
-            )
-            if machine is None:
-                self._abandon_scan(state)
-                return
+            if (
+                cluster.fault_schedule is None
+                and config.hedge_latency_threshold is None
+            ):
+                _, end = cluster.compute(machine, elements, earliest=ready)
+            else:
+                machine, end = self._robust_compute(
+                    state, block, elements, ready
+                )
+        if machine is None:
+            self._abandon_scan(state)
+            return
         state.prev_end = end
         state.prev_machine = machine
         state.position += 1
 
         if state.position == plan.n_dim_blocks:
             state.finished = True
-            result_arrival = cluster.transfer(
-                machine,
-                CLIENT_NODE,
-                result_set_bytes(min(k, max(scan.n_alive, 1))),
-                earliest=end,
-            )
+            with trace_context(
+                tracer, "result", query=qidx, shard=state.shard,
+            ):
+                result_arrival = cluster.transfer(
+                    machine,
+                    CLIENT_NODE,
+                    result_set_bytes(min(k, max(scan.n_alive, 1))),
+                    earliest=end,
+                )
             done_at = result_arrival
             if scan.n_alive:
                 n_merged = self.kernel.merge_survivors(scan, state.heap)
@@ -763,6 +817,7 @@ class PipelineEngine:
                     DISPATCH_OVERHEAD_SECONDS
                     + n_merged * HEAP_COST_PER_CANDIDATE,
                     earliest=result_arrival,
+                    name="merge", query=qidx,
                 )
             self._query_complete[state.query_index] = max(
                 self._query_complete[state.query_index], done_at
@@ -790,7 +845,13 @@ class PipelineEngine:
             self._query_complete[state.query_index], state.prev_end
         )
 
-    def _client_merge(self, seconds: float, earliest: float) -> float:
+    def _client_merge(
+        self,
+        seconds: float,
+        earliest: float,
+        name: str = "merge",
+        query: int | None = None,
+    ) -> float:
         """Charge result-merge work to the client's merge timeline.
 
         Runs no earlier than ``earliest`` (the results' arrival) but
@@ -798,6 +859,16 @@ class PipelineEngine:
         timeline keeps it independent of submission order. Returns the
         merge completion time.
         """
-        _, end = self._merge_timeline.occupy(seconds, earliest, "other")
+        start, end = self._merge_timeline.occupy(seconds, earliest, "other")
         self.cluster.client.breakdown.charge("other", seconds)
+        tracer = self.cluster.tracer
+        if tracer is not None:
+            # The merge timeline bypasses Cluster methods, so record
+            # the span here (lane -2) to keep category totals aligned
+            # with the report breakdown.
+            args = {} if query is None else {"query": query}
+            tracer.record(
+                name, "other", self._merge_timeline.node_id,
+                start, end, **args,
+            )
         return end

@@ -165,6 +165,8 @@ class ExecutionReport:
             run with no fault schedule attached).
         degraded: coverage and recall accounting (None unless the
             search ran with ``degraded_mode=True``).
+        trace: span snapshot (:class:`repro.obs.trace.Trace`) of the
+            run, when a tracer was attached (None otherwise).
     """
 
     n_queries: int
@@ -182,12 +184,18 @@ class ExecutionReport:
     )
     fault_stats: FaultStats | None = None
     degraded: DegradedReport | None = None
+    trace: "object | None" = None
 
     @property
     def qps(self) -> float:
-        """Simulated queries per second."""
+        """Simulated queries per second.
+
+        ``0.0`` for an empty / zero-duration batch: there is no
+        meaningful throughput to report, and ``0.0`` (unlike ``inf``)
+        survives strict JSON serialization.
+        """
         if self.simulated_seconds <= 0.0:
-            return float("inf")
+            return 0.0
         return self.n_queries / self.simulated_seconds
 
     @property
@@ -235,12 +243,16 @@ class ExecutionReport:
         return self.worker_loads / self.simulated_seconds
 
     def to_dict(self) -> dict:
-        """JSON-serializable summary (for dashboards / logging)."""
+        """Strictly JSON-serializable summary (for dashboards / logging).
+
+        Every value survives ``json.dumps(..., allow_nan=False)`` —
+        no ``inf`` / ``nan`` can appear regardless of batch contents.
+        """
         out = {
             "n_queries": self.n_queries,
             "k": self.k,
             "nprobe": self.nprobe,
-            "simulated_seconds": self.simulated_seconds,
+            "simulated_seconds": float(self.simulated_seconds),
             "qps": self.qps,
             "plan": self.plan_summary,
             "breakdown": {
@@ -267,6 +279,8 @@ class ExecutionReport:
             out["fault_stats"] = self.fault_stats.to_dict()
         if self.degraded is not None:
             out["degraded"] = self.degraded.to_dict()
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
         return out
 
 

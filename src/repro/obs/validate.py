@@ -1,0 +1,65 @@
+"""CLI validator for exported traces and metrics (the trace-smoke gate).
+
+Usage::
+
+    python -m repro.obs.validate trace.json [--metrics metrics.prom]
+
+Exits non-zero (with a message) when the Chrome ``trace_event`` JSON
+violates the format's structural invariants (non-monotonic timestamps,
+unmatched ``B``/``E`` pairs, malformed events) or the Prometheus text
+dump fails to parse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.obs.export import validate_chrome_trace, validate_prometheus
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="validate Chrome trace_event JSON and Prometheus dumps",
+    )
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument(
+        "--metrics", default=None, help="Prometheus text dump to validate"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.trace) as f:
+        obj = json.load(f)
+    try:
+        counts = validate_chrome_trace(obj)
+    except ValueError as exc:
+        print(f"INVALID trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.trace}: valid trace_event JSON "
+        f"({counts['B']} spans, {counts['i']} instants, "
+        f"{counts['M']} metadata)"
+    )
+    if args.metrics is not None:
+        with open(args.metrics) as f:
+            text = f.read()
+        try:
+            samples = validate_prometheus(text)
+        except ValueError as exc:
+            print(
+                f"INVALID metrics {args.metrics}: {exc}", file=sys.stderr
+            )
+            return 1
+        total = sum(samples.values())
+        print(
+            f"{args.metrics}: valid Prometheus text "
+            f"({len(samples)} families, {total} samples)"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -89,6 +89,90 @@ class TestRunCommand:
         with pytest.raises(KeyError):
             main(["run", "--dataset", "imagenet", "--size", "100"])
 
+    def test_missing_latencies_prints_na(self, capsys, monkeypatch):
+        # Regression: latency_percentile(99) raised RuntimeError when a
+        # report carried no per-query latencies.
+        import numpy as np
+
+        from repro.core.database import HarmonyDB
+
+        real_search = HarmonyDB.search
+
+        def strip_latencies(self, *args, **kwargs):
+            result, report = real_search(self, *args, **kwargs)
+            report.latencies = np.zeros(0, dtype=np.float64)
+            return result, report
+
+        monkeypatch.setattr(HarmonyDB, "search", strip_latencies)
+        code = main(
+            ["run", "--dataset", "sift1m", "--size", "600",
+             "--queries", "10", "--nlist", "8", "--nprobe", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 n/a" in out
+
+    def test_trace_and_metrics_flags(self, capsys, tmp_path):
+        trace_path = tmp_path / "run-trace.json"
+        metrics_path = tmp_path / "run-metrics.prom"
+        code = main(
+            ["run", "--dataset", "sift1m", "--size", "600",
+             "--queries", "10", "--nlist", "8", "--nprobe", "2",
+             "--trace", str(trace_path), "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "metrics:" in out
+
+        import json
+
+        from repro.obs.export import (
+            validate_chrome_trace,
+            validate_prometheus,
+        )
+
+        with open(trace_path) as f:
+            counts = validate_chrome_trace(json.load(f))
+        assert counts["B"] > 0
+        validate_prometheus(metrics_path.read_text())
+
+
+class TestTraceCommand:
+    def test_trace_run_exports_valid_files(self, capsys, tmp_path):
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.prom"
+        code = main(
+            ["trace", "--dataset", "sift1m", "--size", "600",
+             "--queries", "6", "--nlist", "8", "--nprobe", "2",
+             "--output", str(trace_path), "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traced 6 queries" in out
+
+        import json
+
+        from repro.obs.validate import main as validate_main
+
+        assert validate_main(
+            [str(trace_path), "--metrics", str(metrics_path)]
+        ) == 0
+        with open(trace_path) as f:
+            obj = json.load(f)
+        assert any(e["ph"] == "B" for e in obj["traceEvents"])
+
+    def test_validator_exit_code_on_bad_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.validate import main as validate_main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [
+            {"ph": "E", "pid": 1, "tid": 0, "ts": 0.0},
+        ]}))
+        assert validate_main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
 
 class TestPlanCommand:
     def test_plan_output(self, capsys):

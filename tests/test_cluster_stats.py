@@ -27,6 +27,32 @@ class TestTimeBreakdown:
         with pytest.raises(ValueError, match="negative"):
             TimeBreakdown().charge("computation", -1.0)
 
+    def test_rejected_charge_leaves_state_untouched(self):
+        bd = TimeBreakdown(1.0, 2.0, 3.0)
+        with pytest.raises(ValueError):
+            bd.charge("sleep", 1.0)
+        with pytest.raises(ValueError):
+            bd.charge("communication", -0.5)
+        assert (bd.computation, bd.communication, bd.other) == (1.0, 2.0, 3.0)
+
+    def test_charge_zero_seconds_is_allowed(self):
+        bd = TimeBreakdown()
+        bd.charge("other", 0.0)
+        assert bd.total == 0.0
+
+    def test_fractions_keys_are_stable(self):
+        # These keys feed Figure 2(b)/8 plots and the metrics export.
+        assert list(TimeBreakdown().fractions()) == [
+            "computation",
+            "communication",
+            "other",
+        ]
+        assert list(TimeBreakdown(1.0, 1.0, 1.0).fractions()) == [
+            "computation",
+            "communication",
+            "other",
+        ]
+
     def test_add_accumulates(self):
         a = TimeBreakdown(1.0, 2.0, 3.0)
         b = TimeBreakdown(0.5, 0.5, 0.5)

@@ -55,6 +55,58 @@ class TestObservation:
         assert not status.drifted
         assert status.imbalance == 0.0
 
+    def test_window_keeps_newest_in_order(self, setup):
+        db, _ = setup
+        monitor = DriftMonitor(db, window=5, min_observations=1)
+        dim = db.index.dim
+        batches = [
+            np.full((n, dim), float(tag), dtype=np.float32)
+            for tag, n in [(1, 3), (2, 3), (3, 2)]
+        ]
+        for batch in batches:
+            monitor.observe(batch)
+        # Last 5 rows of the concatenated stream, oldest first.
+        np.testing.assert_array_equal(
+            monitor._recent[:, 0], [2.0, 2.0, 2.0, 3.0, 3.0]
+        )
+
+    def test_oversized_batch_keeps_newest_rows(self, setup):
+        db, _ = setup
+        monitor = DriftMonitor(db, window=4, min_observations=1)
+        dim = db.index.dim
+        batch = np.arange(7, dtype=np.float32)[:, None] * np.ones(
+            (7, dim), dtype=np.float32
+        )
+        monitor.observe(batch)
+        np.testing.assert_array_equal(
+            monitor._recent[:, 0], [3.0, 4.0, 5.0, 6.0]
+        )
+
+    def test_dim_mismatch_raises(self, setup):
+        db, _ = setup
+        monitor = DriftMonitor(db, window=8, min_observations=1)
+        with pytest.raises(ValueError, match="dim"):
+            monitor.observe(np.zeros((2, db.index.dim + 1), np.float32))
+
+    def test_observe_does_not_copy_full_window(self, setup, monkeypatch):
+        # Regression: observe() used np.vstack, re-allocating the whole
+        # window on every call (O(window) per observed row).
+        db, queries = setup
+        monitor = DriftMonitor(db, window=64, min_observations=1)
+        monitor.observe(queries[:64])  # fill the window first
+
+        def no_stacking(*args, **kwargs):
+            raise AssertionError(
+                "observe() must not re-stack the window per call"
+            )
+
+        monkeypatch.setattr(np, "vstack", no_stacking)
+        monkeypatch.setattr(np, "concatenate", no_stacking)
+        for i in range(8):
+            monitor.observe(queries[64 + i : 65 + i])
+        monkeypatch.undo()
+        assert monitor.status().n_observed == 64
+
 
 class TestDriftDetection:
     def test_uniform_traffic_no_replan(self, setup):

@@ -1,12 +1,16 @@
 """Focused tests for the report dataclasses in repro.core.results."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cluster.stats import TimeBreakdown
 from repro.core.results import (
     BuildReport,
+    DegradedReport,
     ExecutionReport,
+    FaultStats,
     PlacementReport,
     SearchResult,
 )
@@ -40,8 +44,11 @@ class TestExecutionReport:
     def test_qps(self):
         assert make_report().qps == pytest.approx(5.0)
 
-    def test_qps_zero_time_infinite(self):
-        assert make_report(simulated_seconds=0.0).qps == float("inf")
+    def test_qps_zero_time_is_zero(self):
+        # A zero-duration batch has no meaningful throughput; inf
+        # would also break strict JSON export.
+        assert make_report(simulated_seconds=0.0).qps == 0.0
+        assert make_report(simulated_seconds=-1.0).qps == 0.0
 
     def test_load_imbalance_is_std(self):
         report = make_report()
@@ -81,6 +88,76 @@ class TestExecutionReport:
         data = report.to_dict()
         assert data["latency"]["mean"] == pytest.approx(0.2)
         assert data["pruning_ratios"] == [0.0, 0.4]
+
+    def test_to_dict_strictly_json_serializable(self):
+        # Even a zero-duration batch must survive allow_nan=False
+        # (the qps=inf regression).
+        for report in (
+            make_report(),
+            make_report(simulated_seconds=0.0),
+            make_report(
+                latencies=np.array([0.1, 0.2]),
+                fault_stats=FaultStats(retries=2),
+                degraded=DegradedReport(coverage=np.array([1.0, 0.5])),
+            ),
+        ):
+            text = json.dumps(report.to_dict(), allow_nan=False)
+            assert json.loads(text)["n_queries"] == 10
+
+    def test_to_dict_includes_trace_summary(self):
+        from repro.obs.trace import Span, Trace
+
+        trace = Trace(
+            spans=(Span("scan", "computation", 0, 0.0, 1.0),)
+        )
+        data = make_report(trace=trace).to_dict()
+        assert data["trace"]["n_spans"] == 1
+        assert data["trace"]["category_totals"]["computation"] == 1.0
+        json.dumps(data, allow_nan=False)
+
+
+class TestFaultStatsDict:
+    def test_key_stability(self):
+        # Downstream dashboards key on these names; changing them is
+        # a breaking change that must be deliberate.
+        assert list(FaultStats().to_dict()) == [
+            "retries",
+            "failovers",
+            "hedges",
+            "hedge_wins",
+            "dropped_messages",
+            "skipped_scans",
+            "abandoned_scans",
+        ]
+
+    def test_values_round_trip(self):
+        stats = FaultStats(retries=1, hedges=3, abandoned_scans=2)
+        data = stats.to_dict()
+        assert data["retries"] == 1
+        assert data["hedges"] == 3
+        assert data["abandoned_scans"] == 2
+        json.dumps(data, allow_nan=False)
+
+
+class TestDegradedReportDict:
+    def test_key_stability(self):
+        report = DegradedReport(coverage=np.array([1.0, 0.25]))
+        assert list(report.to_dict()) == [
+            "mean_coverage",
+            "min_coverage",
+            "n_degraded_queries",
+            "skipped_scans",
+            "abandoned_scans",
+            "recall_vs_healthy",
+            "recall_delta",
+        ]
+
+    def test_empty_coverage_serializes(self):
+        report = DegradedReport(coverage=np.zeros(0))
+        data = report.to_dict()
+        assert data["mean_coverage"] == 1.0
+        assert data["min_coverage"] == 1.0
+        json.dumps(data, allow_nan=False)
 
 
 class TestPlacementReport:
