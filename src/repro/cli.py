@@ -58,15 +58,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend",
         default="sim",
-        choices=["sim", "thread", "serial"],
+        choices=["sim", "thread", "process", "serial"],
         help="execution backend: simulated cluster (timing model), "
-        "host threads, or the serial reference loop",
+        "host threads, worker processes over shared memory, or the "
+        "serial reference loop",
     )
     run.add_argument(
         "--threads",
         type=int,
         default=None,
         help="worker threads for --backend thread",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend process "
+        "(default: one per CPU core)",
     )
     run.add_argument(
         "--no-batch-queries",
@@ -181,6 +189,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         n_threads=args.threads,
+        n_workers=args.workers,
         batch_queries=not args.no_batch_queries,
     )
     print(
@@ -219,6 +228,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"({report.qps:,.0f} QPS)"
         )
     _export_observability(db, report, args.trace, args.metrics)
+    db.close()
     return 0
 
 

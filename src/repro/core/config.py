@@ -74,11 +74,15 @@ class HarmonyConfig:
         seed: RNG seed for clustering and sampling.
         backend: execution backend for ``HarmonyDB.search``: ``"sim"``
             (discrete-event simulated cluster, the default), ``"thread"``
-            (real host threads, wall-clock timing), or ``"serial"``
+            (real host threads, wall-clock timing), ``"process"``
+            (persistent worker processes over shared-memory shard
+            layouts — multi-core without the GIL), or ``"serial"``
             (plain loop, the reference oracle). All backends return
             byte-identical results; only the timing side differs.
         n_threads: worker threads for the ``"thread"`` backend
             (None = executor default).
+        n_workers: worker processes for the ``"process"`` backend
+            (None = one per CPU core).
         batch_queries: on the host backends, fuse multi-query batches
             into shard-major matrix-matrix scans (bitwise identical to
             the per-query loop, just faster). False forces one scan
@@ -117,6 +121,7 @@ class HarmonyConfig:
     replicas: int = 1
     backend: str = "sim"
     n_threads: "int | None" = None
+    n_workers: "int | None" = None
     batch_queries: bool = True
     degraded_mode: bool = False
     retry_timeout: float = 2e-4
@@ -151,14 +156,18 @@ class HarmonyConfig:
                 f"replicas must be in [1, n_machines], got {self.replicas}"
             )
         self.backend = str(self.backend).lower()
-        if self.backend not in ("sim", "thread", "serial"):
+        if self.backend not in ("sim", "thread", "serial", "process"):
             raise ValueError(
                 f"unknown backend {self.backend!r}; supported backends: "
-                f"serial, sim, thread"
+                f"process, serial, sim, thread"
             )
         if self.n_threads is not None and self.n_threads <= 0:
             raise ValueError(
                 f"n_threads must be positive, got {self.n_threads}"
+            )
+        if self.n_workers is not None and self.n_workers <= 0:
+            raise ValueError(
+                f"n_workers must be positive, got {self.n_workers}"
             )
         self.batch_queries = bool(self.batch_queries)
         self.degraded_mode = bool(self.degraded_mode)

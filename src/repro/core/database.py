@@ -218,7 +218,7 @@ class HarmonyDB:
             config=self.config,
         )
         self._placement = self._engine.place_data()
-        self._host_backend = None
+        self._drop_host_backend()
         return self._placement
 
     def replan(
@@ -287,7 +287,7 @@ class HarmonyDB:
             config=config,
         )
         self._placement = self._engine.place_data()
-        self._host_backend = None
+        self._drop_host_backend()
 
     # ------------------------------------------------------------------
     # Queries
@@ -316,9 +316,9 @@ class HarmonyDB:
 
         The execution substrate follows ``config.backend``: under
         ``"sim"`` (default) the report carries simulated cluster
-        timings; under ``"thread"`` / ``"serial"`` the batch runs on
-        the host and the report's ``simulated_seconds`` is measured
-        host wall-clock instead.
+        timings; under ``"thread"`` / ``"process"`` / ``"serial"``
+        the batch runs on the host and the report's
+        ``simulated_seconds`` is measured host wall-clock instead.
         """
         if not self.is_built:
             raise RuntimeError("build() must be called before search()")
@@ -445,19 +445,42 @@ class HarmonyDB:
             trace=(
                 self._tracer.trace() if self._tracer is not None else None
             ),
+            layout_bytes=backend.layout_nbytes(),
+            worker_steals=(
+                [int(s) for s in backend.last_steal_counts]
+                if backend.name == "process" else None
+            ),
         )
         return result, report
 
     def _get_host_backend(self):
-        """The lazily built thread/serial backend for the active plan."""
+        """The lazily built host backend for the active plan.
+
+        The backend persists across searches (thread/process pools are
+        expensive to spin up); it is closed and rebuilt whenever the
+        plan or placement changes, and released by :meth:`close`.
+        """
         if self._host_backend is None:
-            from repro.core.executor import SerialBackend, ThreadBackend
+            from repro.core.executor import (
+                ProcessBackend,
+                SerialBackend,
+                ThreadBackend,
+            )
 
             if self.config.backend == "thread":
                 self._host_backend = ThreadBackend(
                     self.index,
                     plan=self.plan,
                     n_threads=self.config.n_threads,
+                    prewarm_size=self.config.prewarm_size,
+                    enable_pruning=self.config.enable_pruning,
+                    batch_queries=self.config.batch_queries,
+                )
+            elif self.config.backend == "process":
+                self._host_backend = ProcessBackend(
+                    self.index,
+                    plan=self.plan,
+                    n_workers=self.config.n_workers,
                     prewarm_size=self.config.prewarm_size,
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
@@ -472,6 +495,20 @@ class HarmonyDB:
                 )
             self._host_backend.tracer = self._tracer
         return self._host_backend
+
+    def _drop_host_backend(self) -> None:
+        """Close and forget the host backend (pools, shared memory)."""
+        backend, self._host_backend = self._host_backend, None
+        if backend is not None:
+            backend.close()
+
+    def close(self) -> None:
+        """Release execution resources (worker pools, shared memory).
+
+        Idempotent; the database remains usable — the next search
+        lazily rebuilds whatever backend it needs.
+        """
+        self._drop_host_backend()
 
     # ------------------------------------------------------------------
     # Observability
@@ -602,6 +639,7 @@ class HarmonyDB:
                 "seed": config.seed,
                 "backend": config.backend,
                 "n_threads": config.n_threads,
+                "n_workers": config.n_workers,
                 "batch_queries": config.batch_queries,
                 "degraded_mode": config.degraded_mode,
                 "retry_timeout": config.retry_timeout,

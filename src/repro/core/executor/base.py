@@ -1,17 +1,20 @@
 """Backend interface: *where* the scan kernel's steps run.
 
 A backend binds the algorithm (one shared :class:`ScanKernel`) to an
-execution substrate. The library ships three:
+execution substrate. The library ships four:
 
 - :class:`~repro.core.executor.serial.SerialBackend` — a plain loop,
   the reference oracle;
 - :class:`~repro.core.executor.threads.ThreadBackend` — real host
-  threads, queries fanned out across a pool;
+  threads, queries fanned out across a persistent pool;
+- :class:`~repro.core.executor.process.ProcessBackend` — persistent
+  worker processes scanning shared-memory shard layouts with
+  work-stealing scheduling (multi-core without the GIL);
 - :class:`~repro.core.executor.simulated.SimulatedBackend` — the
   discrete-event cluster, charging compute/comm to machine timelines.
 
-Adding a fourth substrate (process pool, async server, RPC fan-out) is
-a one-file change: subclass :class:`Backend`, reuse the kernel.
+Adding another substrate (async server, RPC fan-out) is a one-file
+change: subclass :class:`Backend`, reuse the kernel.
 """
 
 from __future__ import annotations
@@ -46,6 +49,14 @@ class Backend(abc.ABC):
         filter_labels: "np.ndarray | list[int] | None" = None,
     ) -> SearchResult:
         """Pruned top-``k`` search for a query batch."""
+
+    def close(self) -> None:
+        """Release execution resources (pools, shared memory).
+
+        Idempotent, and a no-op for backends without persistent
+        resources; a closed backend may lazily re-acquire resources on
+        the next ``search()``.
+        """
 
 
 def default_plan(index: "IVFFlatIndex") -> PartitionPlan:
@@ -109,6 +120,16 @@ class HostBackend(Backend):
     @property
     def enable_pruning(self) -> bool:
         return self.kernel.enable_pruning
+
+    def layout_nbytes(self) -> int:
+        """Resident bytes of the packed shard layout currently cached.
+
+        ``0`` when packing is disabled or no layout has been built yet
+        — reported as the ``harmony_layout_bytes`` gauge so memory
+        accounting (Table 5) sees the packed copy.
+        """
+        packed = self.kernel._packed
+        return 0 if packed is None else int(packed.nbytes)
 
     def search(
         self,
@@ -211,11 +232,13 @@ BACKENDS: dict[str, str] = {
     "sim": "repro.core.executor.simulated:SimulatedBackend",
     "thread": "repro.core.executor.threads:ThreadBackend",
     "serial": "repro.core.executor.serial:SerialBackend",
+    "process": "repro.core.executor.process:ProcessBackend",
 }
 
 
 def resolve_backend(name: str) -> type:
-    """Map a backend name (``sim`` / ``thread`` / ``serial``) to its class."""
+    """Map a backend name (``sim``/``thread``/``serial``/``process``)
+    to its class."""
     try:
         target = BACKENDS[str(name).lower()]
     except KeyError as exc:

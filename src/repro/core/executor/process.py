@@ -1,0 +1,824 @@
+"""Process backend: zero-copy multi-core execution with work stealing.
+
+Python's GIL caps the thread backend at whatever parallelism numpy
+happens to release; this backend sidesteps it with a pool of
+*persistent* worker processes scanning the same physical memory:
+
+- **Zero-copy data plane** — the packed shard layout is re-homed into
+  one ``multiprocessing.shared_memory`` segment
+  (:class:`~repro.core.layout.SharedShardPackedBase`); workers attach
+  by name and map the identical pages. Per batch, only query vectors,
+  probe rows, and prewarm ids go out, and only compact per-query
+  top-k candidate arrays come back — base vectors are never pickled.
+- **Work stealing** — the batch's (query-group, shard) tasks are
+  seeded shard-major onto per-worker deques (contiguous ranges of the
+  shared task table, balanced by estimated candidate volume); owners
+  pop from the head, idle workers steal from a victim's tail. Skewed
+  shard sizes therefore shift work to idle cores instead of leaving
+  them parked, and successful steals are counted per worker
+  (``harmony_worker_steals_total``).
+- **Live thresholds** — the parent merges results as they stream in
+  and publishes each query's current heap threshold on a small shared
+  float64 board; workers prune against the freshest value. Stale
+  (looser) reads only prune less, never wrongly — the bound is
+  lossless — so results stay **byte-identical** to the serial oracle
+  for any interleaving, batched or per query.
+- **Graceful degradation** — if shared memory is unavailable, a
+  worker crashes, or the pool misbehaves in any way, the backend
+  tears the pool down and transparently re-runs the batch on the
+  inherited thread path (same kernel, same bytes out).
+
+Scheduling state (deque heads/tails, steal counters) lives in one
+small shared int64 block guarded by per-deque locks; the task table
+itself is broadcast per batch, so scheduling traffic is index
+arithmetic, not pickled objects.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue_mod
+import time
+import traceback
+
+import numpy as np
+
+from repro.core.executor.kernel import GROUP_BLOCK_ELEMENTS, collect_results
+from repro.core.executor.threads import ThreadBackend
+from repro.core.heap import TopKHeap
+from repro.core.layout import SharedShardPackedBase, _attach_shm
+from repro.core.partition import PartitionPlan
+from repro.core.pruning import ShardGroupScan, ShardScan
+from repro.core.results import SearchResult
+from repro.core.routing import shard_candidate_lists
+
+#: Trace lane base for pool workers (host threads use 1000+).
+PROCESS_LANE_BASE = 2000
+
+#: Target tasks per worker: enough slack for stealing to smooth skew
+#: without drowning the result queue in tiny messages.
+TASKS_PER_WORKER = 4
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_SECONDS = 0.2
+
+#: Give-up horizon (seconds) for a batch making zero progress while
+#: every worker still claims to be alive.
+_STALL_SECONDS = 120.0
+
+
+class ProcessPoolError(RuntimeError):
+    """The worker pool is unusable; the caller should fall back."""
+
+
+# ---------------------------------------------------------------------------
+# Shared scheduling / threshold state
+# ---------------------------------------------------------------------------
+
+
+class _SharedInt64:
+    """A tiny shared int64 vector (deque heads/tails + steal counts)."""
+
+    def __init__(self, shm, n: int, owner: bool) -> None:
+        self.shm = shm
+        self.array = np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
+        self._owner = owner
+
+    @classmethod
+    def create(cls, n: int) -> "_SharedInt64":
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=max(8, 8 * n))
+        out = cls(shm, n, owner=True)
+        out.array[:] = 0
+        return out
+
+    @classmethod
+    def attach(cls, name: str, n: int) -> "_SharedInt64":
+        return cls(_attach_shm(name), n, owner=False)
+
+    def destroy(self) -> None:
+        arr, self.array = self.array, None
+        del arr
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            pass
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+
+class _SharedF64:
+    """A shared float64 vector: the per-query live threshold board."""
+
+    def __init__(self, shm, n: int, owner: bool) -> None:
+        self.shm = shm
+        self.array = np.ndarray((n,), dtype=np.float64, buffer=shm.buf)
+        self._owner = owner
+
+    @classmethod
+    def create(cls, values: np.ndarray) -> "_SharedF64":
+        from multiprocessing import shared_memory
+
+        n = int(values.size)
+        shm = shared_memory.SharedMemory(create=True, size=max(8, 8 * n))
+        out = cls(shm, n, owner=True)
+        out.array[:] = values
+        return out
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "_SharedF64":
+        return cls(_attach_shm(manifest["name"]), manifest["n"], owner=False)
+
+    def manifest(self) -> dict:
+        return {"name": self.shm.name, "n": int(self.array.size)}
+
+    def destroy(self) -> None:
+        arr, self.array = self.array, None
+        del arr
+        try:
+            self.shm.close()
+        except (OSError, BufferError):
+            pass
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _pop_own(ctrl: np.ndarray, lock, wid: int, n_workers: int) -> int | None:
+    """Take the next task from this worker's deque head."""
+    with lock:
+        head = ctrl[wid]
+        if head < ctrl[n_workers + wid]:
+            ctrl[wid] = head + 1
+            return int(head)
+    return None
+
+
+def _steal(ctrl: np.ndarray, locks, wid: int, n_workers: int) -> int | None:
+    """Take a task from some victim's deque tail (LIFO for the thief)."""
+    for step in range(1, n_workers):
+        victim = (wid + step) % n_workers
+        with locks[victim]:
+            tail = ctrl[n_workers + victim]
+            if ctrl[victim] < tail:
+                ctrl[n_workers + victim] = tail - 1
+                ctrl[2 * n_workers + wid] += 1  # this thief's steal count
+                return int(tail - 1)
+    return None
+
+
+def _filter_prewarmed(ids, rows, norms, prewarm_ids):
+    """Drop already-prewarmed candidates, preserving gather order.
+
+    Equivalent to ``gather(..., exclude=mask)``: the keep-mask is
+    applied to the same post-``allowed`` ordering the parent's kernel
+    uses, so candidate order (and therefore scoring) is unchanged.
+    """
+    if prewarm_ids.size == 0 or ids.size == 0:
+        return ids, rows, norms
+    keep = ~np.isin(ids, prewarm_ids)
+    if keep.all():
+        return ids, rows, norms
+    return (
+        ids[keep],
+        rows[keep],
+        None if norms is None else norms[keep],
+    )
+
+
+def _scan_single(layout, plan, metric, ctx, shard, qidx, board):
+    """One (query, shard) scan; returns (scores, ids, n_candidates)."""
+    probes = ctx["probes"][qidx]
+    lists_here = shard_candidate_lists(plan, probes, shard)
+    ids, rows, norms = layout.gather(
+        shard, lists_here, allowed=ctx["allowed"], exclude=None
+    )
+    ids, rows, norms = _filter_prewarmed(
+        ids, rows, norms, ctx["prewarm"][qidx]
+    )
+    empty = (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), 0)
+    if ids.size == 0:
+        return empty
+    query_norms = ctx["query_norms"]
+    scan = ShardScan(
+        candidate_ids=ids,
+        query=ctx["queries"][qidx],
+        slices=plan.slices,
+        metric=metric,
+        base_slice_norms=norms,
+        rows=rows,
+        query_norms=None if query_norms is None else query_norms[qidx],
+    )
+    pruning = ctx["enable_pruning"]
+    for block in range(plan.n_dim_blocks):
+        if scan.n_alive == 0:
+            break
+        scan.process_slice(block)
+        if pruning:
+            scan.prune(float(board[qidx]))
+    n_candidates = int(ids.size)
+    if scan.n_alive == 0:
+        return empty[0], empty[1], n_candidates
+    sids, sscores = scan.survivors()
+    heap = TopKHeap(ctx["k"])
+    heap.push_many(sscores, sids)
+    scores, out_ids = heap.items_arrays()
+    return scores, out_ids, n_candidates
+
+
+def _scan_group(layout, plan, metric, ctx, shard, qidxs, board):
+    """One fused (query-group, shard) scan, chunked like the kernel.
+
+    Returns ``[(qidx, scores, ids, n_candidates), ...]`` with one
+    compact local-top-k entry per group member.
+    """
+    dim = int(ctx["queries"].shape[1])
+    max_rows = max(1, GROUP_BLOCK_ELEMENTS // dim)
+    out = {q: [np.empty(0), np.empty(0, dtype=np.int64), 0] for q in qidxs}
+
+    chunk_q: list[int] = []
+    chunk_parts: list[tuple] = []
+    chunk_rows = 0
+
+    def flush() -> None:
+        nonlocal chunk_q, chunk_parts, chunk_rows
+        if not chunk_q:
+            return
+        ids = np.concatenate([p[0] for p in chunk_parts])
+        rows = [p[1] for p in chunk_parts]
+        sizes = [p[0].size for p in chunk_parts]
+        query_of = np.repeat(np.arange(len(chunk_q), dtype=np.intp), sizes)
+        queries = ctx["queries"][np.asarray(chunk_q)]
+        base_norms = None
+        group_norms = None
+        if metric.name != "L2":
+            base_norms = np.concatenate([p[2] for p in chunk_parts], axis=0)
+            group_norms = ctx["query_norms"][np.asarray(chunk_q)]
+        scan = ShardGroupScan(
+            rows=rows,
+            ids=ids,
+            query_of=query_of,
+            queries=queries,
+            slices=plan.slices,
+            metric=metric,
+            base_slice_norms=base_norms,
+            query_norms=group_norms,
+        )
+        pruning = ctx["enable_pruning"]
+        q_arr = np.asarray(chunk_q)
+        for block in range(plan.n_dim_blocks):
+            if scan.n_alive == 0:
+                break
+            scan.process_slice(block)
+            if pruning:
+                scan.prune(np.array(board[q_arr]))
+        if scan.n_alive:
+            sids, sscores, squery = scan.survivors()
+            for local, qidx in enumerate(chunk_q):
+                mask = squery == local
+                if mask.any():
+                    heap = TopKHeap(ctx["k"])
+                    heap.push_many(sscores[mask], sids[mask])
+                    scores, out_ids = heap.items_arrays()
+                    out[qidx][0] = scores
+                    out[qidx][1] = out_ids
+        chunk_q, chunk_parts, chunk_rows = [], [], 0
+
+    for qidx in qidxs:
+        lists_here = shard_candidate_lists(plan, ctx["probes"][qidx], shard)
+        ids, rows, norms = layout.gather(
+            shard, lists_here, allowed=ctx["allowed"], exclude=None
+        )
+        ids, rows, norms = _filter_prewarmed(
+            ids, rows, norms, ctx["prewarm"][qidx]
+        )
+        if ids.size == 0:
+            continue
+        out[qidx][2] = int(ids.size)
+        chunk_q.append(qidx)
+        chunk_parts.append((ids, rows, norms))
+        chunk_rows += int(ids.size)
+        if chunk_rows >= max_rows:
+            flush()
+    flush()
+    return [(q, out[q][0], out[q][1], out[q][2]) for q in qidxs]
+
+
+def _worker_main(
+    worker_id: int,
+    n_workers: int,
+    plan: PartitionPlan,
+    metric,
+    cmd_queue,
+    result_queue,
+    locks,
+    ctrl_name: str,
+) -> None:
+    """Worker loop: wait for a batch, drain own deque, steal, repeat."""
+    ctrl = _SharedInt64.attach(ctrl_name, 3 * n_workers)
+    layout: SharedShardPackedBase | None = None
+    layout_name: str | None = None
+    try:
+        while True:
+            msg = cmd_queue.get()
+            if msg[0] == "stop":
+                break
+            if msg[0] != "batch":
+                continue
+            batch_id, ctx = msg[1], msg[2]
+            try:
+                manifest = ctx["layout"]
+                if layout is None or layout_name != manifest["shm_name"]:
+                    if layout is not None:
+                        layout.close()
+                    layout = SharedShardPackedBase.attach(manifest)
+                    layout_name = manifest["shm_name"]
+                board = _SharedF64.attach(ctx["thresholds"])
+                tasks = ctx["tasks"]
+                my_lock = locks[worker_id]
+                while True:
+                    task_id = _pop_own(
+                        ctrl.array, my_lock, worker_id, n_workers
+                    )
+                    if task_id is None:
+                        task_id = _steal(
+                            ctrl.array, locks, worker_id, n_workers
+                        )
+                    if task_id is None:
+                        break
+                    shard, qidxs = tasks[task_id]
+                    t0 = time.perf_counter()
+                    if len(qidxs) == 1:
+                        payload = [
+                            (qidxs[0],)
+                            + _scan_single(
+                                layout, plan, metric, ctx, shard,
+                                qidxs[0], board.array,
+                            )
+                        ]
+                    else:
+                        payload = _scan_group(
+                            layout, plan, metric, ctx, shard,
+                            list(qidxs), board.array,
+                        )
+                    t1 = time.perf_counter()
+                    result_queue.put(
+                        (
+                            "task", batch_id, worker_id, task_id,
+                            payload, t0, t1, int(shard),
+                        )
+                    )
+                board.destroy()
+                # Batch barrier: after this message the worker provably
+                # never touches the ctrl array again until the next
+                # "batch" command, so the parent may reseed the deques.
+                result_queue.put(("done", batch_id, worker_id))
+            except Exception:
+                result_queue.put(
+                    ("error", batch_id, worker_id, traceback.format_exc())
+                )
+    finally:
+        if layout is not None:
+            layout.close()
+        ctrl.destroy()
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class ProcessBackend(ThreadBackend):
+    """Persistent process-pool execution over shared-memory shards.
+
+    Args:
+        index: trained+populated IVF index.
+        plan: partition plan; defaults to
+            :func:`~repro.core.executor.base.default_plan`.
+        n_workers: pool size (default ``os.cpu_count()``).
+        start_method: multiprocessing start method; default prefers
+            ``fork`` (cheap startup) and falls back to ``spawn``.
+        prewarm_size / enable_pruning / batch_queries: as on
+            :class:`~repro.core.executor.base.HostBackend`. The packed
+            layout is always enabled — it *is* the shared data plane.
+
+    The pool starts lazily on the first ``search()`` and persists
+    across calls; call :meth:`close` (or use the backend as a context
+    manager) to release processes and shared segments. Whenever the
+    pool or shared memory is unusable the batch transparently re-runs
+    on the inherited thread path — same kernel, byte-identical
+    results — and :attr:`fallback_active` flips to True.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        index: "IVFFlatIndex",
+        plan: PartitionPlan | None = None,
+        n_workers: int | None = None,
+        start_method: str | None = None,
+        prewarm_size: int = 32,
+        enable_pruning: bool = True,
+        batch_queries: bool = True,
+        use_packed_base: bool = True,
+    ) -> None:
+        if n_workers is not None and n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        super().__init__(
+            index,
+            plan=plan,
+            n_threads=n_workers,
+            prewarm_size=prewarm_size,
+            enable_pruning=enable_pruning,
+            batch_queries=batch_queries,
+            use_packed_base=True,
+        )
+        self.n_workers = (
+            int(n_workers) if n_workers is not None
+            else max(1, os.cpu_count() or 1)
+        )
+        self._start_method = start_method
+        self._procs: list = []
+        self._cmd_queues: list = []
+        self._result_queue = None
+        self._locks: list = []
+        self._ctrl: _SharedInt64 | None = None
+        self._shared_layout: SharedShardPackedBase | None = None
+        self._pool_broken = False
+        self._batch_counter = 0
+        #: Successful steals per worker in the most recent batch.
+        self.last_steal_counts: np.ndarray = np.zeros(
+            self.n_workers, dtype=np.int64
+        )
+        #: Successful steals accumulated over the backend's lifetime.
+        self.total_steals = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def fallback_active(self) -> bool:
+        """True once execution has degraded to the thread path."""
+        return self._pool_broken
+
+    @property
+    def pool_running(self) -> bool:
+        return bool(self._procs)
+
+    def shared_layout_nbytes(self) -> int:
+        """Resident bytes of the shared-memory layout (0 when absent)."""
+        layout = self._shared_layout
+        return 0 if layout is None or layout.shm_name is None else (
+            layout.nbytes
+        )
+
+    def _context(self):
+        import multiprocessing as mp
+
+        if self._start_method is not None:
+            return mp.get_context(self._start_method)
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else "spawn")
+
+    def _refresh_shared_layout(self) -> SharedShardPackedBase:
+        """(Re)build the shared segment when the index version moved."""
+        layout = self._shared_layout
+        if layout is not None and layout.matches(self.index):
+            return layout
+        packed = self.kernel.packed_base()
+        shared = SharedShardPackedBase.from_packed(packed)
+        # The parent scans the same pages: no second resident copy.
+        self.kernel._packed = shared
+        if layout is not None:
+            layout.unlink()
+        self._shared_layout = shared
+        return shared
+
+    def _ensure_pool(self) -> bool:
+        """Start (or confirm) the pool; False means use the fallback."""
+        if self._pool_broken:
+            return False
+        try:
+            self._refresh_shared_layout()
+            if self._procs:
+                if all(p.is_alive() for p in self._procs):
+                    return True
+                raise ProcessPoolError("worker process died")
+            ctx = self._context()
+            n = self.n_workers
+            self._ctrl = _SharedInt64.create(3 * n)
+            self._locks = [ctx.Lock() for _ in range(n)]
+            self._result_queue = ctx.Queue()
+            self._cmd_queues = [ctx.Queue() for _ in range(n)]
+            for wid in range(n):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        wid, n, self.plan, self.kernel.metric,
+                        self._cmd_queues[wid], self._result_queue,
+                        self._locks, self._ctrl.shm.name,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                self._procs.append(proc)
+            return True
+        except Exception:
+            self._teardown_pool()
+            self._pool_broken = True
+            return False
+
+    def _teardown_pool(self) -> None:
+        for q, proc in zip(self._cmd_queues, self._procs):
+            try:
+                q.put(("stop",))
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in self._cmd_queues:
+            try:
+                q.close()
+            except Exception:
+                pass
+        if self._result_queue is not None:
+            try:
+                self._result_queue.close()
+            except Exception:
+                pass
+        self._procs = []
+        self._cmd_queues = []
+        self._result_queue = None
+        self._locks = []
+        if self._ctrl is not None:
+            self._ctrl.destroy()
+            self._ctrl = None
+
+    def close(self) -> None:
+        """Stop workers and free every shared segment. Idempotent."""
+        self._teardown_pool()
+        if self._shared_layout is not None:
+            if self.kernel._packed is self._shared_layout:
+                self.kernel._packed = None
+            self._shared_layout.unlink()
+            self._shared_layout = None
+        super().close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- scheduling -----------------------------------------------------
+
+    def _make_tasks(
+        self, groups: "dict[int, list[int]]"
+    ) -> "list[tuple[int, tuple[int, ...]]]":
+        """Shard-major (query-group, shard) task table.
+
+        Batched mode splits each shard's query group into chunks so
+        the table holds ~:data:`TASKS_PER_WORKER` tasks per worker —
+        enough granularity for stealing to smooth skew. Per-query mode
+        emits one task per (query, shard); both are query-disjoint, so
+        the split can never change results.
+        """
+        tasks: list[tuple[int, tuple[int, ...]]] = []
+        if not self.batch_queries:
+            for shard in sorted(groups):
+                for qidx in groups[shard]:
+                    tasks.append((shard, (qidx,)))
+            return tasks
+        total = sum(len(v) for v in groups.values())
+        target = max(1, TASKS_PER_WORKER * self.n_workers)
+        chunk = max(1, -(-total // target))
+        for shard in sorted(groups):
+            members = groups[shard]
+            for i in range(0, len(members), chunk):
+                tasks.append((shard, tuple(members[i: i + chunk])))
+        return tasks
+
+    def _seed_deques(self, tasks) -> "list[tuple[int, int]]":
+        """Contiguous deque ranges balanced by estimated scan volume."""
+        n = self.n_workers
+        if not tasks:
+            return [(0, 0)] * n
+        layout = self._shared_layout
+        weights = np.array(
+            [
+                max(1, len(qidxs))
+                * max(1, layout.shard_size(shard))
+                for shard, qidxs in tasks
+            ],
+            dtype=np.float64,
+        )
+        cum = np.cumsum(weights)
+        total = cum[-1]
+        bounds = [0]
+        for w in range(1, n):
+            bounds.append(int(np.searchsorted(cum, total * w / n)))
+        bounds.append(len(tasks))
+        for i in range(1, len(bounds)):
+            bounds[i] = max(bounds[i], bounds[i - 1])
+        return [(bounds[i], bounds[i + 1]) for i in range(n)]
+
+    # -- search ---------------------------------------------------------
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int = 1,
+        filter_labels: "np.ndarray | list[int] | None" = None,
+        skip_shards: "frozenset[int] | set[int] | None" = None,
+        coverage: np.ndarray | None = None,
+    ) -> SearchResult:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if not self._ensure_pool():
+            return super().search(
+                queries, k, nprobe=nprobe, filter_labels=filter_labels,
+                skip_shards=skip_shards, coverage=coverage,
+            )
+        try:
+            return self._process_search(
+                queries, k, nprobe, filter_labels, skip_shards, coverage
+            )
+        except (ProcessPoolError, OSError):
+            self._teardown_pool()
+            self._pool_broken = True
+            return super().search(
+                queries, k, nprobe=nprobe, filter_labels=filter_labels,
+                skip_shards=skip_shards, coverage=coverage,
+            )
+
+    def _process_search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int,
+        filter_labels,
+        skip_shards,
+        coverage: np.ndarray | None,
+    ) -> SearchResult:
+        kernel = self.kernel
+        tracer = self.tracer
+        kernel.tracer = None  # worker spans are recorded from timings
+        queries = kernel.prepare_queries(queries)
+        nq = queries.shape[0]
+        if tracer is None:
+            probes = self.index.probe(queries, nprobe)
+        else:
+            with tracer.wall_span("route", "computation", n=nq):
+                probes = self.index.probe(queries, nprobe)
+        allowed = self.index.allowed_mask(filter_labels)
+
+        # Prewarm in the parent (it owns the heaps), exactly as the
+        # kernel's batched path does; coverage goes to a local buffer
+        # so a mid-batch fallback cannot double-count.
+        states = [
+            kernel.begin_query(i, queries[i], probes[i], k, allowed)
+            for i in range(nq)
+        ]
+        local_cov = (
+            np.zeros((nq, 2), dtype=np.int64)
+            if coverage is not None else None
+        )
+        if local_cov is not None:
+            for state in states:
+                local_cov[state.query_index, :] += state.prewarmed.size
+
+        groups: dict[int, list[int]] = {}
+        for state in states:
+            for shard in kernel.shards_for(state):
+                shard = int(shard)
+                if skip_shards and shard in skip_shards:
+                    if local_cov is not None:
+                        local_cov[state.query_index, 1] += (
+                            kernel.count_candidates(state, shard, allowed)
+                        )
+                    continue
+                groups.setdefault(shard, []).append(state.query_index)
+
+        tasks = self._make_tasks(groups)
+        if tasks:
+            self._dispatch_batch(
+                tasks, states, queries, probes, allowed, k, local_cov,
+                tracer,
+            )
+        if coverage is not None and local_cov is not None:
+            coverage += local_cov
+        return collect_results([state.heap for state in states], k)
+
+    def _dispatch_batch(
+        self, tasks, states, queries, probes, allowed, k, local_cov, tracer
+    ) -> None:
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        n = self.n_workers
+        ranges = self._seed_deques(tasks)
+        ctrl = self._ctrl.array
+        for wid, (start, stop) in enumerate(ranges):
+            ctrl[wid] = start  # head
+            ctrl[n + wid] = stop  # tail
+            ctrl[2 * n + wid] = 0  # steals
+        board = _SharedF64.create(
+            np.array([s.heap.threshold for s in states], dtype=np.float64)
+        )
+        query_norms = None
+        if states and states[0].query_norms is not None:
+            query_norms = np.stack([s.query_norms for s in states])
+        ctx = {
+            "layout": self._shared_layout.manifest(),
+            "thresholds": board.manifest(),
+            "tasks": tasks,
+            "queries": queries,
+            "probes": probes,
+            "prewarm": [s.prewarmed for s in states],
+            "query_norms": query_norms,
+            "allowed": allowed,
+            "k": k,
+            "enable_pruning": self.enable_pruning,
+        }
+        try:
+            for q in self._cmd_queues:
+                q.put(("batch", batch_id, ctx))
+            self._collect(
+                batch_id, len(tasks), states, board, local_cov, tracer
+            )
+        finally:
+            steals = np.array(ctrl[2 * n: 3 * n], dtype=np.int64)
+            self.last_steal_counts = steals
+            self.total_steals += int(steals.sum())
+            board.destroy()
+
+    def _collect(
+        self, batch_id, n_tasks, states, board, local_cov, tracer
+    ) -> None:
+        """Merge streamed task results; return once the batch quiesces.
+
+        Completion requires every task result *and* a ``done`` barrier
+        message from every worker — only then is it safe to reseed the
+        shared deque bounds for the next batch.
+        """
+        received = 0
+        done = 0
+        seen: set[int] = set()
+        last_progress = time.monotonic()
+        while received < n_tasks or done < len(self._procs):
+            try:
+                msg = self._result_queue.get(timeout=_POLL_SECONDS)
+            except _queue_mod.Empty:
+                if any(not p.is_alive() for p in self._procs):
+                    raise ProcessPoolError("worker process died mid-batch")
+                if time.monotonic() - last_progress > _STALL_SECONDS:
+                    raise ProcessPoolError("worker pool stalled")
+                continue
+            if msg[1] != batch_id:
+                continue  # stale leftovers from an aborted batch
+            if msg[0] == "error":
+                raise ProcessPoolError(f"worker failed:\n{msg[3]}")
+            last_progress = time.monotonic()
+            if msg[0] == "done":
+                done += 1
+                continue
+            _, _, wid, task_id, payload, t0, t1, shard = msg
+            if task_id in seen:
+                continue
+            seen.add(task_id)
+            for qidx, scores, ids, n_candidates in payload:
+                if local_cov is not None:
+                    local_cov[qidx, :] += int(n_candidates)
+                if len(scores):
+                    heap = states[qidx].heap
+                    heap.push_many(scores, ids)
+                    board.array[qidx] = heap.threshold
+            if tracer is not None:
+                tracer.record(
+                    "worker-scan", "computation",
+                    node=PROCESS_LANE_BASE + wid,
+                    start=t0, end=t1,
+                    worker=wid, shard=shard,
+                    queries=len(payload),
+                )
+            received += 1
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

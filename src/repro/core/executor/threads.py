@@ -11,10 +11,17 @@ because the pruning bound is lossless. In the per-query path
 fan out across the pool. Results are byte-identical to the serial
 backend regardless of thread count — that invariance, not raw speed,
 is the contract this class is tested on.
+
+The pool is created lazily on first use and reused across ``search()``
+calls (constructing a ``ThreadPoolExecutor`` per call costs thread
+spawns on every query batch); :meth:`ThreadBackend.close` releases it,
+and a closed backend transparently re-creates the pool if searched
+again.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.executor.base import HostBackend
@@ -61,14 +68,41 @@ class ThreadBackend(HostBackend):
             use_packed_base=use_packed_base,
         )
         self.n_threads = n_threads
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        """The persistent pool, created lazily and revived after close."""
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(max_workers=self.n_threads)
+                    self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down. Idempotent; search() revives it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        super().close()
+
+    def __enter__(self) -> "ThreadBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _map(self, fn, nq: int) -> None:
-        with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-            list(pool.map(fn, range(nq)))
+        pool = self._ensure_thread_pool()
+        list(pool.map(fn, range(nq)))
 
     def _group_mapper(self):
         def run(task, shards) -> None:
-            with ThreadPoolExecutor(max_workers=self.n_threads) as pool:
-                list(pool.map(task, shards))
+            pool = self._ensure_thread_pool()
+            list(pool.map(task, shards))
 
         return run

@@ -23,6 +23,26 @@ import numpy as np
 from repro.core.partition import PartitionPlan
 
 
+def _attach_shm(name: str):
+    """Attach an existing segment without resource-tracker tracking.
+
+    Before Python 3.13's ``track=False``, attaching by name registers
+    the segment with the process's ``resource_tracker``, which (a)
+    would unlink the parent-owned segment when a worker exits and (b)
+    races other attachers of the same name on the tracker's shared
+    set, spraying harmless-but-noisy KeyErrors. Only the creating
+    process may own cleanup, so attachers suppress registration.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
 class ShardPackedBase:
     """Per-shard contiguous copies of list-member rows, ids, and norms.
 
@@ -183,3 +203,160 @@ class ShardPackedBase:
         shard_norms = self._norms[shard]
         norms = None if shard_norms is None else shard_norms[local]
         return ids, rows, norms
+
+
+class SharedShardPackedBase(ShardPackedBase):
+    """A :class:`ShardPackedBase` whose arrays live in shared memory.
+
+    The process backend's zero-copy data plane: the parent packs every
+    shard's rows / ids / norms into **one**
+    :class:`multiprocessing.shared_memory.SharedMemory` segment
+    (:meth:`from_packed`), ships only the tiny :meth:`manifest` —
+    segment name plus per-array ``(offset, shape, dtype)`` records —
+    to each worker, and workers :meth:`attach` as numpy views over the
+    same physical pages. No vector bytes are ever pickled or copied
+    across the process boundary; staleness is keyed by the same
+    ``(version, ntotal)`` pair as the in-process packed cache.
+
+    Lifecycle: the creating process calls :meth:`unlink` (usually via
+    the owning backend's ``close()``) exactly once; every process —
+    creator and attachers — calls :meth:`close` to drop its mapping.
+    The segment persists until the last mapping closes, so the parent
+    may safely unlink a stale layout while workers still scan it.
+    """
+
+    def __init__(self, *args, shm=None, owner=False, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._shm = shm
+        self._owner = owner
+        self._spec: dict = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_packed(cls, packed: ShardPackedBase) -> "SharedShardPackedBase":
+        """Re-home an existing packed layout into one shared segment."""
+        from multiprocessing import shared_memory
+
+        arrays: list[tuple[str, np.ndarray]] = []
+        for shard in range(packed.n_shards):
+            arrays.append((f"rows{shard}", packed._rows[shard]))
+            arrays.append((f"ids{shard}", packed._ids[shard]))
+            if packed._norms[shard] is not None:
+                arrays.append((f"norms{shard}", packed._norms[shard]))
+        arrays.append(("list_start", packed._list_start))
+        arrays.append(("list_stop", packed._list_stop))
+
+        total = sum(arr.nbytes for _, arr in arrays)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        offset = 0
+        spec: dict[str, tuple[int, tuple, str]] = {}
+        views: dict[str, np.ndarray] = {}
+        for key, arr in arrays:
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+            )
+            view[...] = arr
+            spec[key] = (offset, tuple(arr.shape), arr.dtype.str)
+            views[key] = view
+            offset += arr.nbytes
+
+        layout = cls(
+            rows=[views[f"rows{s}"] for s in range(packed.n_shards)],
+            ids=[views[f"ids{s}"] for s in range(packed.n_shards)],
+            norms=[
+                views.get(f"norms{s}") for s in range(packed.n_shards)
+            ],
+            list_start=views["list_start"],
+            list_stop=views["list_stop"],
+            version=packed.version,
+            ntotal=packed.ntotal,
+            shm=shm,
+            owner=True,
+        )
+        layout._spec = spec
+        return layout
+
+    @classmethod
+    def build(
+        cls,
+        index: "IVFFlatIndex",
+        plan: PartitionPlan,
+        base_slice_norms: np.ndarray | None = None,
+    ) -> "SharedShardPackedBase":
+        """Pack straight into shared memory (build + re-home)."""
+        packed = ShardPackedBase.build(
+            index, plan, base_slice_norms=base_slice_norms
+        )
+        return cls.from_packed(packed)
+
+    # -- cross-process plumbing ----------------------------------------
+
+    def manifest(self) -> dict:
+        """Picklable description a worker passes to :meth:`attach`."""
+        if self._shm is None:
+            raise RuntimeError("layout is not backed by shared memory")
+        return {
+            "shm_name": self._shm.name,
+            "n_shards": self.n_shards,
+            "spec": dict(self._spec),
+            "version": self.version,
+            "ntotal": self.ntotal,
+        }
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "SharedShardPackedBase":
+        """Map an existing segment read-only-by-convention, zero-copy."""
+        shm = _attach_shm(manifest["shm_name"])
+        spec = manifest["spec"]
+
+        def view(key: str) -> np.ndarray | None:
+            if key not in spec:
+                return None
+            offset, shape, dtype = spec[key]
+            return np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+
+        n_shards = manifest["n_shards"]
+        layout = cls(
+            rows=[view(f"rows{s}") for s in range(n_shards)],
+            ids=[view(f"ids{s}") for s in range(n_shards)],
+            norms=[view(f"norms{s}") for s in range(n_shards)],
+            list_start=view("list_start"),
+            list_stop=view("list_stop"),
+            version=manifest["version"],
+            ntotal=manifest["ntotal"],
+            shm=shm,
+            owner=False,
+        )
+        layout._spec = dict(spec)
+        return layout
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def shm_name(self) -> str | None:
+        return None if self._shm is None else self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        shm, self._shm = self._shm, None
+        self._rows = self._ids = self._norms = []  # release buffer refs
+        self._list_start = self._list_stop = None
+        if shm is not None:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+
+    def unlink(self) -> None:
+        """Free the segment (creator only); also closes the mapping."""
+        shm = self._shm
+        owner, self._owner = self._owner, False
+        self.close()
+        if shm is not None and owner:
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass

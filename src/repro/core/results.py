@@ -167,6 +167,12 @@ class ExecutionReport:
             search ran with ``degraded_mode=True``).
         trace: span snapshot (:class:`repro.obs.trace.Trace`) of the
             run, when a tracer was attached (None otherwise).
+        layout_bytes: resident bytes of the packed (or shared-memory)
+            shard layout the executing backend scanned from; ``0``
+            when no packed layout was in play (sim backend, packing
+            disabled).
+        worker_steals: per-worker successful work-steals during the
+            batch (process backend only; None elsewhere).
     """
 
     n_queries: int
@@ -185,6 +191,8 @@ class ExecutionReport:
     fault_stats: FaultStats | None = None
     degraded: DegradedReport | None = None
     trace: "object | None" = None
+    layout_bytes: int = 0
+    worker_steals: "list[int] | None" = None
 
     @property
     def qps(self) -> float:
@@ -265,7 +273,10 @@ class ExecutionReport:
             "normalized_imbalance": self.normalized_imbalance,
             "peak_memory_bytes": int(self.peak_memory_bytes),
             "mean_peak_memory_bytes": float(self.mean_peak_memory_bytes),
+            "layout_bytes": int(self.layout_bytes),
         }
+        if self.worker_steals is not None:
+            out["worker_steals"] = [int(s) for s in self.worker_steals]
         if self.latencies.size:
             out["latency"] = {
                 "mean": self.mean_latency,

@@ -300,6 +300,18 @@ def report_metrics(
     registry.gauge(
         "harmony_load_imbalance", "Std dev of worker loads (I(pi))"
     ).set(report.load_imbalance)
+    registry.gauge(
+        "harmony_layout_bytes",
+        "Resident bytes of the packed/shared shard layout scanned",
+    ).set(float(getattr(report, "layout_bytes", 0)))
+    worker_steals = getattr(report, "worker_steals", None)
+    if worker_steals is not None:
+        for worker, steals in enumerate(worker_steals):
+            registry.counter(
+                "harmony_worker_steals_total",
+                "Work-stealing task migrations per pool worker",
+                worker=worker,
+            ).inc(float(steals))
     if report.pruning is not None:
         total_scans = float(report.pruning.totals[0])
         registry.counter(

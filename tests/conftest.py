@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -53,7 +55,18 @@ def make_db(
     nprobe: int = 4,
     **overrides: object,
 ) -> HarmonyDB:
-    """Build a small HarmonyDB for tests (deterministic, seed 0)."""
+    """Build a small HarmonyDB for tests (deterministic, seed 0).
+
+    ``HARMONY_BACKEND`` (env) overrides the default backend for every
+    test that doesn't pin one explicitly — CI uses it to re-run the
+    tier-1 suite on the host backends (results are byte-identical, so
+    the whole suite doubles as an equivalence check).
+    """
+    env_backend = os.environ.get("HARMONY_BACKEND")
+    if env_backend and "backend" not in overrides:
+        overrides["backend"] = env_backend
+        if env_backend == "process" and "n_workers" not in overrides:
+            overrides["n_workers"] = 2
     config = HarmonyConfig(
         n_machines=n_machines,
         nlist=nlist,

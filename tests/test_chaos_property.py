@@ -54,7 +54,10 @@ def _assert_genuine(db, result, queries, coverage, oracle):
 
 @pytest.mark.parametrize("seed", CHAOS_SEEDS)
 def test_sim_chaos_exact_or_flagged(tiny_data, tiny_queries, seed):
-    db = make_db(tiny_data, tiny_queries, degraded_mode=True, replicas=2)
+    db = make_db(
+        tiny_data, tiny_queries, backend="sim",
+        degraded_mode=True, replicas=2,
+    )
     oracle, healthy_report = db.search(tiny_queries, k=5)
 
     schedule = FaultSchedule.random(
@@ -70,7 +73,10 @@ def test_sim_chaos_exact_or_flagged(tiny_data, tiny_queries, seed):
 
 @pytest.mark.parametrize("seed", CHAOS_SEEDS[:3])
 def test_sim_chaos_deterministic(tiny_data, tiny_queries, seed):
-    db = make_db(tiny_data, tiny_queries, degraded_mode=True, replicas=2)
+    db = make_db(
+        tiny_data, tiny_queries, backend="sim",
+        degraded_mode=True, replicas=2,
+    )
     _, healthy_report = db.search(tiny_queries, k=5)
     schedule = FaultSchedule.random(
         n_workers=4,
@@ -93,7 +99,7 @@ def test_sim_chaos_deterministic(tiny_data, tiny_queries, seed):
 @pytest.mark.parametrize("seed", CHAOS_SEEDS[:3])
 def test_sim_chaos_unreplicated_never_raises(tiny_data, tiny_queries, seed):
     """Without replicas, chaos can only degrade — never raise."""
-    db = make_db(tiny_data, tiny_queries, degraded_mode=True)
+    db = make_db(tiny_data, tiny_queries, backend="sim", degraded_mode=True)
     oracle, healthy_report = db.search(tiny_queries, k=5)
     schedule = FaultSchedule.random(
         n_workers=4,
@@ -113,7 +119,10 @@ def test_host_chaos_static_failures(tiny_data, tiny_queries, seed, batch):
     n_fail = int(rng.integers(1, 3))
     failed = rng.choice(4, size=n_fail, replace=False)
 
-    sim = make_db(tiny_data, tiny_queries, degraded_mode=True, replicas=2)
+    sim = make_db(
+        tiny_data, tiny_queries, backend="sim",
+        degraded_mode=True, replicas=2,
+    )
     oracle, _ = sim.search(tiny_queries, k=5)
 
     host = make_db(

@@ -1,4 +1,4 @@
-"""Cross-backend exactness: serial == thread == simulated.
+"""Cross-backend exactness: serial == thread == process == simulated.
 
 The executor refactor's contract: every backend runs the one shared
 ``ScanKernel``, so ids and distances are byte-identical across
@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import HarmonyConfig
 from repro.core.executor import (
+    ProcessBackend,
     SerialBackend,
     SimulatedBackend,
     ThreadBackend,
@@ -94,16 +95,26 @@ def test_three_backends_identical(metric, prewarm, filtered):
 
     kwargs = dict(k=5, nprobe=4, filter_labels=filter_labels)
     reference = serial.search(queries, **kwargs)
-    results = {
-        "thread": thread.search(queries, **kwargs),
-        "sim-canonical": sim_canonical.search(queries, **kwargs),
-        "sim-default": sim_default.search(queries, **kwargs),
-    }
+    with ProcessBackend(
+        index, plan=plan, n_workers=2, prewarm_size=prewarm
+    ) as process:
+        results = {
+            "thread": thread.search(queries, **kwargs),
+            "process": process.search(queries, **kwargs),
+            "sim-canonical": sim_canonical.search(queries, **kwargs),
+            "sim-default": sim_default.search(queries, **kwargs),
+        }
+        assert not process.fallback_active
     assert_equivalent(
         results,
         reference.ids,
         reference.distances,
-        bitwise={"thread": True, "sim-canonical": True, "sim-default": False},
+        bitwise={
+            "thread": True,
+            "process": True,
+            "sim-canonical": True,
+            "sim-default": False,
+        },
     )
 
 
@@ -115,23 +126,30 @@ def test_backends_identical_after_mutations(metric):
     plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
 
     # Interleave grows and tombstoned deletes, validating after each.
-    for step in range(3):
-        extra = rng.standard_normal((40, index.dim)).astype(np.float32)
-        index.add(extra, labels=rng.integers(0, N_LABELS, 40))
-        alive = np.flatnonzero(~index._deleted)
-        index.remove_ids(rng.choice(alive, size=15, replace=False))
+    # One persistent process pool spans every step, so its shared
+    # layout must invalidate and rebuild on each version bump.
+    with ProcessBackend(index, plan=plan, n_workers=2) as process:
+        for step in range(3):
+            extra = rng.standard_normal((40, index.dim)).astype(np.float32)
+            index.add(extra, labels=rng.integers(0, N_LABELS, 40))
+            alive = np.flatnonzero(~index._deleted)
+            index.remove_ids(rng.choice(alive, size=15, replace=False))
 
-        serial = SerialBackend(index, plan=plan)
-        thread = ThreadBackend(index, plan=plan, n_threads=4)
-        sim = sim_backend(index, plan, prewarm_size=32, canonical_order=True)
-        reference = serial.search(queries, k=5, nprobe=4)
-        results = {
-            "thread": thread.search(queries, k=5, nprobe=4),
-            "sim-canonical": sim.search(queries, k=5, nprobe=4),
-        }
-        assert_equivalent(
-            results, reference.ids, reference.distances, bitwise={}
-        )
+            serial = SerialBackend(index, plan=plan)
+            thread = ThreadBackend(index, plan=plan, n_threads=4)
+            sim = sim_backend(
+                index, plan, prewarm_size=32, canonical_order=True
+            )
+            reference = serial.search(queries, k=5, nprobe=4)
+            results = {
+                "thread": thread.search(queries, k=5, nprobe=4),
+                "process": process.search(queries, k=5, nprobe=4),
+                "sim-canonical": sim.search(queries, k=5, nprobe=4),
+            }
+            assert_equivalent(
+                results, reference.ids, reference.distances, bitwise={}
+            )
+        assert not process.fallback_active
 
 
 def test_serial_backend_matches_single_node_scan():
@@ -155,6 +173,7 @@ def test_resolve_backend_names():
     assert resolve_backend("serial") is SerialBackend
     assert resolve_backend("THREAD") is ThreadBackend
     assert resolve_backend("sim") is SimulatedBackend
+    assert resolve_backend("process") is ProcessBackend
     with pytest.raises(ValueError, match="unknown backend"):
         resolve_backend("mpi")
 
@@ -174,16 +193,55 @@ def test_batched_search_matches_per_query_loop(metric, prewarm, filtered):
     looped = SerialBackend(
         index, plan=plan, prewarm_size=prewarm, batch_queries=False
     ).search(queries, **kwargs)
-    results = {
-        "batched-serial": SerialBackend(
-            index, plan=plan, prewarm_size=prewarm, batch_queries=True
-        ).search(queries, **kwargs),
-        "batched-thread": ThreadBackend(
-            index, plan=plan, n_threads=4, prewarm_size=prewarm,
-            batch_queries=True,
-        ).search(queries, **kwargs),
-    }
+    with ProcessBackend(
+        index, plan=plan, n_workers=2, prewarm_size=prewarm,
+        batch_queries=True,
+    ) as process:
+        results = {
+            "batched-serial": SerialBackend(
+                index, plan=plan, prewarm_size=prewarm, batch_queries=True
+            ).search(queries, **kwargs),
+            "batched-thread": ThreadBackend(
+                index, plan=plan, n_threads=4, prewarm_size=prewarm,
+                batch_queries=True,
+            ).search(queries, **kwargs),
+            "batched-process": process.search(queries, **kwargs),
+        }
     assert_equivalent(results, looped.ids, looped.distances, bitwise={})
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("batch_queries", [True, False])
+def test_process_degraded_mode_parity(metric, batch_queries):
+    """Skipped shards and coverage accounting match the serial oracle.
+
+    Degraded mode (shards with no live replica) must produce the same
+    partial results AND the same per-query ``[scanned, total]``
+    coverage ledger whether the scan ran in-process or across the
+    worker pool.
+    """
+    index = make_index(metric)
+    queries = make_queries(index.dim)
+    plan = build_plan(index, n_machines=4, n_vector_shards=4, n_dim_blocks=1)
+    skip = {1, 3}
+
+    cov_serial = np.zeros((queries.shape[0], 2), dtype=np.int64)
+    reference = SerialBackend(
+        index, plan=plan, batch_queries=batch_queries
+    ).search(queries, k=5, nprobe=4, skip_shards=skip, coverage=cov_serial)
+
+    cov_process = np.zeros((queries.shape[0], 2), dtype=np.int64)
+    with ProcessBackend(
+        index, plan=plan, n_workers=2, batch_queries=batch_queries
+    ) as process:
+        result = process.search(
+            queries, k=5, nprobe=4, skip_shards=skip, coverage=cov_process
+        )
+        assert not process.fallback_active
+    np.testing.assert_array_equal(result.ids, reference.ids)
+    np.testing.assert_array_equal(result.distances, reference.distances)
+    np.testing.assert_array_equal(cov_process, cov_serial)
+    assert (cov_serial[:, 1] >= cov_serial[:, 0]).all()
 
 
 @settings(
@@ -237,15 +295,20 @@ def test_property_batched_equals_looped(
     looped = SerialBackend(
         index, plan=plan, prewarm_size=prewarm, batch_queries=False
     ).search(queries, **kwargs)
-    results = {
-        "batched-serial": SerialBackend(
-            index, plan=plan, prewarm_size=prewarm, batch_queries=True
-        ).search(queries, **kwargs),
-        "batched-thread": ThreadBackend(
-            index, plan=plan, n_threads=2, prewarm_size=prewarm,
-            batch_queries=True,
-        ).search(queries, **kwargs),
-    }
+    with ProcessBackend(
+        index, plan=plan, n_workers=2, prewarm_size=prewarm,
+        batch_queries=True,
+    ) as process:
+        results = {
+            "batched-serial": SerialBackend(
+                index, plan=plan, prewarm_size=prewarm, batch_queries=True
+            ).search(queries, **kwargs),
+            "batched-thread": ThreadBackend(
+                index, plan=plan, n_threads=2, prewarm_size=prewarm,
+                batch_queries=True,
+            ).search(queries, **kwargs),
+            "batched-process": process.search(queries, **kwargs),
+        }
     assert_equivalent(results, looped.ids, looped.distances, bitwise={})
 
 
@@ -284,8 +347,12 @@ def test_property_backend_equivalence(
     sim = sim_backend(index, plan, prewarm, canonical_order=True)
 
     reference = serial.search(queries, **kwargs)
-    results = {
-        "thread": thread.search(queries, **kwargs),
-        "sim-canonical": sim.search(queries, **kwargs),
-    }
+    with ProcessBackend(
+        index, plan=plan, n_workers=2, prewarm_size=prewarm
+    ) as process:
+        results = {
+            "thread": thread.search(queries, **kwargs),
+            "process": process.search(queries, **kwargs),
+            "sim-canonical": sim.search(queries, **kwargs),
+        }
     assert_equivalent(results, reference.ids, reference.distances, bitwise={})

@@ -1,0 +1,406 @@
+"""Process backend: shared layouts, pool lifecycle, fallback, steals.
+
+Byte-exactness against the serial oracle lives in
+``test_executor_equivalence.py``; this module covers the machinery
+around it — the shared-memory layout's build/manifest/attach
+lifecycle, persistent pool reuse and revival, graceful fallback to
+the thread path when shared memory or workers misbehave, and the
+work-stealing counters surfaced through reports and metrics.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import HarmonyConfig
+from repro.core.database import HarmonyDB
+from repro.core.executor import ProcessBackend, SerialBackend, ThreadBackend
+from repro.core.layout import ShardPackedBase, SharedShardPackedBase
+from repro.core.partition import build_plan
+from repro.distance.metrics import Metric
+from repro.index.ivf import IVFFlatIndex
+
+N_LABELS = 4
+
+
+def make_index(metric=Metric.L2, n=400, dim=24, nlist=16, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.standard_normal((n, dim)).astype(np.float32)
+    index = IVFFlatIndex(dim=dim, nlist=nlist, metric=metric, seed=0)
+    index.train(base)
+    index.add(base, labels=rng.integers(0, N_LABELS, n))
+    return index
+
+
+def make_queries(dim, nq=12, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((nq, dim)).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# SharedShardPackedBase
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "metric", [Metric.L2, Metric.INNER_PRODUCT, Metric.COSINE]
+)
+def test_shared_layout_gathers_like_packed(metric):
+    """Re-homing into shared memory changes bytes' address, not value."""
+    index = make_index(metric)
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    from repro.distance.partial import slice_norms
+
+    norms = None if metric is Metric.L2 else slice_norms(
+        index.base, plan.slices
+    )
+    packed = ShardPackedBase.build(index, plan, base_slice_norms=norms)
+    shared = SharedShardPackedBase.from_packed(packed)
+    try:
+        assert shared.matches(index)
+        assert shared.nbytes > 0
+        assert shared.shm_name is not None
+        lists = np.arange(index.nlist, dtype=np.int64)
+        for shard in range(plan.n_vector_shards):
+            shard_lists = plan.lists_of_shard(shard)
+            ids_p, rows_p, norms_p = packed.gather(shard, shard_lists)
+            ids_s, rows_s, norms_s = shared.gather(shard, shard_lists)
+            np.testing.assert_array_equal(ids_s, ids_p)
+            np.testing.assert_array_equal(rows_s, rows_p)
+            if norms_p is None:
+                assert norms_s is None
+            else:
+                np.testing.assert_array_equal(norms_s, norms_p)
+    finally:
+        shared.unlink()
+
+
+def test_shared_layout_manifest_roundtrip():
+    """attach(manifest()) maps the same pages with identical contents."""
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    shared = SharedShardPackedBase.build(index, plan)
+    attached = None
+    try:
+        manifest = shared.manifest()
+        assert manifest["shm_name"] == shared.shm_name
+        assert manifest["version"] == index.version
+        attached = SharedShardPackedBase.attach(manifest)
+        assert attached.matches(index)
+        for shard in range(plan.n_vector_shards):
+            shard_lists = plan.lists_of_shard(shard)
+            ids_a, rows_a, _ = attached.gather(shard, shard_lists)
+            ids_s, rows_s, _ = shared.gather(shard, shard_lists)
+            np.testing.assert_array_equal(ids_a, ids_s)
+            np.testing.assert_array_equal(rows_a, rows_s)
+        # Attachers share physical pages: a write through one mapping
+        # is visible through the other (zero-copy, not a pickle).
+        shared._ids[0][0] = 123456
+        assert attached._ids[0][0] == 123456
+    finally:
+        if attached is not None:
+            attached.close()
+        shared.unlink()
+
+
+def test_shared_layout_staleness_and_unbacked_manifest():
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    shared = SharedShardPackedBase.build(index, plan)
+    try:
+        assert shared.matches(index)
+        index.add(np.ones((3, index.dim), dtype=np.float32))
+        assert not shared.matches(index)
+    finally:
+        shared.unlink()
+    plain = ShardPackedBase.build(index, plan)
+    with pytest.raises(AttributeError):
+        plain.manifest()  # only the shared subclass has a manifest
+    unbacked = SharedShardPackedBase(
+        rows=[], ids=[], norms=[], list_start=np.zeros(0, dtype=np.int64),
+        list_stop=np.zeros(0, dtype=np.int64), version=0, ntotal=0,
+    )
+    with pytest.raises(RuntimeError, match="not backed"):
+        unbacked.manifest()
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_pool_persists_and_revives():
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    serial = SerialBackend(index, plan=plan)
+    reference = serial.search(queries, k=5, nprobe=4)
+
+    backend = ProcessBackend(index, plan=plan, n_workers=2)
+    assert not backend.pool_running
+    backend.search(queries, k=5, nprobe=4)
+    assert backend.pool_running
+    first_pids = [p.pid for p in backend._procs]
+    backend.search(queries, k=5, nprobe=4)
+    assert [p.pid for p in backend._procs] == first_pids  # reused, not respawned
+    assert backend.shared_layout_nbytes() > 0
+
+    backend.close()
+    assert not backend.pool_running
+    backend.close()  # idempotent
+
+    # A closed backend revives lazily on the next search.
+    revived = backend.search(queries, k=5, nprobe=4)
+    assert backend.pool_running
+    np.testing.assert_array_equal(revived.ids, reference.ids)
+    np.testing.assert_array_equal(revived.distances, reference.distances)
+    backend.close()
+
+
+def test_shared_layout_rebuilds_on_version_bump():
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    rng = np.random.default_rng(7)
+    with ProcessBackend(index, plan=plan, n_workers=2) as backend:
+        backend.search(queries, k=5, nprobe=4)
+        name_before = backend._shared_layout.shm_name
+        index.add(
+            rng.standard_normal((30, index.dim)).astype(np.float32),
+            labels=rng.integers(0, N_LABELS, 30),
+        )
+        got = backend.search(queries, k=5, nprobe=4)
+        assert backend._shared_layout.shm_name != name_before
+        reference = SerialBackend(index, plan=plan).search(
+            queries, k=5, nprobe=4
+        )
+        np.testing.assert_array_equal(got.ids, reference.ids)
+        np.testing.assert_array_equal(got.distances, reference.distances)
+
+
+def test_invalid_worker_count():
+    index = make_index()
+    with pytest.raises(ValueError, match="n_workers"):
+        ProcessBackend(index, n_workers=0)
+
+
+def test_single_worker_pool():
+    """One worker (no one to steal from) still matches the oracle."""
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    reference = SerialBackend(index, plan=plan).search(queries, k=5, nprobe=4)
+    with ProcessBackend(index, plan=plan, n_workers=1) as backend:
+        got = backend.search(queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(got.ids, reference.ids)
+        np.testing.assert_array_equal(got.distances, reference.distances)
+        assert backend.total_steals == 0
+
+
+# ---------------------------------------------------------------------------
+# Fallback
+# ---------------------------------------------------------------------------
+
+
+def test_worker_crash_falls_back_to_threads():
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    reference = SerialBackend(index, plan=plan).search(queries, k=5, nprobe=4)
+
+    backend = ProcessBackend(index, plan=plan, n_workers=2)
+    backend.search(queries, k=5, nprobe=4)
+    victim = backend._procs[0]
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=5.0)
+
+    got = backend.search(queries, k=5, nprobe=4)  # transparently degraded
+    assert backend.fallback_active
+    assert not backend.pool_running
+    np.testing.assert_array_equal(got.ids, reference.ids)
+    np.testing.assert_array_equal(got.distances, reference.distances)
+
+    # Degraded mode still works identically on the fallback path.
+    cov_ref = np.zeros((queries.shape[0], 2), dtype=np.int64)
+    cov_got = np.zeros((queries.shape[0], 2), dtype=np.int64)
+    ref2 = SerialBackend(index, plan=plan).search(
+        queries, k=5, nprobe=4, skip_shards={0}, coverage=cov_ref
+    )
+    got2 = backend.search(
+        queries, k=5, nprobe=4, skip_shards={0}, coverage=cov_got
+    )
+    np.testing.assert_array_equal(got2.ids, ref2.ids)
+    np.testing.assert_array_equal(cov_got, cov_ref)
+    backend.close()
+
+
+def test_shared_memory_unavailable_falls_back(monkeypatch):
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    reference = SerialBackend(index, plan=plan).search(queries, k=5, nprobe=4)
+
+    def no_shm(cls, packed):
+        raise OSError("shared memory unavailable")
+
+    monkeypatch.setattr(
+        SharedShardPackedBase, "from_packed", classmethod(no_shm)
+    )
+    with ProcessBackend(index, plan=plan, n_workers=2) as backend:
+        got = backend.search(queries, k=5, nprobe=4)
+        assert backend.fallback_active
+        assert not backend.pool_running
+        np.testing.assert_array_equal(got.ids, reference.ids)
+        np.testing.assert_array_equal(got.distances, reference.distances)
+
+
+# ---------------------------------------------------------------------------
+# Steal counters and observability
+# ---------------------------------------------------------------------------
+
+
+def test_steal_counters_shape_and_accumulation():
+    index = make_index(n=1200, nlist=24)
+    plan = build_plan(index, n_machines=4, n_vector_shards=4, n_dim_blocks=1)
+    queries = make_queries(index.dim, nq=24)
+    with ProcessBackend(index, plan=plan, n_workers=3) as backend:
+        total = 0
+        for _ in range(3):
+            backend.search(queries, k=5, nprobe=8)
+            counts = backend.last_steal_counts
+            assert counts.shape == (3,)
+            assert (counts >= 0).all()
+            total += int(counts.sum())
+            assert backend.total_steals == total  # lifetime accumulation
+
+
+def test_worker_spans_recorded_on_process_lanes():
+    from repro.core.executor.process import PROCESS_LANE_BASE
+    from repro.obs.trace import Tracer
+
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    with ProcessBackend(index, plan=plan, n_workers=2) as backend:
+        backend.tracer = Tracer()
+        backend.search(queries, k=5, nprobe=4)
+        spans = [
+            s for s in backend.tracer.trace().spans
+            if s.name == "worker-scan"
+        ]
+        assert spans, "expected per-worker wall spans"
+        assert all(s.node >= PROCESS_LANE_BASE for s in spans)
+        assert all(s.end >= s.start for s in spans)
+
+
+# ---------------------------------------------------------------------------
+# ThreadBackend persistent pool (the hoisted executor)
+# ---------------------------------------------------------------------------
+
+
+def test_thread_backend_pool_persists_and_revives():
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    backend = ThreadBackend(index, plan=plan, n_threads=2)
+    assert backend._pool is None  # lazy: no threads until first search
+    backend.search(queries, k=5, nprobe=4)
+    pool = backend._pool
+    assert pool is not None
+    backend.search(queries, k=5, nprobe=4)
+    assert backend._pool is pool  # reused across calls
+    backend.close()
+    assert backend._pool is None
+    backend.close()  # idempotent
+    result = backend.search(queries, k=5, nprobe=4)  # revives
+    assert backend._pool is not None
+    reference = SerialBackend(index, plan=plan).search(queries, k=5, nprobe=4)
+    np.testing.assert_array_equal(result.ids, reference.ids)
+    backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Config / HarmonyDB integration
+# ---------------------------------------------------------------------------
+
+
+def test_config_accepts_process_backend():
+    config = HarmonyConfig(backend="process", n_workers=2)
+    assert config.backend == "process"
+    with pytest.raises(ValueError, match="n_workers"):
+        HarmonyConfig(backend="process", n_workers=0)
+    with pytest.raises(ValueError, match="supported backends"):
+        HarmonyConfig(backend="gpu")
+
+
+def test_harmony_db_process_backend_end_to_end(tmp_path):
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((1500, 24)).astype(np.float32)
+    queries = rng.standard_normal((16, 24)).astype(np.float32)
+    config = HarmonyConfig(
+        n_machines=4, nlist=16, nprobe=4, backend="process", n_workers=2
+    )
+    db = HarmonyDB(dim=24, config=config)
+    db.build(base, sample_queries=queries)
+    result, report = db.search(queries, k=5)
+    assert "process backend" in report.plan_summary
+    assert report.layout_bytes > 0
+    assert report.worker_steals is not None
+    assert len(report.worker_steals) == 2
+
+    serial_db = HarmonyDB(
+        dim=24,
+        config=config.replace(backend="serial"),
+    )
+    serial_db.build(base, sample_queries=queries)
+    ref, _ = serial_db.search(queries, k=5)
+    np.testing.assert_array_equal(result.ids, ref.ids)
+    np.testing.assert_array_equal(result.distances, ref.distances)
+
+    # Streaming ingest rebuilds the backend (and its pool) cleanly.
+    extra = rng.standard_normal((40, 24)).astype(np.float32)
+    db.add(extra)
+    serial_db.add(extra)
+    result2, _ = db.search(queries, k=5)
+    ref2, _ = serial_db.search(queries, k=5)
+    np.testing.assert_array_equal(result2.ids, ref2.ids)
+
+    # save() round-trips the process backend config.
+    path = tmp_path / "deploy.npz"
+    db.save(path)
+    loaded = HarmonyDB.load(path)
+    assert loaded.config.backend == "process"
+    assert loaded.config.n_workers == 2
+    result3, _ = loaded.search(queries, k=5)
+    np.testing.assert_array_equal(result3.ids, ref2.ids)
+    for handle in (db, serial_db, loaded):
+        handle.close()
+        handle.close()  # idempotent
+
+
+def test_report_metrics_publishes_layout_and_steals():
+    from repro.obs.metrics import report_metrics
+
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((800, 16)).astype(np.float32)
+    queries = rng.standard_normal((8, 16)).astype(np.float32)
+    config = HarmonyConfig(
+        n_machines=2, nlist=8, nprobe=4, backend="process", n_workers=2
+    )
+    db = HarmonyDB(dim=16, config=config)
+    db.build(base, sample_queries=queries)
+    try:
+        _, report = db.search(queries, k=5)
+        registry = report_metrics(report)
+        text = registry.to_prometheus()
+        assert "harmony_layout_bytes" in text
+        assert "harmony_worker_steals_total" in text
+        dumped = registry.to_dict()
+        assert dumped["harmony_layout_bytes"]["series"][0]["value"] > 0
+        steal_series = dumped["harmony_worker_steals_total"]["series"]
+        assert {s["labels"]["worker"] for s in steal_series} == {"0", "1"}
+    finally:
+        db.close()

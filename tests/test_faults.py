@@ -351,7 +351,8 @@ class TestDegradedSearch:
     ):
         def run():
             db = make_db(
-                tiny_data, tiny_queries, degraded_mode=True, replicas=2
+                tiny_data, tiny_queries, backend="sim",
+                degraded_mode=True, replicas=2,
             )
             db.set_fault_schedule(
                 FaultSchedule(
@@ -372,7 +373,10 @@ class TestDegradedSearch:
         assert np.array_equal(rep1.latencies, rep2.latencies)
 
     def test_retries_charge_simulated_time(self, tiny_data, tiny_queries):
-        db = make_db(tiny_data, tiny_queries, degraded_mode=True, replicas=2)
+        db = make_db(
+            tiny_data, tiny_queries, backend="sim",
+            degraded_mode=True, replicas=2,
+        )
         sched = FaultSchedule(
             [
                 FaultEvent(time=0.0, kind="crash", node=0),
@@ -394,6 +398,7 @@ class TestDegradedSearch:
         db = make_db(
             tiny_data,
             tiny_queries,
+            backend="sim",
             replicas=2,
             hedge_latency_threshold=1e-7,  # hedge practically always
         )
@@ -571,7 +576,8 @@ class TestRecovery:
 
     def test_recovery_deterministic(self, tiny_data, tiny_queries):
         def run():
-            db = self._db(tiny_data, tiny_queries)
+            # Returns simulated_seconds: a sim-clock determinism check.
+            db = self._db(tiny_data, tiny_queries, backend="sim")
             manager = db.enable_fault_recovery()
             fail = manager.fail(0, now=0.0)
             _, report = db.search(tiny_queries, k=5)
