@@ -83,6 +83,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "backends (results are bitwise identical either way)",
     )
     run.add_argument(
+        "--scan-precision",
+        default="fp32",
+        choices=["fp32", "sq8"],
+        dest="scan_precision",
+        help="candidate-scan representation: full-precision rows, or "
+        "SQ8 codes with exact float32 re-ranking (byte-identical "
+        "results, a quarter of the scan bandwidth)",
+    )
+    run.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -191,6 +200,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_threads=args.threads,
         n_workers=args.workers,
         batch_queries=not args.no_batch_queries,
+        scan_precision=args.scan_precision,
     )
     print(
         f"dataset {dataset.name}: {dataset.size:,} x {dataset.dim} vectors, "

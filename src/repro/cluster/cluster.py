@@ -39,6 +39,10 @@ class Cluster:
         network: link model shared by all node pairs.
         client_compute_rate: client node rate (defaults to the
             physical, non-derated rate; see ``repro.cluster.node``).
+        memory_bandwidth: per-worker memory bandwidth cap in
+            bytes/second, shared by each node's concurrent scans.
+            ``None`` (the default) keeps workers compute-bound and
+            every existing timing byte-identical.
     """
 
     def __init__(
@@ -49,6 +53,7 @@ class Cluster:
         ),
         network: NetworkModel | None = None,
         client_compute_rate: float | None = None,
+        memory_bandwidth: "float | None" = None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -62,7 +67,11 @@ class Cluster:
                 )
         self.network = network or NetworkModel()
         self.workers = [
-            WorkerNode(node_id=i, compute_rate=rate)
+            WorkerNode(
+                node_id=i,
+                compute_rate=rate,
+                memory_bandwidth=memory_bandwidth,
+            )
             for i, rate in enumerate(rates)
         ]
         self.client = WorkerNode(
@@ -184,14 +193,21 @@ class Cluster:
         return self._fault_schedule.rate_multiplier(node_id, at_time)
 
     def projected_compute_seconds(
-        self, node_id: int, elements: float, at_time: float = 0.0
+        self,
+        node_id: int,
+        elements: float,
+        at_time: float = 0.0,
+        bytes_touched: "float | None" = None,
+        concurrency: int = 1,
     ) -> float:
         """Straggler-aware duration estimate for a compute request.
 
         This is what hedging policies compare against their latency
         threshold before committing to a replica.
         """
-        duration = self.node(node_id).compute_duration(elements)
+        duration = self.node(node_id).compute_duration(
+            elements, bytes_touched=bytes_touched, concurrency=concurrency
+        )
         multiplier = self.rate_multiplier(node_id, at_time)
         if multiplier != 1.0:
             duration /= multiplier
@@ -232,9 +248,18 @@ class Cluster:
             self.tracer.record(None, category, node_id, start, end, **args)
 
     def compute(
-        self, node_id: int, elements: float, earliest: float = 0.0
+        self,
+        node_id: int,
+        elements: float,
+        earliest: float = 0.0,
+        bytes_touched: "float | None" = None,
+        concurrency: int = 1,
     ) -> tuple[float, float]:
         """Charge a distance-kernel computation to a node's timeline.
+
+        ``bytes_touched`` / ``concurrency`` feed the node's optional
+        memory-bandwidth roofline (see ``WorkerNode.compute_duration``);
+        they are ignored on nodes without a bandwidth cap.
 
         Returns the ``(start, end)`` simulated timestamps.
 
@@ -247,7 +272,9 @@ class Cluster:
                 f"worker {node_id} is failed and cannot compute"
             )
         node = self.node(node_id)
-        duration = node.compute_duration(elements)
+        duration = node.compute_duration(
+            elements, bytes_touched=bytes_touched, concurrency=concurrency
+        )
         if self._fault_schedule is not None:
             if self._fault_schedule.is_down(node_id, earliest):
                 raise WorkerUnavailableError(

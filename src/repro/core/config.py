@@ -102,6 +102,18 @@ class HarmonyConfig:
             above which a duplicate request is hedged to a second live
             replica, taking whichever finishes first. ``None`` (the
             default) disables hedging.
+        scan_precision: candidate-generation representation. ``"fp32"``
+            (the default) scans full-precision rows; ``"sq8"`` scans
+            packed uint8 codes with error-padded lossless pruning
+            bounds and re-ranks survivors against float32, returning
+            byte-identical results for a quarter of the scan
+            bandwidth. Honoured by every backend.
+        memory_bandwidth: simulated per-node memory bandwidth cap in
+            bytes/second shared by that node's concurrent scans
+            (``"sim"`` backend only). ``None`` (the default) models
+            compute-bound nodes, leaving existing timings untouched;
+            a finite cap reproduces the bandwidth-contention "more
+            cores hurts" regime that motivates the sq8 path.
     """
 
     n_machines: int = 4
@@ -127,6 +139,8 @@ class HarmonyConfig:
     retry_timeout: float = 2e-4
     max_retries: int = 3
     hedge_latency_threshold: "float | None" = None
+    scan_precision: str = "fp32"
+    memory_bandwidth: "float | None" = None
 
     def __post_init__(self) -> None:
         self.metric = resolve_metric(self.metric)
@@ -186,6 +200,17 @@ class HarmonyConfig:
             raise ValueError(
                 f"hedge_latency_threshold must be positive or None, got "
                 f"{self.hedge_latency_threshold}"
+            )
+        self.scan_precision = str(self.scan_precision).lower()
+        if self.scan_precision not in ("fp32", "sq8"):
+            raise ValueError(
+                f"unknown scan_precision {self.scan_precision!r}; "
+                f"supported precisions: fp32, sq8"
+            )
+        if self.memory_bandwidth is not None and self.memory_bandwidth <= 0:
+            raise ValueError(
+                f"memory_bandwidth must be positive or None, got "
+                f"{self.memory_bandwidth}"
             )
 
     def replace(self, **changes: object) -> "HarmonyConfig":

@@ -48,7 +48,10 @@ class HarmonyDB:
     ) -> None:
         self.config = config or HarmonyConfig()
         if cluster is None:
-            cluster = Cluster(n_workers=self.config.n_machines)
+            cluster = Cluster(
+                n_workers=self.config.n_machines,
+                memory_bandwidth=self.config.memory_bandwidth,
+            )
         if cluster.n_workers < self.config.n_machines:
             raise ValueError(
                 f"config wants {self.config.n_machines} machines but the "
@@ -450,6 +453,8 @@ class HarmonyDB:
                 [int(s) for s in backend.last_steal_counts]
                 if backend.name == "process" else None
             ),
+            rerank_candidates=int(backend.last_rerank_count),
+            code_bytes=backend.code_nbytes(),
         )
         return result, report
 
@@ -475,6 +480,7 @@ class HarmonyDB:
                     prewarm_size=self.config.prewarm_size,
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
+                    scan_precision=self.config.scan_precision,
                 )
             elif self.config.backend == "process":
                 self._host_backend = ProcessBackend(
@@ -484,6 +490,7 @@ class HarmonyDB:
                     prewarm_size=self.config.prewarm_size,
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
+                    scan_precision=self.config.scan_precision,
                 )
             else:
                 self._host_backend = SerialBackend(
@@ -492,6 +499,7 @@ class HarmonyDB:
                     prewarm_size=self.config.prewarm_size,
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
+                    scan_precision=self.config.scan_precision,
                 )
             self._host_backend.tracer = self._tracer
         return self._host_backend
@@ -645,6 +653,8 @@ class HarmonyDB:
                 "retry_timeout": config.retry_timeout,
                 "max_retries": config.max_retries,
                 "hedge_latency_threshold": config.hedge_latency_threshold,
+                "scan_precision": config.scan_precision,
+                "memory_bandwidth": config.memory_bandwidth,
             }
         )
         assignment = np.full(self.index.ntotal, -1, dtype=np.int64)

@@ -85,6 +85,9 @@ class HostBackend(Backend):
             call per query.
         use_packed_base: cache and gather from the shard-major packed
             layout instead of fancy-indexing the full base matrix.
+        scan_precision: ``"fp32"`` or ``"sq8"`` (SQ8 candidate
+            generation with exact float32 re-ranking — byte-identical
+            results, a quarter of the candidate-scan bandwidth).
     """
 
     def __init__(
@@ -95,6 +98,7 @@ class HostBackend(Backend):
         enable_pruning: bool = True,
         batch_queries: bool = True,
         use_packed_base: bool = True,
+        scan_precision: str = "fp32",
     ) -> None:
         if not index.is_trained:
             raise RuntimeError("backend requires a trained index")
@@ -105,12 +109,16 @@ class HostBackend(Backend):
         #: lane per host worker thread. None (default) keeps the
         #: untraced path free of instrumentation.
         self.tracer = None
+        #: Candidates re-ranked against fp32 rows by the most recent
+        #: search() call (always 0 on the fp32 path).
+        self.last_rerank_count = 0
         self.kernel = ScanKernel(
             index,
             self.plan,
             prewarm_size=prewarm_size,
             enable_pruning=enable_pruning,
             use_packed_base=use_packed_base,
+            scan_precision=scan_precision,
         )
 
     @property
@@ -121,6 +129,10 @@ class HostBackend(Backend):
     def enable_pruning(self) -> bool:
         return self.kernel.enable_pruning
 
+    @property
+    def scan_precision(self) -> str:
+        return self.kernel.scan_precision
+
     def layout_nbytes(self) -> int:
         """Resident bytes of the packed shard layout currently cached.
 
@@ -130,6 +142,16 @@ class HostBackend(Backend):
         """
         packed = self.kernel._packed
         return 0 if packed is None else int(packed.nbytes)
+
+    def code_nbytes(self) -> int:
+        """Resident bytes of the packed SQ8 code blocks (0 on fp32).
+
+        Reported as the ``harmony_code_bytes`` gauge — the compact
+        representation candidate scans actually stream on the sq8
+        path, next to ``harmony_layout_bytes`` for the whole layout.
+        """
+        packed = self.kernel._packed
+        return 0 if packed is None else int(packed.codes_nbytes)
 
     def search(
         self,
@@ -152,6 +174,7 @@ class HostBackend(Backend):
         kernel = self.kernel
         tracer = self.tracer
         kernel.tracer = tracer  # per-(shard, slice) wall spans when set
+        rerank_before = kernel.rerank_candidates_total
         queries = kernel.prepare_queries(queries)
         if tracer is None:
             probes = self.index.probe(queries, nprobe)
@@ -166,6 +189,9 @@ class HostBackend(Backend):
                 map_groups=self._traced_group_mapper(),
                 skip_shards=skip_shards,
                 coverage=coverage,
+            )
+            self.last_rerank_count = (
+                kernel.rerank_candidates_total - rerank_before
             )
             return collect_results(heaps, k)
         heaps = [None] * nq
@@ -184,6 +210,9 @@ class HostBackend(Backend):
                     run_query(i)
 
             self._map(traced_query, nq)
+        self.last_rerank_count = (
+            kernel.rerank_candidates_total - rerank_before
+        )
         return collect_results(heaps, k)
 
     @abc.abstractmethod

@@ -39,7 +39,12 @@ import numpy as np
 from repro.core.heap import TopKHeap
 from repro.core.layout import ShardPackedBase
 from repro.core.partition import PartitionPlan
-from repro.core.pruning import ShardGroupScan, ShardScan
+from repro.core.pruning import (
+    ShardGroupScan,
+    ShardScan,
+    SQ8ShardGroupScan,
+    SQ8ShardScan,
+)
 from repro.core.results import SearchResult
 from repro.core.routing import shard_candidate_lists, touched_shards
 from repro.distance.kernels import scores_to_query
@@ -104,6 +109,12 @@ class ScanKernel:
             fancy-indexing the full base matrix per (query, shard).
             The packed copy is invalidated automatically when the
             index's version moves (streaming adds / deletes).
+        scan_precision: ``"fp32"`` scans full-precision rows (the
+            classic path); ``"sq8"`` generates candidates on the
+            packed uint8 representation with error-padded (lossless)
+            pruning bounds, then re-ranks survivors against float32 —
+            results stay bitwise identical to the fp32 path. Requires
+            the packed base layout.
     """
 
     def __init__(
@@ -114,6 +125,7 @@ class ScanKernel:
         prewarm_size: int = 32,
         enable_pruning: bool = True,
         use_packed_base: bool = True,
+        scan_precision: str = "fp32",
     ) -> None:
         if not index.is_trained:
             raise RuntimeError("kernel requires a trained index")
@@ -121,12 +133,28 @@ class ScanKernel:
             raise ValueError(
                 f"prewarm_size must be non-negative, got {prewarm_size}"
             )
+        scan_precision = str(scan_precision).lower()
+        if scan_precision not in ("fp32", "sq8"):
+            raise ValueError(
+                f"unknown scan_precision {scan_precision!r}; "
+                "expected 'fp32' or 'sq8'"
+            )
+        if scan_precision == "sq8" and not use_packed_base:
+            raise ValueError(
+                "scan_precision='sq8' requires the packed base layout"
+            )
         self.index = index
         self.plan = plan
         self.metric = index.metric if metric is None else metric
         self.prewarm_size = prewarm_size
         self.enable_pruning = enable_pruning
         self.use_packed_base = use_packed_base
+        self.scan_precision = scan_precision
+        #: Candidates re-ranked against fp32 rows by completed SQ8
+        #: scans (0 on the fp32 path). Guarded by a lock because the
+        #: thread backend merges survivors concurrently.
+        self.rerank_candidates_total = 0
+        self._rerank_lock = threading.Lock()
         #: Optional repro.obs.Tracer. When set, host execution records a
         #: wall-clock span per (shard, slice) stage; None (default)
         #: keeps the scan loops instrumentation-free.
@@ -159,12 +187,20 @@ class ScanKernel:
         """
         if not self.use_packed_base:
             return None
+        with_codes = self.scan_precision == "sq8"
         packed = self._packed
-        if packed is not None and packed.matches(self.index):
+        if (
+            packed is not None
+            and packed.matches(self.index)
+            and (not with_codes or packed.has_codes)
+        ):
             return packed
         self._refresh_base_norms()
         packed = ShardPackedBase.build(
-            self.index, self.plan, base_slice_norms=self._base_slice_norms
+            self.index,
+            self.plan,
+            base_slice_norms=self._base_slice_norms,
+            with_codes=with_codes,
         )
         self._packed = packed
         return packed
@@ -260,16 +296,28 @@ class ScanKernel:
         shard: int,
         allowed: np.ndarray | None,
     ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None] | None":
-        """One shard's (ids, rows, norms) for a query, or None if empty.
+        """One shard's candidate blocks for a query, or None if empty.
 
-        Uses the packed layout when enabled (contiguous shard-local
-        ranges); otherwise falls back to the legacy full-base gather.
-        Prewarmed ids are excluded via the precomputed boolean mask in
-        both paths.
+        Returns ``(ids, rows, norms)`` on the fp32 path and the
+        6-tuple of :meth:`ShardPackedBase.gather_sq8` on the sq8 path
+        (either way, ``part[0]`` is the global ids). Uses the packed
+        layout when enabled (contiguous shard-local ranges); otherwise
+        falls back to the legacy full-base gather. Prewarmed ids are
+        excluded via the precomputed boolean mask in all paths.
         """
         lists_here = shard_candidate_lists(self.plan, state.probe_row, shard)
         packed = self.packed_base()
         if packed is not None:
+            if self.scan_precision == "sq8":
+                part = packed.gather_sq8(
+                    shard,
+                    lists_here,
+                    allowed=allowed,
+                    exclude=state.prewarmed_mask,
+                )
+                if part[0].size == 0:
+                    return None
+                return part
             ids, rows, norms = packed.gather(
                 shard,
                 lists_here,
@@ -302,6 +350,23 @@ class ScanKernel:
         part = self._gather_candidates(state, int(shard), allowed)
         if part is None:
             return None
+        if self.scan_precision == "sq8":
+            ids, codes, err, norms, rows_full, local = part
+            packed = self.packed_base()
+            return SQ8ShardScan(
+                candidate_ids=ids,
+                query=state.query,
+                slices=self.plan.slices,
+                metric=self.metric,
+                base_slice_norms=norms,
+                codes=codes,
+                code_err=err,
+                code_lo=packed.code_lo,
+                code_scale=packed.code_scale,
+                rows_full=rows_full,
+                local=local,
+                query_norms=state.query_norms,
+            )
         ids, rows, norms = part
         return ShardScan(
             candidate_ids=ids,
@@ -350,7 +415,21 @@ class ScanKernel:
         """
         ids, scores = scan.survivors()
         heap.push_many(scores, ids)
+        self._count_rerank(scan)
         return int(ids.size)
+
+    def _count_rerank(self, scan) -> None:
+        """Accumulate an SQ8 scan's re-rank count (no-op for fp32)."""
+        reranked = getattr(scan, "reranked", 0)
+        if reranked:
+            self._count_rerank_amount(int(reranked))
+
+    def _count_rerank_amount(self, reranked: int) -> None:
+        """Thread-safe add to the lifetime re-rank counter (backends
+        executing scans out-of-kernel — the process pool — report
+        their workers' counts through this)."""
+        with self._rerank_lock:
+            self.rerank_candidates_total += int(reranked)
 
     def run_scan(
         self, scan: ShardScan, heap: TopKHeap, shard: int | None = None
@@ -534,26 +613,49 @@ class ScanKernel:
         locks: "list[threading.Lock] | None",
         shard: int | None = None,
     ) -> None:
+        sq8 = self.scan_precision == "sq8"
         ids = np.concatenate([part[0] for part in parts])
-        rows = [part[1] for part in parts]
         sizes = [part[0].size for part in parts]
         query_of = np.repeat(np.arange(len(states), dtype=np.intp), sizes)
         queries = np.stack([state.query for state in states])
+        norms_at = 3 if sq8 else 2
         base_norms = None
         query_norms = None
         if self.metric is not Metric.L2:
-            base_norms = np.concatenate([part[2] for part in parts], axis=0)
+            base_norms = np.concatenate(
+                [part[norms_at] for part in parts], axis=0
+            )
             query_norms = np.stack([state.query_norms for state in states])
-        scan = ShardGroupScan(
-            rows=rows,
-            ids=ids,
-            query_of=query_of,
-            queries=queries,
-            slices=self.plan.slices,
-            metric=self.metric,
-            base_slice_norms=base_norms,
-            query_norms=query_norms,
-        )
+        if sq8:
+            packed = self.packed_base()
+            scan = SQ8ShardGroupScan(
+                codes=[part[1] for part in parts],
+                ids=ids,
+                query_of=query_of,
+                queries=queries,
+                slices=self.plan.slices,
+                metric=self.metric,
+                base_slice_norms=base_norms,
+                query_norms=query_norms,
+                code_err=np.concatenate(
+                    [part[2] for part in parts], axis=0
+                ),
+                code_lo=packed.code_lo,
+                code_scale=packed.code_scale,
+                rows_full=parts[0][4],
+                local=np.concatenate([part[5] for part in parts]),
+            )
+        else:
+            scan = ShardGroupScan(
+                rows=[part[1] for part in parts],
+                ids=ids,
+                query_of=query_of,
+                queries=queries,
+                slices=self.plan.slices,
+                metric=self.metric,
+                base_slice_norms=base_norms,
+                query_norms=query_norms,
+            )
         tracer = self.tracer
         for block in range(self.plan.n_dim_blocks):
             if scan.n_alive == 0:
@@ -570,6 +672,7 @@ class ScanKernel:
         if scan.n_alive == 0:
             return
         survivor_ids, survivor_scores, survivor_query = scan.survivors()
+        self._count_rerank(scan)
         self._merge_group_survivors(
             states, survivor_ids, survivor_scores, survivor_query, locks
         )

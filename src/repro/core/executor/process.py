@@ -48,7 +48,12 @@ from repro.core.executor.threads import ThreadBackend
 from repro.core.heap import TopKHeap
 from repro.core.layout import SharedShardPackedBase, _attach_shm
 from repro.core.partition import PartitionPlan
-from repro.core.pruning import ShardGroupScan, ShardScan
+from repro.core.pruning import (
+    ShardGroupScan,
+    ShardScan,
+    SQ8ShardGroupScan,
+    SQ8ShardScan,
+)
 from repro.core.results import SearchResult
 from repro.core.routing import shard_candidate_lists
 
@@ -197,29 +202,80 @@ def _filter_prewarmed(ids, rows, norms, prewarm_ids):
     )
 
 
-def _scan_single(layout, plan, metric, ctx, shard, qidx, board):
-    """One (query, shard) scan; returns (scores, ids, n_candidates)."""
+def _gather_task(layout, plan, ctx, shard, qidx):
+    """One (query, shard) candidate gather, precision-aware.
+
+    Returns the per-candidate blocks as a tuple whose head is always
+    ``(ids, ...)`` — the fp32 3-tuple or the sq8 6-tuple — with the
+    prewarm filter applied to every per-candidate array.
+    """
     probes = ctx["probes"][qidx]
     lists_here = shard_candidate_lists(plan, probes, shard)
+    prewarm_ids = ctx["prewarm"][qidx]
+    if ctx.get("scan_precision") == "sq8":
+        ids, codes, err, norms, rows_full, local = layout.gather_sq8(
+            shard, lists_here, allowed=ctx["allowed"], exclude=None
+        )
+        if prewarm_ids.size and ids.size:
+            keep = ~np.isin(ids, prewarm_ids)
+            if not keep.all():
+                ids = ids[keep]
+                codes = codes[keep]
+                err = err[keep]
+                norms = None if norms is None else norms[keep]
+                local = local[keep]
+        return ids, codes, err, norms, rows_full, local
     ids, rows, norms = layout.gather(
         shard, lists_here, allowed=ctx["allowed"], exclude=None
     )
-    ids, rows, norms = _filter_prewarmed(
-        ids, rows, norms, ctx["prewarm"][qidx]
-    )
-    empty = (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), 0)
-    if ids.size == 0:
-        return empty
+    return _filter_prewarmed(ids, rows, norms, prewarm_ids)
+
+
+def _make_worker_scan(layout, plan, metric, ctx, part, qidx):
+    """Build the precision-matched ShardScan for one gathered part."""
     query_norms = ctx["query_norms"]
-    scan = ShardScan(
+    query_norms = None if query_norms is None else query_norms[qidx]
+    if ctx.get("scan_precision") == "sq8":
+        ids, codes, err, norms, rows_full, local = part
+        return SQ8ShardScan(
+            candidate_ids=ids,
+            query=ctx["queries"][qidx],
+            slices=plan.slices,
+            metric=metric,
+            base_slice_norms=norms,
+            codes=codes,
+            code_err=err,
+            code_lo=layout.code_lo,
+            code_scale=layout.code_scale,
+            rows_full=rows_full,
+            local=local,
+            query_norms=query_norms,
+        )
+    ids, rows, norms = part
+    return ShardScan(
         candidate_ids=ids,
         query=ctx["queries"][qidx],
         slices=plan.slices,
         metric=metric,
         base_slice_norms=norms,
         rows=rows,
-        query_norms=None if query_norms is None else query_norms[qidx],
+        query_norms=query_norms,
     )
+
+
+def _scan_single(layout, plan, metric, ctx, shard, qidx, board):
+    """One (query, shard) scan.
+
+    Returns ``(scores, ids, n_candidates, n_reranked)``.
+    """
+    part = _gather_task(layout, plan, ctx, shard, qidx)
+    ids = part[0]
+    empty = (
+        np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64), 0, 0
+    )
+    if ids.size == 0:
+        return empty
+    scan = _make_worker_scan(layout, plan, metric, ctx, part, qidx)
     pruning = ctx["enable_pruning"]
     for block in range(plan.n_dim_blocks):
         if scan.n_alive == 0:
@@ -229,23 +285,26 @@ def _scan_single(layout, plan, metric, ctx, shard, qidx, board):
             scan.prune(float(board[qidx]))
     n_candidates = int(ids.size)
     if scan.n_alive == 0:
-        return empty[0], empty[1], n_candidates
+        return empty[0], empty[1], n_candidates, 0
     sids, sscores = scan.survivors()
     heap = TopKHeap(ctx["k"])
     heap.push_many(sscores, sids)
     scores, out_ids = heap.items_arrays()
-    return scores, out_ids, n_candidates
+    return scores, out_ids, n_candidates, int(getattr(scan, "reranked", 0))
 
 
 def _scan_group(layout, plan, metric, ctx, shard, qidxs, board):
     """One fused (query-group, shard) scan, chunked like the kernel.
 
-    Returns ``[(qidx, scores, ids, n_candidates), ...]`` with one
-    compact local-top-k entry per group member.
+    Returns ``[(qidx, scores, ids, n_candidates, n_reranked), ...]``
+    with one compact local-top-k entry per group member.
     """
     dim = int(ctx["queries"].shape[1])
     max_rows = max(1, GROUP_BLOCK_ELEMENTS // dim)
-    out = {q: [np.empty(0), np.empty(0, dtype=np.int64), 0] for q in qidxs}
+    out = {
+        q: [np.empty(0), np.empty(0, dtype=np.int64), 0, 0] for q in qidxs
+    }
+    sq8 = ctx.get("scan_precision") == "sq8"
 
     chunk_q: list[int] = []
     chunk_parts: list[tuple] = []
@@ -256,25 +315,46 @@ def _scan_group(layout, plan, metric, ctx, shard, qidxs, board):
         if not chunk_q:
             return
         ids = np.concatenate([p[0] for p in chunk_parts])
-        rows = [p[1] for p in chunk_parts]
         sizes = [p[0].size for p in chunk_parts]
         query_of = np.repeat(np.arange(len(chunk_q), dtype=np.intp), sizes)
         queries = ctx["queries"][np.asarray(chunk_q)]
+        norms_at = 3 if sq8 else 2
         base_norms = None
         group_norms = None
         if metric.name != "L2":
-            base_norms = np.concatenate([p[2] for p in chunk_parts], axis=0)
+            base_norms = np.concatenate(
+                [p[norms_at] for p in chunk_parts], axis=0
+            )
             group_norms = ctx["query_norms"][np.asarray(chunk_q)]
-        scan = ShardGroupScan(
-            rows=rows,
-            ids=ids,
-            query_of=query_of,
-            queries=queries,
-            slices=plan.slices,
-            metric=metric,
-            base_slice_norms=base_norms,
-            query_norms=group_norms,
-        )
+        if sq8:
+            scan = SQ8ShardGroupScan(
+                codes=[p[1] for p in chunk_parts],
+                ids=ids,
+                query_of=query_of,
+                queries=queries,
+                slices=plan.slices,
+                metric=metric,
+                base_slice_norms=base_norms,
+                query_norms=group_norms,
+                code_err=np.concatenate(
+                    [p[2] for p in chunk_parts], axis=0
+                ),
+                code_lo=layout.code_lo,
+                code_scale=layout.code_scale,
+                rows_full=chunk_parts[0][4],
+                local=np.concatenate([p[5] for p in chunk_parts]),
+            )
+        else:
+            scan = ShardGroupScan(
+                rows=[p[1] for p in chunk_parts],
+                ids=ids,
+                query_of=query_of,
+                queries=queries,
+                slices=plan.slices,
+                metric=metric,
+                base_slice_norms=base_norms,
+                query_norms=group_norms,
+            )
         pruning = ctx["enable_pruning"]
         q_arr = np.asarray(chunk_q)
         for block in range(plan.n_dim_blocks):
@@ -293,26 +373,25 @@ def _scan_group(layout, plan, metric, ctx, shard, qidxs, board):
                     scores, out_ids = heap.items_arrays()
                     out[qidx][0] = scores
                     out[qidx][1] = out_ids
+                    if sq8:
+                        out[qidx][3] = int(mask.sum())
         chunk_q, chunk_parts, chunk_rows = [], [], 0
 
     for qidx in qidxs:
-        lists_here = shard_candidate_lists(plan, ctx["probes"][qidx], shard)
-        ids, rows, norms = layout.gather(
-            shard, lists_here, allowed=ctx["allowed"], exclude=None
-        )
-        ids, rows, norms = _filter_prewarmed(
-            ids, rows, norms, ctx["prewarm"][qidx]
-        )
+        part = _gather_task(layout, plan, ctx, shard, qidx)
+        ids = part[0]
         if ids.size == 0:
             continue
         out[qidx][2] = int(ids.size)
         chunk_q.append(qidx)
-        chunk_parts.append((ids, rows, norms))
+        chunk_parts.append(part)
         chunk_rows += int(ids.size)
         if chunk_rows >= max_rows:
             flush()
     flush()
-    return [(q, out[q][0], out[q][1], out[q][2]) for q in qidxs]
+    return [
+        (q, out[q][0], out[q][1], out[q][2], out[q][3]) for q in qidxs
+    ]
 
 
 def _worker_main(
@@ -433,6 +512,7 @@ class ProcessBackend(ThreadBackend):
         enable_pruning: bool = True,
         batch_queries: bool = True,
         use_packed_base: bool = True,
+        scan_precision: str = "fp32",
     ) -> None:
         if n_workers is not None and n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -444,6 +524,7 @@ class ProcessBackend(ThreadBackend):
             enable_pruning=enable_pruning,
             batch_queries=batch_queries,
             use_packed_base=True,
+            scan_precision=scan_precision,
         )
         self.n_workers = (
             int(n_workers) if n_workers is not None
@@ -494,7 +575,11 @@ class ProcessBackend(ThreadBackend):
     def _refresh_shared_layout(self) -> SharedShardPackedBase:
         """(Re)build the shared segment when the index version moved."""
         layout = self._shared_layout
-        if layout is not None and layout.matches(self.index):
+        if (
+            layout is not None
+            and layout.matches(self.index)
+            and (self.scan_precision != "sq8" or layout.has_codes)
+        ):
             return layout
         packed = self.kernel.packed_base()
         shared = SharedShardPackedBase.from_packed(packed)
@@ -678,6 +763,7 @@ class ProcessBackend(ThreadBackend):
         kernel = self.kernel
         tracer = self.tracer
         kernel.tracer = None  # worker spans are recorded from timings
+        rerank_before = kernel.rerank_candidates_total
         queries = kernel.prepare_queries(queries)
         nq = queries.shape[0]
         if tracer is None:
@@ -722,6 +808,9 @@ class ProcessBackend(ThreadBackend):
             )
         if coverage is not None and local_cov is not None:
             coverage += local_cov
+        self.last_rerank_count = (
+            kernel.rerank_candidates_total - rerank_before
+        )
         return collect_results([state.heap for state in states], k)
 
     def _dispatch_batch(
@@ -753,6 +842,7 @@ class ProcessBackend(ThreadBackend):
             "allowed": allowed,
             "k": k,
             "enable_pruning": self.enable_pruning,
+            "scan_precision": self.scan_precision,
         }
         try:
             for q in self._cmd_queues:
@@ -800,9 +890,11 @@ class ProcessBackend(ThreadBackend):
             if task_id in seen:
                 continue
             seen.add(task_id)
-            for qidx, scores, ids, n_candidates in payload:
+            for qidx, scores, ids, n_candidates, n_reranked in payload:
                 if local_cov is not None:
                     local_cov[qidx, :] += int(n_candidates)
+                if n_reranked:
+                    self.kernel._count_rerank_amount(int(n_reranked))
                 if len(scores):
                     heap = states[qidx].heap
                     heap.push_many(scores, ids)

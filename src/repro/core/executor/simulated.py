@@ -52,6 +52,8 @@ class SimulatedBackend(Backend):
         config: HarmonyConfig | None = None,
         prewarm_size: int = 32,
         enable_pruning: bool = True,
+        scan_precision: str = "fp32",
+        memory_bandwidth: "float | None" = None,
     ) -> None:
         from repro.core.pipeline import PipelineEngine
 
@@ -64,9 +66,14 @@ class SimulatedBackend(Backend):
                 metric=index.metric,
                 prewarm_size=prewarm_size,
                 enable_pruning=enable_pruning,
+                scan_precision=scan_precision,
+                memory_bandwidth=memory_bandwidth,
             )
         if cluster is None:
-            cluster = Cluster(n_workers=plan.n_machines)
+            cluster = Cluster(
+                n_workers=plan.n_machines,
+                memory_bandwidth=config.memory_bandwidth,
+            )
         self.index = index
         self.plan = plan
         self.cluster = cluster

@@ -56,6 +56,7 @@ class ThreadBackend(HostBackend):
         enable_pruning: bool = True,
         batch_queries: bool = True,
         use_packed_base: bool = True,
+        scan_precision: str = "fp32",
     ) -> None:
         if n_threads is not None and n_threads <= 0:
             raise ValueError(f"n_threads must be positive, got {n_threads}")
@@ -66,6 +67,7 @@ class ThreadBackend(HostBackend):
             enable_pruning=enable_pruning,
             batch_queries=batch_queries,
             use_packed_base=use_packed_base,
+            scan_precision=scan_precision,
         )
         self.n_threads = n_threads
         self._pool: ThreadPoolExecutor | None = None

@@ -22,6 +22,63 @@ import numpy as np
 
 from repro.core.partition import PartitionPlan
 
+#: Smallest admissible per-dimension quantization step. Constant
+#: columns have zero span; without the clamp encode would divide by a
+#: zero (or denormal) scale. Any positive step is exact for them:
+#: every code lands on 0 and decodes back to ``lo``.
+SQ8_SCALE_EPS = 1e-12
+
+
+def sq8_train_params(base: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-dimension ``(lo, scale)`` for uint8 scalar quantization."""
+    if base.shape[0] == 0:
+        dim = base.shape[1]
+        return np.zeros(dim, dtype=np.float64), np.ones(dim, dtype=np.float64)
+    lo = base.min(axis=0).astype(np.float64)
+    hi = base.max(axis=0).astype(np.float64)
+    scale = np.maximum((hi - lo) / 255.0, SQ8_SCALE_EPS)
+    return lo, scale
+
+
+def sq8_encode(
+    rows: np.ndarray, lo: np.ndarray, scale: np.ndarray
+) -> np.ndarray:
+    """Quantize float rows to uint8 codes."""
+    codes = np.rint((rows.astype(np.float64) - lo) / scale)
+    return np.clip(codes, 0, 255).astype(np.uint8)
+
+
+def sq8_decode(
+    codes: np.ndarray, lo: np.ndarray, scale: np.ndarray
+) -> np.ndarray:
+    """Float64 reconstruction; scans must decode with this exact
+    arithmetic so the packed error table keeps bounding them."""
+    return codes.astype(np.float64) * scale + lo
+
+
+def sq8_slice_errors(
+    rows: np.ndarray,
+    codes: np.ndarray,
+    lo: np.ndarray,
+    scale: np.ndarray,
+    slices,
+) -> np.ndarray:
+    """Per-row per-slice reconstruction-error norms, rounded *up*.
+
+    ``err[r, s] >= || rows[r, slice_s] - decode(codes[r, slice_s]) ||``
+    is the padding that keeps SQ8 pruning bounds lossless. The float32
+    cast rounds to nearest (at most half an ulp down), so one
+    ``nextafter`` bump toward +inf guarantees the stored value is never
+    below the float64 norm.
+    """
+    diff = rows.astype(np.float64) - sq8_decode(codes, lo, scale)
+    err = np.empty((rows.shape[0], slices.n_slices), dtype=np.float64)
+    for j in range(slices.n_slices):
+        start, stop = slices.slice_range(j)
+        seg = diff[:, start:stop]
+        err[:, j] = np.sqrt(np.einsum("ij,ij->i", seg, seg))
+    return np.nextafter(err.astype(np.float32), np.float32(np.inf))
+
 
 def _attach_shm(name: str):
     """Attach an existing segment without resource-tracker tracking.
@@ -65,6 +122,10 @@ class ShardPackedBase:
         list_stop: np.ndarray,
         version: int,
         ntotal: int,
+        codes: "list[np.ndarray | None] | None" = None,
+        code_err: "list[np.ndarray | None] | None" = None,
+        code_lo: np.ndarray | None = None,
+        code_scale: np.ndarray | None = None,
     ) -> None:
         self._rows = rows
         self._ids = ids
@@ -73,6 +134,12 @@ class ShardPackedBase:
         self._list_stop = list_stop
         self.version = version
         self.ntotal = ntotal
+        self._codes = codes if codes is not None else [None] * len(rows)
+        self._code_err = (
+            code_err if code_err is not None else [None] * len(rows)
+        )
+        self._code_lo = code_lo
+        self._code_scale = code_scale
 
     @classmethod
     def build(
@@ -80,6 +147,7 @@ class ShardPackedBase:
         index: "IVFFlatIndex",
         plan: PartitionPlan,
         base_slice_norms: np.ndarray | None = None,
+        with_codes: bool = False,
     ) -> "ShardPackedBase":
         """Pack every shard's live list members into contiguous arrays.
 
@@ -89,11 +157,21 @@ class ShardPackedBase:
             base_slice_norms: the kernel's per-slice norm table (IP
                 metrics); packed alongside the rows so scans never
                 index the full table again.
+            with_codes: also pack the SQ8 representation — per-shard
+                uint8 codes plus the per-row per-slice reconstruction-
+                error table that pads the pruning bounds. Quantization
+                params are trained on the live base at build time and
+                re-homed / invalidated with everything else.
         """
         base = index.base
         rows: list[np.ndarray] = []
         ids: list[np.ndarray] = []
         norms: list[np.ndarray | None] = []
+        codes: "list[np.ndarray | None]" = []
+        code_err: "list[np.ndarray | None]" = []
+        code_lo = code_scale = None
+        if with_codes:
+            code_lo, code_scale = sq8_train_params(base)
         list_start = np.zeros(index.nlist, dtype=np.int64)
         list_stop = np.zeros(index.nlist, dtype=np.int64)
         for shard in range(plan.n_vector_shards):
@@ -109,13 +187,26 @@ class ShardPackedBase:
             else:
                 shard_ids = np.empty(0, dtype=np.int64)
             ids.append(shard_ids)
-            rows.append(np.ascontiguousarray(base[shard_ids]))
+            shard_rows = np.ascontiguousarray(base[shard_ids])
+            rows.append(shard_rows)
             if base_slice_norms is None:
                 norms.append(None)
             else:
                 norms.append(
                     np.ascontiguousarray(base_slice_norms[shard_ids])
                 )
+            if with_codes:
+                shard_codes = sq8_encode(shard_rows, code_lo, code_scale)
+                codes.append(shard_codes)
+                code_err.append(
+                    sq8_slice_errors(
+                        shard_rows, shard_codes, code_lo, code_scale,
+                        plan.slices,
+                    )
+                )
+            else:
+                codes.append(None)
+                code_err.append(None)
         return cls(
             rows=rows,
             ids=ids,
@@ -124,6 +215,10 @@ class ShardPackedBase:
             list_stop=list_stop,
             version=index.version,
             ntotal=index.ntotal,
+            codes=codes,
+            code_err=code_err,
+            code_lo=code_lo,
+            code_scale=code_scale,
         )
 
     def matches(self, index: "IVFFlatIndex") -> bool:
@@ -144,11 +239,59 @@ class ShardPackedBase:
     def nbytes(self) -> int:
         """Total bytes held by the packed arrays."""
         total = 0
-        for arrays in (self._rows, self._ids, self._norms):
+        for arrays in (
+            self._rows, self._ids, self._norms, self._codes, self._code_err
+        ):
             for arr in arrays:
                 if arr is not None:
                     total += arr.nbytes
         total += self._list_start.nbytes + self._list_stop.nbytes
+        for arr in (self._code_lo, self._code_scale):
+            if arr is not None:
+                total += arr.nbytes
+        return int(total)
+
+    @property
+    def has_codes(self) -> bool:
+        """True when the SQ8 representation was packed alongside rows."""
+        return (
+            self._code_lo is not None
+            and self._code_scale is not None
+            and all(c is not None for c in self._codes)
+            and all(e is not None for e in self._code_err)
+        )
+
+    @property
+    def code_lo(self) -> np.ndarray | None:
+        """Per-dimension dequantization offset (float64)."""
+        return self._code_lo
+
+    @property
+    def code_scale(self) -> np.ndarray | None:
+        """Per-dimension dequantization step (float64, positive)."""
+        return self._code_scale
+
+    @property
+    def rows_nbytes(self) -> int:
+        """Bytes of the float32 row blocks alone."""
+        return int(sum(arr.nbytes for arr in self._rows))
+
+    @property
+    def codes_nbytes(self) -> int:
+        """Bytes of the uint8 code blocks alone (0 without codes)."""
+        return int(
+            sum(arr.nbytes for arr in self._codes if arr is not None)
+        )
+
+    @property
+    def code_overhead_nbytes(self) -> int:
+        """Bytes of the SQ8 side tables (error norms + dequant params)."""
+        total = sum(
+            arr.nbytes for arr in self._code_err if arr is not None
+        )
+        for arr in (self._code_lo, self._code_scale):
+            if arr is not None:
+                total += arr.nbytes
         return int(total)
 
     def gather(
@@ -204,6 +347,64 @@ class ShardPackedBase:
         norms = None if shard_norms is None else shard_norms[local]
         return ids, rows, norms
 
+    def gather_sq8(
+        self,
+        shard: int,
+        lists: np.ndarray,
+        allowed: np.ndarray | None = None,
+        exclude: np.ndarray | None = None,
+    ) -> tuple:
+        """SQ8 candidate blocks plus a lazy handle on the exact rows.
+
+        The SQ8 sibling of :meth:`gather`: the scan reads the compact
+        uint8 representation, and only the few candidates that survive
+        pruning ever touch float32 — via ``rows_full[local]`` at
+        re-rank time.
+
+        Returns:
+            ``(ids, codes, err, norms, rows_full, local)`` — global
+            ids, fresh uint8 code and float32 error-norm blocks, the
+            per-slice norm block (None for L2), the shard's *full*
+            float32 row array (not copied), and each candidate's row
+            index into it.
+        """
+        if not self.has_codes:
+            raise RuntimeError("layout was packed without SQ8 codes")
+        shard_ids = self._ids[shard]
+        parts = []
+        for list_id in np.asarray(lists, dtype=np.int64):
+            start = self._list_start[list_id]
+            stop = self._list_stop[list_id]
+            if stop > start:
+                parts.append(np.arange(start, stop, dtype=np.intp))
+        rows_full = self._rows[shard]
+        if not parts:
+            n_slices = self._code_err[shard].shape[1]
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty((0, rows_full.shape[1]), dtype=np.uint8),
+                np.empty((0, n_slices), dtype=np.float32),
+                None,
+                rows_full,
+                np.empty(0, dtype=np.intp),
+            )
+        local = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        ids = shard_ids[local]
+        if allowed is not None or exclude is not None:
+            mask = np.ones(ids.size, dtype=bool)
+            if allowed is not None:
+                mask &= allowed[ids]
+            if exclude is not None:
+                mask &= ~exclude[ids]
+            if not mask.all():
+                local = local[mask]
+                ids = ids[mask]
+        codes = self._codes[shard][local]
+        err = self._code_err[shard][local]
+        shard_norms = self._norms[shard]
+        norms = None if shard_norms is None else shard_norms[local]
+        return ids, codes, err, norms, rows_full, local
+
 
 class SharedShardPackedBase(ShardPackedBase):
     """A :class:`ShardPackedBase` whose arrays live in shared memory.
@@ -244,8 +445,14 @@ class SharedShardPackedBase(ShardPackedBase):
             arrays.append((f"ids{shard}", packed._ids[shard]))
             if packed._norms[shard] is not None:
                 arrays.append((f"norms{shard}", packed._norms[shard]))
+            if packed._codes[shard] is not None:
+                arrays.append((f"codes{shard}", packed._codes[shard]))
+                arrays.append((f"code_err{shard}", packed._code_err[shard]))
         arrays.append(("list_start", packed._list_start))
         arrays.append(("list_stop", packed._list_stop))
+        if packed._code_lo is not None:
+            arrays.append(("code_lo", packed._code_lo))
+            arrays.append(("code_scale", packed._code_scale))
 
         total = sum(arr.nbytes for _, arr in arrays)
         shm = shared_memory.SharedMemory(create=True, size=max(1, total))
@@ -271,6 +478,14 @@ class SharedShardPackedBase(ShardPackedBase):
             list_stop=views["list_stop"],
             version=packed.version,
             ntotal=packed.ntotal,
+            codes=[
+                views.get(f"codes{s}") for s in range(packed.n_shards)
+            ],
+            code_err=[
+                views.get(f"code_err{s}") for s in range(packed.n_shards)
+            ],
+            code_lo=views.get("code_lo"),
+            code_scale=views.get("code_scale"),
             shm=shm,
             owner=True,
         )
@@ -283,10 +498,13 @@ class SharedShardPackedBase(ShardPackedBase):
         index: "IVFFlatIndex",
         plan: PartitionPlan,
         base_slice_norms: np.ndarray | None = None,
+        with_codes: bool = False,
     ) -> "SharedShardPackedBase":
         """Pack straight into shared memory (build + re-home)."""
         packed = ShardPackedBase.build(
-            index, plan, base_slice_norms=base_slice_norms
+            index, plan,
+            base_slice_norms=base_slice_norms,
+            with_codes=with_codes,
         )
         return cls.from_packed(packed)
 
@@ -327,6 +545,10 @@ class SharedShardPackedBase(ShardPackedBase):
             list_stop=view("list_stop"),
             version=manifest["version"],
             ntotal=manifest["ntotal"],
+            codes=[view(f"codes{s}") for s in range(n_shards)],
+            code_err=[view(f"code_err{s}") for s in range(n_shards)],
+            code_lo=view("code_lo"),
+            code_scale=view("code_scale"),
             shm=shm,
             owner=False,
         )
@@ -343,7 +565,9 @@ class SharedShardPackedBase(ShardPackedBase):
         """Drop this process's mapping (views become invalid)."""
         shm, self._shm = self._shm, None
         self._rows = self._ids = self._norms = []  # release buffer refs
+        self._codes = self._code_err = []
         self._list_start = self._list_stop = None
+        self._code_lo = self._code_scale = None
         if shm is not None:
             try:
                 shm.close()

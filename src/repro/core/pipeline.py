@@ -174,6 +174,13 @@ class PipelineEngine:
             metric=config.metric,
             prewarm_size=config.prewarm_size,
             enable_pruning=config.enable_pruning,
+            scan_precision=config.scan_precision,
+        )
+        #: Bytes each scanned element streams through a worker's memory
+        #: system: 1-byte SQ8 codes vs 4-byte fp32 rows. Feeds the
+        #: optional bandwidth roofline in ``Cluster.compute``.
+        self._scan_bytes_per_element = (
+            1 if config.scan_precision == "sq8" else 4
         )
 
     # ------------------------------------------------------------------
@@ -209,6 +216,11 @@ class PipelineEngine:
             shard_rows = int(sizes[plan.lists_of_shard(shard)].sum())
             for block in range(plan.n_dim_blocks):
                 block_bytes = shard_rows * widths[block] * 4
+                if self.config.scan_precision == "sq8":
+                    # Dual representation: uint8 codes ride alongside
+                    # the fp32 rows (scans stream the codes; survivors
+                    # re-rank against the full-precision block).
+                    block_bytes += shard_rows * widths[block]
                 id_bytes = shard_rows * 8
                 nbytes = block_bytes + id_bytes
                 restructure = 0.0
@@ -314,6 +326,7 @@ class PipelineEngine:
         stats = PruningStats(plan.n_dim_blocks)
         heaps: list[TopKHeap] = []
         states: list[_ScanState] = []
+        rerank_before = self.kernel.rerank_candidates_total
         self._query_submit = np.zeros(nq, dtype=np.float64)
         self._query_complete = np.zeros(nq, dtype=np.float64)
         self._fault_stats = FaultStats()
@@ -426,6 +439,14 @@ class PipelineEngine:
             ),
             degraded=degraded,
             trace=tracer.trace() if tracer is not None else None,
+            rerank_candidates=(
+                self.kernel.rerank_candidates_total - rerank_before
+            ),
+            code_bytes=(
+                int(self.kernel._packed.codes_nbytes)
+                if self.kernel._packed is not None
+                else 0
+            ),
         )
         return result, report
 
@@ -591,7 +612,13 @@ class PipelineEngine:
         return min(options, key=lambda m: (self._dispatch_loads[m], m))
 
     def _robust_compute(
-        self, state: _ScanState, block: int, elements: float, ready: float
+        self,
+        state: _ScanState,
+        block: int,
+        elements: float,
+        ready: float,
+        bytes_touched: "float | None" = None,
+        concurrency: int = 1,
     ) -> "tuple[int, float] | tuple[None, None]":
         """Fault-tolerant replacement for one ``cluster.compute`` call.
 
@@ -619,7 +646,8 @@ class PipelineEngine:
             if (
                 config.hedge_latency_threshold is not None
                 and cluster.projected_compute_seconds(
-                    machine, elements, at_time=clock
+                    machine, elements, at_time=clock,
+                    bytes_touched=bytes_touched, concurrency=concurrency,
                 )
                 > config.hedge_latency_threshold
             ):
@@ -638,13 +666,18 @@ class PipelineEngine:
                         )
                         try:
                             _, hedge_end = cluster.compute(
-                                hedge_machine, elements, earliest=chunk
+                                hedge_machine, elements, earliest=chunk,
+                                bytes_touched=bytes_touched,
+                                concurrency=concurrency,
                             )
                             fstats.hedges += 1
                         except WorkerUnavailableError:
                             hedge_end = None
             try:
-                _, end = cluster.compute(machine, elements, earliest=clock)
+                _, end = cluster.compute(
+                    machine, elements, earliest=clock,
+                    bytes_touched=bytes_touched, concurrency=concurrency,
+                )
             except WorkerUnavailableError:
                 end = None
             if end is not None:
@@ -776,6 +809,11 @@ class PipelineEngine:
         # actually processed (pruning shrinks later stages).
         processed = self.kernel.step(scan, state.heap, block)
         elements = processed * widths[block]
+        # Memory-bandwidth roofline inputs: the bytes this scan streams
+        # (codes on sq8, fp32 rows otherwise) and how many in-flight
+        # scans currently share the machine's memory system.
+        bytes_touched = elements * self._scan_bytes_per_element
+        concurrency = max(1, len(self._inflight.get(machine, ())))
         with trace_context(
             tracer, "scan",
             query=qidx, shard=state.shard, block=block,
@@ -787,10 +825,14 @@ class PipelineEngine:
                 cluster.fault_schedule is None
                 and config.hedge_latency_threshold is None
             ):
-                _, end = cluster.compute(machine, elements, earliest=ready)
+                _, end = cluster.compute(
+                    machine, elements, earliest=ready,
+                    bytes_touched=bytes_touched, concurrency=concurrency,
+                )
             else:
                 machine, end = self._robust_compute(
-                    state, block, elements, ready
+                    state, block, elements, ready,
+                    bytes_touched=bytes_touched, concurrency=concurrency,
                 )
         if machine is None:
             self._abandon_scan(state)

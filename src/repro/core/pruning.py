@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.layout import sq8_decode
 from repro.distance.metrics import Metric
 from repro.distance.partial import (
     BOUND_ABS_EPS,
@@ -423,15 +424,305 @@ class ShardGroupScan:
                 self._alive_parts[q] = np.flatnonzero(seg)
             else:
                 self._alive_parts[q] = alive[seg]
+        self._compact_dense(keep)
+        return killed
+
+    def _compact_dense(self, keep: np.ndarray) -> None:
+        """Compact the dense per-row bookkeeping arrays to ``keep``."""
         self.ids = self.ids[keep]
         self.query_of = self.query_of[keep]
         self.accumulated = self.accumulated[keep]
         if self._suffix is not None:
             self._suffix = self._suffix[keep]
-        return killed
 
     def survivors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(ids, final scores, owning query) of surviving rows."""
         if not self.is_complete:
             raise RuntimeError("scan has unprocessed slices")
         return self.ids, self.accumulated, self.query_of
+
+
+class SQ8ShardScan(ShardScan):
+    """Two-phase scan: SQ8 candidate generation, exact fp32 re-rank.
+
+    Phase one walks the *uint8* representation through the dimension
+    pipeline — a quarter of the float32 row traffic — accumulating
+    per-slice partial scores that are *padded down* by the packed
+    reconstruction-error norms, so every accumulated value lower-bounds
+    the exact score and pruning stays lossless: any candidate the fp32
+    scan would keep, this scan keeps too. Phase two
+    (:meth:`survivors`) re-ranks the few remaining candidates against
+    their float32 rows with the canonical per-slice kernels in
+    canonical slice order — the same per-row float64 reduction the
+    fp32 path runs — so final scores (and therefore heap contents) are
+    bitwise identical to the fp32 serial oracle.
+
+    Padding: for L2 each slice contributes
+    ``max(0, sqrt(approx) - err)**2`` (reverse triangle inequality);
+    for the inner-product family ``approx - ||q_s|| * err`` bounds the
+    quantization cross-term by Cauchy-Schwarz. The error norms were
+    rounded *up* at pack time, and :meth:`lower_bounds` deflates once
+    more by the standard float-safety epsilons, so float rounding can
+    never flip a keep into a kill.
+
+    Args:
+        codes: pre-gathered uint8 candidate codes ``(n, dim)``.
+        code_err: per-candidate per-slice error norms ``(n, m)``.
+        code_lo / code_scale: per-dimension dequantization params.
+        rows_full: the shard's full float32 row block (not copied);
+            survivors re-rank via ``rows_full[local]``.
+        local: each candidate's row index into ``rows_full``.
+
+    Remaining arguments match :class:`ShardScan`.
+    """
+
+    def __init__(
+        self,
+        candidate_ids: np.ndarray | None = None,
+        query: np.ndarray | None = None,
+        slices: DimensionSlices | None = None,
+        metric: Metric = Metric.L2,
+        base_slice_norms: np.ndarray | None = None,
+        codes: np.ndarray | None = None,
+        code_err: np.ndarray | None = None,
+        code_lo: np.ndarray | None = None,
+        code_scale: np.ndarray | None = None,
+        rows_full: np.ndarray | None = None,
+        local: np.ndarray | None = None,
+        query_norms: np.ndarray | None = None,
+    ) -> None:
+        if codes is None or code_err is None or rows_full is None:
+            raise ValueError("SQ8 scan requires codes, code_err, rows_full")
+        # The uint8 codes ride in the parent's row slot: compaction and
+        # slice addressing are identical, only the per-slice arithmetic
+        # (overridden below) differs.
+        super().__init__(
+            candidate_ids=candidate_ids,
+            query=query,
+            slices=slices,
+            metric=metric,
+            base_slice_norms=base_slice_norms,
+            rows=codes,
+            query_norms=query_norms,
+        )
+        self._err = np.asarray(code_err, dtype=np.float64)
+        self._code_lo = np.asarray(code_lo, dtype=np.float64)
+        self._code_scale = np.asarray(code_scale, dtype=np.float64)
+        self._rows_full = rows_full
+        self._local = np.asarray(local, dtype=np.intp)
+        if metric is Metric.L2:
+            self._qnorms64 = None
+        else:
+            if query_norms is None:
+                query_norms = query_slice_norms(self.query, slices)
+            self._qnorms64 = np.asarray(query_norms, dtype=np.float64)
+        #: Candidates re-ranked against fp32 by the last survivors()
+        #: call (the harmony_rerank_candidates_total metric).
+        self.reranked = 0
+
+    def process_slice(self, slice_id: int) -> int:
+        """Accumulate one slice's error-padded SQ8 partial scores."""
+        if self._done_mask[slice_id]:
+            raise ValueError(f"slice {slice_id} already processed")
+        n = self.ids.size
+        if n:
+            start, stop = self.slices.slice_range(slice_id)
+            decoded = sq8_decode(
+                self._rows[:, start:stop],
+                self._code_lo[start:stop],
+                self._code_scale[start:stop],
+            )
+            q_slice = self.query[start:stop]
+            err = self._err[:, slice_id]
+            if self.metric is Metric.L2:
+                approx = partial_squared_l2(decoded, q_slice)
+                padded = np.square(
+                    np.maximum(np.sqrt(approx) - err, 0.0)
+                )
+            else:
+                approx = -partial_inner_product(decoded, q_slice)
+                padded = approx - self._qnorms64[slice_id] * err
+            self.accumulated += padded
+        if slice_id != len(self.done):
+            self._canonical = False
+        self.done.append(slice_id)
+        self._done_mask[slice_id] = True
+        return int(n)
+
+    def lower_bounds(self) -> np.ndarray:
+        """Error-padded bounds, deflated once more for float safety."""
+        raw = super().lower_bounds()
+        return raw - (np.abs(raw) * BOUND_REL_EPS + BOUND_ABS_EPS)
+
+    def _compact(self, keep: np.ndarray) -> int:
+        killed = super()._compact(keep)
+        self._err = self._err[keep]
+        self._local = self._local[keep]
+        return killed
+
+    def survivors(self) -> tuple[np.ndarray, np.ndarray]:
+        """(ids, *exact* scores): re-rank survivors against fp32 rows.
+
+        Gathers only the surviving rows from the shard's float32 block
+        and accumulates the canonical per-slice kernels in canonical
+        slice order — bitwise the scores the fp32 scan reports.
+        """
+        if not self.is_complete:
+            raise RuntimeError("scan has unprocessed slices")
+        n = self.ids.size
+        self.reranked = int(n)
+        exact = np.zeros(n, dtype=np.float64)
+        if n:
+            rows = self._rows_full[self._local]
+            for slice_id in range(self.slices.n_slices):
+                start, stop = self.slices.slice_range(slice_id)
+                seg = rows[:, start:stop]
+                q_slice = self.query[start:stop]
+                if self.metric is Metric.L2:
+                    exact += partial_squared_l2(seg, q_slice)
+                else:
+                    exact += -partial_inner_product(seg, q_slice)
+        return self.ids, exact
+
+
+class SQ8ShardGroupScan(ShardGroupScan):
+    """Fused multi-query SQ8 scan (batched sibling of SQ8ShardScan).
+
+    Phase one advances every group member's uint8 codes through each
+    (shard, slice) stage with the same error-padded arithmetic as
+    :class:`SQ8ShardScan`; phase two re-ranks each query's survivors
+    against the shard's float32 rows in canonical slice order, so the
+    merged heaps stay bitwise identical to the fp32 serial oracle.
+
+    Args:
+        codes: per-query uint8 code blocks (list, one per query).
+        code_err: concatenated per-row per-slice error norms ``(n, m)``.
+        code_lo / code_scale: per-dimension dequantization params.
+        rows_full: the shard's full float32 row block (all queries in a
+            group scan the same shard, so one block serves the group).
+        local: concatenated row indices into ``rows_full``, ``(n,)``.
+
+    Remaining arguments match :class:`ShardGroupScan`.
+    """
+
+    def __init__(
+        self,
+        codes: "list[np.ndarray]",
+        ids: np.ndarray,
+        query_of: np.ndarray,
+        queries: np.ndarray,
+        slices: DimensionSlices,
+        metric: Metric = Metric.L2,
+        base_slice_norms: np.ndarray | None = None,
+        query_norms: np.ndarray | None = None,
+        code_err: np.ndarray | None = None,
+        code_lo: np.ndarray | None = None,
+        code_scale: np.ndarray | None = None,
+        rows_full: np.ndarray | None = None,
+        local: np.ndarray | None = None,
+    ) -> None:
+        if code_err is None or rows_full is None or local is None:
+            raise ValueError(
+                "SQ8 group scan requires code_err, rows_full, local"
+            )
+        super().__init__(
+            rows=codes,
+            ids=ids,
+            query_of=query_of,
+            queries=queries,
+            slices=slices,
+            metric=metric,
+            base_slice_norms=base_slice_norms,
+            query_norms=query_norms,
+        )
+        self._err = np.asarray(code_err, dtype=np.float64)
+        self._code_lo = np.asarray(code_lo, dtype=np.float64)
+        self._code_scale = np.asarray(code_scale, dtype=np.float64)
+        self._rows_full = rows_full
+        self._local = np.asarray(local, dtype=np.intp)
+        if metric is Metric.L2:
+            self._qnorms64 = None
+        else:
+            self._qnorms64 = np.asarray(query_norms, dtype=np.float64)
+        self.reranked = 0
+
+    def process_slice(self, slice_id: int) -> int:
+        """One error-padded SQ8 dimension stage over the whole group."""
+        if self._done_mask[slice_id]:
+            raise ValueError(f"slice {slice_id} already processed")
+        n = self.ids.size
+        if n:
+            start, stop = self.slices.slice_range(slice_id)
+            lo = self._code_lo[start:stop]
+            scale = self._code_scale[start:stop]
+            err_col = self._err[:, slice_id]
+            partial = np.empty(n, dtype=np.float64)
+            pos = 0
+            for q in range(self.n_queries):
+                size = self._alive_size(q)
+                if size == 0:
+                    continue
+                alive = self._alive_parts[q]
+                part = self._row_parts[q]
+                if alive is None:
+                    code_block = part[:, start:stop]
+                else:
+                    code_block = part[alive, start:stop]
+                decoded = sq8_decode(code_block, lo, scale)
+                q_slice = self.queries[q, start:stop]
+                err = err_col[pos : pos + size]
+                if self.metric is Metric.L2:
+                    approx = partial_squared_l2(decoded, q_slice)
+                    partial[pos : pos + size] = np.square(
+                        np.maximum(np.sqrt(approx) - err, 0.0)
+                    )
+                else:
+                    approx = -partial_inner_product(decoded, q_slice)
+                    partial[pos : pos + size] = (
+                        approx - self._qnorms64[q, slice_id] * err
+                    )
+                pos += size
+            self.accumulated += partial
+        self.done.append(slice_id)
+        self._done_mask[slice_id] = True
+        return int(n)
+
+    def lower_bounds(self) -> np.ndarray:
+        """Error-padded bounds, deflated once more for float safety."""
+        raw = super().lower_bounds()
+        return raw - (np.abs(raw) * BOUND_REL_EPS + BOUND_ABS_EPS)
+
+    def _compact_dense(self, keep: np.ndarray) -> None:
+        super()._compact_dense(keep)
+        self._err = self._err[keep]
+        self._local = self._local[keep]
+
+    def survivors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(ids, *exact* scores, owning query) via fp32 re-rank."""
+        if not self.is_complete:
+            raise RuntimeError("scan has unprocessed slices")
+        n = self.ids.size
+        self.reranked = int(n)
+        exact = np.zeros(n, dtype=np.float64)
+        if n:
+            bounds = np.searchsorted(
+                self.query_of, np.arange(self.n_queries + 1)
+            )
+            for q in range(self.n_queries):
+                seg_lo, seg_hi = int(bounds[q]), int(bounds[q + 1])
+                if seg_hi == seg_lo:
+                    continue
+                rows = self._rows_full[self._local[seg_lo:seg_hi]]
+                for slice_id in range(self.slices.n_slices):
+                    start, stop = self.slices.slice_range(slice_id)
+                    seg = rows[:, start:stop]
+                    q_slice = self.queries[q, start:stop]
+                    if self.metric is Metric.L2:
+                        exact[seg_lo:seg_hi] += partial_squared_l2(
+                            seg, q_slice
+                        )
+                    else:
+                        exact[seg_lo:seg_hi] += -partial_inner_product(
+                            seg, q_slice
+                        )
+        return self.ids, exact, self.query_of

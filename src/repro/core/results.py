@@ -173,6 +173,12 @@ class ExecutionReport:
             disabled).
         worker_steals: per-worker successful work-steals during the
             batch (process backend only; None elsewhere).
+        rerank_candidates: survivors re-ranked against fp32 rows during
+            the batch (``0`` on the fp32 scan path, where candidate
+            scores are already exact).
+        code_bytes: resident bytes of the packed SQ8 code blocks —
+            the compact representation sq8 candidate scans stream;
+            ``0`` on fp32 or when no packed layout was built.
     """
 
     n_queries: int
@@ -193,6 +199,8 @@ class ExecutionReport:
     trace: "object | None" = None
     layout_bytes: int = 0
     worker_steals: "list[int] | None" = None
+    rerank_candidates: int = 0
+    code_bytes: int = 0
 
     @property
     def qps(self) -> float:
@@ -274,6 +282,8 @@ class ExecutionReport:
             "peak_memory_bytes": int(self.peak_memory_bytes),
             "mean_peak_memory_bytes": float(self.mean_peak_memory_bytes),
             "layout_bytes": int(self.layout_bytes),
+            "rerank_candidates": int(self.rerank_candidates),
+            "code_bytes": int(self.code_bytes),
         }
         if self.worker_steals is not None:
             out["worker_steals"] = [int(s) for s in self.worker_steals]

@@ -78,9 +78,12 @@ class SQ8IVFIndex:
         self._ivf.train(data)
         lo = data.min(axis=0).astype(np.float64)
         hi = data.max(axis=0).astype(np.float64)
-        span = np.maximum(hi - lo, 1e-12)
+        span = hi - lo
         self._lo = lo
-        self._scale = span / 255.0
+        # Constant dimensions have zero span; clamp the *scale* (not
+        # just the span) to a positive epsilon so encode's division is
+        # finite and decode maps code 0 back to the constant exactly.
+        self._scale = np.maximum(span / 255.0, 1e-12)
 
     def encode(self, vectors: np.ndarray) -> np.ndarray:
         """Quantize float vectors to uint8 codes (clipped to range)."""

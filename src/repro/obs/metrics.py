@@ -304,6 +304,16 @@ def report_metrics(
         "harmony_layout_bytes",
         "Resident bytes of the packed/shared shard layout scanned",
     ).set(float(getattr(report, "layout_bytes", 0)))
+    registry.gauge(
+        "harmony_code_bytes",
+        "Resident bytes of the packed SQ8 code blocks (0 on fp32)",
+    ).set(float(getattr(report, "code_bytes", 0)))
+    rerank_candidates = float(getattr(report, "rerank_candidates", 0))
+    if rerank_candidates:
+        registry.counter(
+            "harmony_rerank_candidates_total",
+            "Survivors re-ranked against fp32 rows (sq8 scan path)",
+        ).inc(rerank_candidates)
     worker_steals = getattr(report, "worker_steals", None)
     if worker_steals is not None:
         for worker, steals in enumerate(worker_steals):

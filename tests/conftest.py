@@ -61,12 +61,19 @@ def make_db(
     test that doesn't pin one explicitly — CI uses it to re-run the
     tier-1 suite on the host backends (results are byte-identical, so
     the whole suite doubles as an equivalence check).
+    ``HARMONY_SCAN_PRECISION`` (env) likewise overrides the default
+    candidate-scan representation (``sq8`` re-runs the suite through
+    the quantized scan + exact re-rank path, which must also be
+    byte-identical).
     """
     env_backend = os.environ.get("HARMONY_BACKEND")
     if env_backend and "backend" not in overrides:
         overrides["backend"] = env_backend
         if env_backend == "process" and "n_workers" not in overrides:
             overrides["n_workers"] = 2
+    env_precision = os.environ.get("HARMONY_SCAN_PRECISION")
+    if env_precision and "scan_precision" not in overrides:
+        overrides["scan_precision"] = env_precision
     config = HarmonyConfig(
         n_machines=n_machines,
         nlist=nlist,

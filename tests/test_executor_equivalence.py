@@ -48,7 +48,9 @@ def make_queries(dim, nq=12, seed=1):
     return rng.standard_normal((nq, dim)).astype(np.float32)
 
 
-def sim_backend(index, plan, prewarm_size, canonical_order):
+def sim_backend(
+    index, plan, prewarm_size, canonical_order, scan_precision="fp32"
+):
     config = HarmonyConfig(
         n_machines=plan.n_machines,
         nlist=index.nlist,
@@ -56,6 +58,7 @@ def sim_backend(index, plan, prewarm_size, canonical_order):
         prewarm_size=prewarm_size,
         enable_pipeline=not canonical_order,
         enable_load_balance=not canonical_order,
+        scan_precision=scan_precision,
     )
     return SimulatedBackend(index, plan=plan, config=config)
 
@@ -77,28 +80,47 @@ def assert_equivalent(results, ids_ref, dist_ref, bitwise):
             )
 
 
+@pytest.mark.parametrize("precision", ["fp32", "sq8"])
 @pytest.mark.parametrize("metric", METRICS)
 @pytest.mark.parametrize("prewarm", [0, 32])
 @pytest.mark.parametrize("filtered", [False, True])
-def test_three_backends_identical(metric, prewarm, filtered):
+def test_three_backends_identical(metric, prewarm, filtered, precision):
+    """All backends == the serial fp32 oracle, under either precision.
+
+    The sq8 rows are the dual-representation contract: quantized
+    candidate generation with exact fp32 re-ranking must stay
+    *byte-identical* to the full-precision serial scan on every
+    backend.
+    """
     index = make_index(metric)
     queries = make_queries(index.dim)
     plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
     filter_labels = [0, 2] if filtered else None
 
-    serial = SerialBackend(index, plan=plan, prewarm_size=prewarm)
-    thread = ThreadBackend(
-        index, plan=plan, n_threads=4, prewarm_size=prewarm
+    # The oracle is ALWAYS the serial fp32 scan, even on sq8 rows.
+    oracle = SerialBackend(index, plan=plan, prewarm_size=prewarm)
+    serial = SerialBackend(
+        index, plan=plan, prewarm_size=prewarm, scan_precision=precision
     )
-    sim_canonical = sim_backend(index, plan, prewarm, canonical_order=True)
-    sim_default = sim_backend(index, plan, prewarm, canonical_order=False)
+    thread = ThreadBackend(
+        index, plan=plan, n_threads=4, prewarm_size=prewarm,
+        scan_precision=precision,
+    )
+    sim_canonical = sim_backend(
+        index, plan, prewarm, canonical_order=True, scan_precision=precision
+    )
+    sim_default = sim_backend(
+        index, plan, prewarm, canonical_order=False, scan_precision=precision
+    )
 
     kwargs = dict(k=5, nprobe=4, filter_labels=filter_labels)
-    reference = serial.search(queries, **kwargs)
+    reference = oracle.search(queries, **kwargs)
     with ProcessBackend(
-        index, plan=plan, n_workers=2, prewarm_size=prewarm
+        index, plan=plan, n_workers=2, prewarm_size=prewarm,
+        scan_precision=precision,
     ) as process:
         results = {
+            "serial": serial.search(queries, **kwargs),
             "thread": thread.search(queries, **kwargs),
             "process": process.search(queries, **kwargs),
             "sim-canonical": sim_canonical.search(queries, **kwargs),
@@ -110,6 +132,7 @@ def test_three_backends_identical(metric, prewarm, filtered):
         reference.ids,
         reference.distances,
         bitwise={
+            "serial": True,
             "thread": True,
             "process": True,
             "sim-canonical": True,
@@ -118,8 +141,9 @@ def test_three_backends_identical(metric, prewarm, filtered):
     )
 
 
+@pytest.mark.parametrize("precision", ["fp32", "sq8"])
 @pytest.mark.parametrize("metric", METRICS)
-def test_backends_identical_after_mutations(metric):
+def test_backends_identical_after_mutations(metric, precision):
     index = make_index(metric, n=300)
     rng = np.random.default_rng(5)
     queries = make_queries(index.dim, nq=8, seed=3)
@@ -127,20 +151,27 @@ def test_backends_identical_after_mutations(metric):
 
     # Interleave grows and tombstoned deletes, validating after each.
     # One persistent process pool spans every step, so its shared
-    # layout must invalidate and rebuild on each version bump.
-    with ProcessBackend(index, plan=plan, n_workers=2) as process:
+    # layout — on sq8 including the code segments and their
+    # quantization parameters — must invalidate and rebuild on each
+    # version bump.
+    with ProcessBackend(
+        index, plan=plan, n_workers=2, scan_precision=precision
+    ) as process:
         for step in range(3):
             extra = rng.standard_normal((40, index.dim)).astype(np.float32)
             index.add(extra, labels=rng.integers(0, N_LABELS, 40))
             alive = np.flatnonzero(~index._deleted)
             index.remove_ids(rng.choice(alive, size=15, replace=False))
 
-            serial = SerialBackend(index, plan=plan)
-            thread = ThreadBackend(index, plan=plan, n_threads=4)
-            sim = sim_backend(
-                index, plan, prewarm_size=32, canonical_order=True
+            oracle = SerialBackend(index, plan=plan)
+            thread = ThreadBackend(
+                index, plan=plan, n_threads=4, scan_precision=precision
             )
-            reference = serial.search(queries, k=5, nprobe=4)
+            sim = sim_backend(
+                index, plan, prewarm_size=32, canonical_order=True,
+                scan_precision=precision,
+            )
+            reference = oracle.search(queries, k=5, nprobe=4)
             results = {
                 "thread": thread.search(queries, k=5, nprobe=4),
                 "process": process.search(queries, k=5, nprobe=4),
@@ -178,11 +209,19 @@ def test_resolve_backend_names():
         resolve_backend("mpi")
 
 
+@pytest.mark.parametrize("precision", ["fp32", "sq8"])
 @pytest.mark.parametrize("metric", METRICS)
 @pytest.mark.parametrize("prewarm", [0, 32])
 @pytest.mark.parametrize("filtered", [False, True])
-def test_batched_search_matches_per_query_loop(metric, prewarm, filtered):
-    """search_batch == looping search_one, bitwise, on both host backends."""
+def test_batched_search_matches_per_query_loop(
+    metric, prewarm, filtered, precision
+):
+    """search_batch == looping search_one, bitwise, on both host backends.
+
+    The looped reference stays the fp32 serial loop, so the sq8 rows
+    additionally pin batched quantized scans to the full-precision
+    oracle.
+    """
     index = make_index(metric)
     queries = make_queries(index.dim, nq=16)
     plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
@@ -195,30 +234,37 @@ def test_batched_search_matches_per_query_loop(metric, prewarm, filtered):
     ).search(queries, **kwargs)
     with ProcessBackend(
         index, plan=plan, n_workers=2, prewarm_size=prewarm,
-        batch_queries=True,
+        batch_queries=True, scan_precision=precision,
     ) as process:
         results = {
+            "looped-serial": SerialBackend(
+                index, plan=plan, prewarm_size=prewarm, batch_queries=False,
+                scan_precision=precision,
+            ).search(queries, **kwargs),
             "batched-serial": SerialBackend(
-                index, plan=plan, prewarm_size=prewarm, batch_queries=True
+                index, plan=plan, prewarm_size=prewarm, batch_queries=True,
+                scan_precision=precision,
             ).search(queries, **kwargs),
             "batched-thread": ThreadBackend(
                 index, plan=plan, n_threads=4, prewarm_size=prewarm,
-                batch_queries=True,
+                batch_queries=True, scan_precision=precision,
             ).search(queries, **kwargs),
             "batched-process": process.search(queries, **kwargs),
         }
     assert_equivalent(results, looped.ids, looped.distances, bitwise={})
 
 
+@pytest.mark.parametrize("precision", ["fp32", "sq8"])
 @pytest.mark.parametrize("metric", METRICS)
 @pytest.mark.parametrize("batch_queries", [True, False])
-def test_process_degraded_mode_parity(metric, batch_queries):
+def test_process_degraded_mode_parity(metric, batch_queries, precision):
     """Skipped shards and coverage accounting match the serial oracle.
 
     Degraded mode (shards with no live replica) must produce the same
     partial results AND the same per-query ``[scanned, total]``
     coverage ledger whether the scan ran in-process or across the
-    worker pool.
+    worker pool — under either scan precision (the reference is the
+    fp32 serial loop in both cases).
     """
     index = make_index(metric)
     queries = make_queries(index.dim)
@@ -230,9 +276,19 @@ def test_process_degraded_mode_parity(metric, batch_queries):
         index, plan=plan, batch_queries=batch_queries
     ).search(queries, k=5, nprobe=4, skip_shards=skip, coverage=cov_serial)
 
+    cov_sq8 = np.zeros((queries.shape[0], 2), dtype=np.int64)
+    local = SerialBackend(
+        index, plan=plan, batch_queries=batch_queries,
+        scan_precision=precision,
+    ).search(queries, k=5, nprobe=4, skip_shards=skip, coverage=cov_sq8)
+    np.testing.assert_array_equal(local.ids, reference.ids)
+    np.testing.assert_array_equal(local.distances, reference.distances)
+    np.testing.assert_array_equal(cov_sq8, cov_serial)
+
     cov_process = np.zeros((queries.shape[0], 2), dtype=np.int64)
     with ProcessBackend(
-        index, plan=plan, n_workers=2, batch_queries=batch_queries
+        index, plan=plan, n_workers=2, batch_queries=batch_queries,
+        scan_precision=precision,
     ) as process:
         result = process.search(
             queries, k=5, nprobe=4, skip_shards=skip, coverage=cov_process
@@ -326,11 +382,14 @@ def test_property_batched_equals_looped(
     nprobe=st.integers(1, 8),
     k=st.integers(1, 12),
     filtered=st.booleans(),
+    precision=st.sampled_from(["fp32", "sq8"]),
 )
 def test_property_backend_equivalence(
-    seed, metric, n_vector_shards, n_dim_blocks, prewarm, nprobe, k, filtered
+    seed, metric, n_vector_shards, n_dim_blocks, prewarm, nprobe, k,
+    filtered, precision,
 ):
-    """For ANY small deployment, all three backends agree byte-for-byte."""
+    """For ANY small deployment, all backends agree byte-for-byte with
+    the fp32 serial oracle — under either scan precision."""
     index = make_index(metric, n=150, dim=9, nlist=8, seed=seed)
     queries = make_queries(index.dim, nq=6, seed=seed + 1)
     plan = build_plan(
@@ -342,15 +401,25 @@ def test_property_backend_equivalence(
     filter_labels = [1, 3] if filtered else None
     kwargs = dict(k=k, nprobe=nprobe, filter_labels=filter_labels)
 
-    serial = SerialBackend(index, plan=plan, prewarm_size=prewarm)
-    thread = ThreadBackend(index, plan=plan, n_threads=2, prewarm_size=prewarm)
-    sim = sim_backend(index, plan, prewarm, canonical_order=True)
+    oracle = SerialBackend(index, plan=plan, prewarm_size=prewarm)
+    serial = SerialBackend(
+        index, plan=plan, prewarm_size=prewarm, scan_precision=precision
+    )
+    thread = ThreadBackend(
+        index, plan=plan, n_threads=2, prewarm_size=prewarm,
+        scan_precision=precision,
+    )
+    sim = sim_backend(
+        index, plan, prewarm, canonical_order=True, scan_precision=precision
+    )
 
-    reference = serial.search(queries, **kwargs)
+    reference = oracle.search(queries, **kwargs)
     with ProcessBackend(
-        index, plan=plan, n_workers=2, prewarm_size=prewarm
+        index, plan=plan, n_workers=2, prewarm_size=prewarm,
+        scan_precision=precision,
     ) as process:
         results = {
+            "serial": serial.search(queries, **kwargs),
             "thread": thread.search(queries, **kwargs),
             "process": process.search(queries, **kwargs),
             "sim-canonical": sim.search(queries, **kwargs),

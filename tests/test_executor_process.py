@@ -106,6 +106,98 @@ def test_shared_layout_manifest_roundtrip():
         shared.unlink()
 
 
+def test_shared_layout_code_segments_roundtrip():
+    """SQ8 code blocks, error tables, and quantization parameters are
+    re-homed into the same shared segment and survive attach()."""
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    packed = ShardPackedBase.build(index, plan, with_codes=True)
+    shared = SharedShardPackedBase.from_packed(packed)
+    attached = None
+    try:
+        assert shared.has_codes
+        assert shared.codes_nbytes == packed.codes_nbytes
+        np.testing.assert_array_equal(shared.code_lo, packed.code_lo)
+        np.testing.assert_array_equal(shared.code_scale, packed.code_scale)
+        attached = SharedShardPackedBase.attach(shared.manifest())
+        assert attached.has_codes
+        np.testing.assert_array_equal(attached.code_lo, packed.code_lo)
+        np.testing.assert_array_equal(
+            attached.code_scale, packed.code_scale
+        )
+        for shard in range(plan.n_vector_shards):
+            lists = plan.lists_of_shard(shard)
+            ids_p, codes_p, err_p, _, rows_p, local_p = packed.gather_sq8(
+                shard, lists
+            )
+            for layout in (shared, attached):
+                ids, codes, err, _, rows_full, local = layout.gather_sq8(
+                    shard, lists
+                )
+                np.testing.assert_array_equal(ids, ids_p)
+                np.testing.assert_array_equal(codes, codes_p)
+                np.testing.assert_array_equal(err, err_p)
+                np.testing.assert_array_equal(
+                    rows_full[local], rows_p[local_p]
+                )
+    finally:
+        if attached is not None:
+            attached.close()
+        shared.unlink()
+
+
+def test_shared_layout_without_codes_has_no_code_segments():
+    """A codeless build round-trips with has_codes False on both ends."""
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    shared = SharedShardPackedBase.build(index, plan)
+    attached = None
+    try:
+        assert not shared.has_codes
+        attached = SharedShardPackedBase.attach(shared.manifest())
+        assert not attached.has_codes
+        assert attached.codes_nbytes == 0
+        with pytest.raises(RuntimeError, match="codes"):
+            attached.gather_sq8(0, plan.lists_of_shard(0))
+    finally:
+        if attached is not None:
+            attached.close()
+        shared.unlink()
+
+
+def test_process_backend_rebuilds_codeless_shared_layout():
+    """An sq8 ProcessBackend must treat a codeless shared layout as
+    stale and rebuild it with code segments before dispatching."""
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    reference = SerialBackend(index, plan=plan).search(queries, k=5, nprobe=4)
+    with ProcessBackend(
+        index, plan=plan, n_workers=2, scan_precision="sq8"
+    ) as backend:
+        result = backend.search(queries, k=5, nprobe=4)
+        assert backend._shared_layout.has_codes
+        first = backend._shared_layout
+        # Replace with a codeless-but-current-version layout: the
+        # staleness check must reject it and re-home a coded one.
+        codeless = SharedShardPackedBase.build(index, plan)
+        backend._shared_layout = codeless
+        try:
+            again = backend.search(queries, k=5, nprobe=4)
+        finally:
+            if backend._shared_layout is not codeless:
+                codeless.unlink()
+        assert backend._shared_layout.has_codes
+        assert backend._shared_layout is not first
+        np.testing.assert_array_equal(result.ids, reference.ids)
+        np.testing.assert_array_equal(result.distances, reference.distances)
+        np.testing.assert_array_equal(again.ids, reference.ids)
+        np.testing.assert_array_equal(
+            again.distances, reference.distances
+        )
+        assert not backend.fallback_active
+
+
 def test_shared_layout_staleness_and_unbacked_manifest():
     index = make_index()
     plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)

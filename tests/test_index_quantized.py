@@ -115,3 +115,61 @@ class TestMemory:
             index.memory_report()["total"]
             < full.memory_report()["total"] / 2
         )
+
+
+class TestScaleDegeneracy:
+    """Constant dimensions (zero span) must not degrade the codec.
+
+    Regression: the scale used to be ``span / 255`` with only the span
+    clamped, which left constant columns with a ~4e-15 scale — any
+    float noise around the constant then exploded through encode's
+    division. The scale itself is now clamped to a positive epsilon.
+    """
+
+    def make_constant_column_corpus(self):
+        rng = np.random.default_rng(9)
+        base = rng.standard_normal((300, 24)).astype(np.float32)
+        base[:, 3] = 7.5    # constant dimension
+        base[:, 11] = 0.0   # constant-zero dimension
+        queries = rng.standard_normal((10, 24)).astype(np.float32)
+        queries[:, 3] = 7.5
+        queries[:, 11] = 0.0
+        return base, queries
+
+    def test_scale_is_clamped_positive(self):
+        base, _ = self.make_constant_column_corpus()
+        ix = SQ8IVFIndex(dim=24, nlist=8, seed=0)
+        ix.train(base)
+        assert np.all(ix._scale >= 1e-12)
+        assert np.isfinite(ix._scale).all()
+
+    def test_constant_columns_roundtrip_exactly(self):
+        base, _ = self.make_constant_column_corpus()
+        ix = SQ8IVFIndex(dim=24, nlist=8, seed=0)
+        ix.train(base)
+        codes = ix.encode(base)
+        assert np.isfinite(codes.astype(np.float64)).all()
+        decoded = ix.decode(codes)
+        np.testing.assert_allclose(decoded[:, 3], 7.5, rtol=0, atol=1e-6)
+        np.testing.assert_allclose(decoded[:, 11], 0.0, rtol=0, atol=1e-9)
+        # Non-constant dimensions keep the usual half-step error bound.
+        err = np.abs(decoded.astype(np.float64) - base.astype(np.float64))
+        assert np.all(err <= ix._scale / 2 + 1e-9)
+
+    def test_search_works_on_constant_column_dataset(self):
+        base, queries = self.make_constant_column_corpus()
+        ix = SQ8IVFIndex(dim=24, nlist=8, seed=0)
+        ix.train(base)
+        ix.add(base)
+        distances, ids = ix.search(queries, k=5, nprobe=8)
+        assert np.isfinite(distances).all()
+        assert (ids >= 0).all()
+        full = IVFFlatIndex(dim=24, nlist=8, seed=0)
+        full.train(base)
+        full.add(base)
+        _, full_ids = full.search(queries, k=5, nprobe=8)
+        truth_overlap = np.mean([
+            len(set(ids[i]) & set(full_ids[i])) / 5
+            for i in range(len(queries))
+        ])
+        assert truth_overlap >= 0.8

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.executor import ScanKernel
-from repro.core.layout import ShardPackedBase
+from repro.core.layout import (
+    ShardPackedBase,
+    sq8_decode,
+    sq8_encode,
+    sq8_slice_errors,
+    sq8_train_params,
+)
 from repro.core.partition import build_plan
 from repro.core.routing import shard_candidate_lists
 from repro.distance.metrics import Metric
@@ -169,6 +175,131 @@ class TestInvalidation:
                 np.testing.assert_array_equal(
                     np.sort(ids), np.sort(index.candidates(lists_here))
                 )
+
+
+class TestSQ8Codes:
+    def test_train_encode_decode_roundtrip_bounds(self):
+        rng = np.random.default_rng(7)
+        rows = rng.standard_normal((50, DIM)).astype(np.float32)
+        lo, scale = sq8_train_params(rows)
+        codes = sq8_encode(rows, lo, scale)
+        assert codes.dtype == np.uint8
+        decoded = sq8_decode(codes, lo, scale)
+        # Max reconstruction error is half a quantization step.
+        assert np.all(
+            np.abs(decoded - rows.astype(np.float64)) <= scale / 2 + 1e-12
+        )
+
+    def test_train_params_constant_dimension(self):
+        """Zero-span dimensions must still give a positive scale and a
+        lossless roundtrip for the constant value."""
+        rows = np.ones((10, DIM), dtype=np.float32) * 3.25
+        lo, scale = sq8_train_params(rows)
+        assert np.all(scale > 0)
+        codes = sq8_encode(rows, lo, scale)
+        np.testing.assert_array_equal(codes, 0)
+        decoded = sq8_decode(codes, lo, scale)
+        np.testing.assert_allclose(decoded, 3.25, rtol=0, atol=1e-9)
+
+    def test_empty_base_params(self):
+        lo, scale = sq8_train_params(np.empty((0, DIM), dtype=np.float32))
+        assert np.all(scale > 0)
+        assert lo.shape == (DIM,) and scale.shape == (DIM,)
+
+    def test_slice_errors_bound_decoded_distance(self):
+        """err[r, s] >= the true L2 norm of slice-s reconstruction error."""
+        index = make_index()
+        plan = make_plan(index)
+        rows = index.base[:40]
+        lo, scale = sq8_train_params(index.base)
+        codes = sq8_encode(rows, lo, scale)
+        err = sq8_slice_errors(rows, codes, lo, scale, plan.slices)
+        assert err.shape == (40, plan.slices.n_slices)
+        assert err.dtype == np.float32
+        decoded = sq8_decode(codes, lo, scale)
+        for s in range(plan.slices.n_slices):
+            start, stop = plan.slices.slice_range(s)
+            seg = rows[:, start:stop].astype(np.float64) - decoded[:, start:stop]
+            true = np.sqrt(np.einsum("ij,ij->i", seg, seg))
+            assert np.all(err[:, s].astype(np.float64) >= true)
+
+    def test_build_with_codes_and_gather_sq8(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan, with_codes=True)
+        assert packed.has_codes
+        assert packed.codes_nbytes > 0
+        # fp32 rows dominate the layout: codes are a quarter of them.
+        assert packed.codes_nbytes * 4 == packed.rows_nbytes
+        for shard in range(plan.n_vector_shards):
+            lists = plan.lists_of_shard(shard)
+            ref_ids, ref_rows, _ = packed.gather(shard, lists)
+            ids, codes, err, norms, rows_full, local = packed.gather_sq8(
+                shard, lists
+            )
+            np.testing.assert_array_equal(ids, ref_ids)
+            # codes decode to within half a step of the fp32 rows, and
+            # the local indices recover those exact rows for re-rank.
+            np.testing.assert_array_equal(rows_full[local], ref_rows)
+            decoded = sq8_decode(codes, packed.code_lo, packed.code_scale)
+            assert np.all(
+                np.abs(decoded - ref_rows.astype(np.float64))
+                <= packed.code_scale / 2 + 1e-12
+            )
+            assert err.shape == (ids.size, plan.slices.n_slices)
+
+    def test_gather_sq8_masks_match_gather(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan, with_codes=True)
+        lists = plan.lists_of_shard(0)
+        all_ids, _, _ = packed.gather(0, lists)
+        allowed = np.zeros(index.ntotal, dtype=bool)
+        allowed[all_ids[::2]] = True
+        exclude = np.zeros(index.ntotal, dtype=bool)
+        exclude[all_ids[:4]] = True
+        ref_ids, ref_rows, _ = packed.gather(
+            0, lists, allowed=allowed, exclude=exclude
+        )
+        ids, codes, err, _, rows_full, local = packed.gather_sq8(
+            0, lists, allowed=allowed, exclude=exclude
+        )
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(rows_full[local], ref_rows)
+        assert codes.shape[0] == err.shape[0] == ids.size
+
+    def test_gather_sq8_without_codes_raises(self):
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan)
+        assert not packed.has_codes
+        assert packed.codes_nbytes == 0
+        with pytest.raises(RuntimeError, match="codes"):
+            packed.gather_sq8(0, plan.lists_of_shard(0))
+
+    def test_kernel_sq8_requires_packed_layout(self):
+        index = make_index()
+        plan = make_plan(index)
+        with pytest.raises(ValueError, match="packed base layout"):
+            ScanKernel(
+                index, plan, use_packed_base=False, scan_precision="sq8"
+            )
+        with pytest.raises(ValueError, match="scan_precision"):
+            ScanKernel(index, plan, scan_precision="fp16")
+
+    def test_kernel_sq8_cache_rejects_codeless_layout(self):
+        """A cached fp32-only layout is stale for an sq8 kernel."""
+        index = make_index()
+        plan = make_plan(index)
+        kernel = ScanKernel(index, plan, scan_precision="sq8")
+        packed = kernel.packed_base()
+        assert packed.has_codes
+        assert packed is kernel.packed_base()  # cached while fresh
+        # Hand the kernel a codeless layout of the right version: it
+        # must rebuild rather than scan without codes.
+        kernel._packed = ShardPackedBase.build(index, plan)
+        rebuilt = kernel.packed_base()
+        assert rebuilt.has_codes
 
 
 def test_gather_is_independent_of_base_size():
