@@ -26,6 +26,8 @@ Architecture (bottom-up):
   (skewed) query workloads.
 - :mod:`repro.core` — partition plans, cost model, planner, pipelined
   pruning engine, and the :class:`HarmonyDB` facade.
+- :mod:`repro.serve` — the coalescing online-serving front end
+  (:class:`HarmonyServer`) and its open-loop load harness.
 - :mod:`repro.baselines` — the Auncel-like comparator.
 - :mod:`repro.bench` — benchmark harness utilities.
 """
@@ -54,6 +56,7 @@ from repro.core.results import (
     SearchResult,
 )
 from repro.distance.metrics import Metric
+from repro.serve import HarmonyServer, ServeResponse
 from repro.validation import ExactnessReport, check_exactness
 
 __version__ = "1.0.0"
@@ -69,6 +72,7 @@ __all__ = [
     "FaultStats",
     "HarmonyConfig",
     "HarmonyDB",
+    "HarmonyServer",
     "Metric",
     "Mode",
     "RecoveryManager",
@@ -76,6 +80,7 @@ __all__ = [
     "ScanKernel",
     "SearchResult",
     "SerialBackend",
+    "ServeResponse",
     "SimulatedBackend",
     "ThreadBackend",
     "ThreadedSearcher",

@@ -14,6 +14,12 @@ from dataclasses import dataclass
 from repro.distance.metrics import Metric, resolve_metric
 
 
+#: Admission-control load-shedding policies accepted by
+#: ``HarmonyConfig.serve_shed_policy`` (hyphens normalize to
+#: underscores, so the paper-issue spelling ``degrade-nprobe`` works).
+SHED_POLICIES = ("reject", "shed_oldest", "degrade_nprobe")
+
+
 class Mode(str, enum.Enum):
     """Partitioning mode (the paper's ``-Mode`` parameter).
 
@@ -114,6 +120,28 @@ class HarmonyConfig:
             compute-bound nodes, leaving existing timings untouched;
             a finite cap reproduces the bandwidth-contention "more
             cores hurts" regime that motivates the sq8 path.
+        serve_max_batch: largest micro-batch the serving front end
+            (:class:`repro.serve.HarmonyServer`) coalesces before
+            flushing; reaching it flushes immediately.
+        serve_slo_ms: end-to-end latency SLO target in milliseconds.
+            The server derives its batch flush deadline from it:
+            ``flush_deadline = serve_slo_ms * serve_deadline_fraction``
+            — a request never waits in the coalescing buffer longer
+            than that before its batch is dispatched.
+        serve_deadline_fraction: fraction of the SLO budget spent
+            waiting for batch-mates, in ``(0, 1]``.
+        serve_queue_depth: admitted-request bound. When the pending
+            queue reaches it, the shed policy applies — queueing
+            theory's alternative is unbounded queue growth and
+            unbounded p99.
+        serve_shed_policy: what to do with load beyond
+            ``serve_queue_depth``: ``"reject"`` refuses the new
+            request, ``"shed_oldest"`` drops the stalest queued
+            request in favor of the new one, ``"degrade_nprobe"``
+            admits up to ``2 * serve_queue_depth`` but serves
+            overload-admitted requests at half the requested nprobe
+            (flagged on the response, like degraded mode), shedding
+            the oldest beyond the hard cap.
     """
 
     n_machines: int = 4
@@ -141,6 +169,11 @@ class HarmonyConfig:
     hedge_latency_threshold: "float | None" = None
     scan_precision: str = "fp32"
     memory_bandwidth: "float | None" = None
+    serve_max_batch: int = 32
+    serve_slo_ms: float = 20.0
+    serve_deadline_fraction: float = 0.25
+    serve_queue_depth: int = 256
+    serve_shed_policy: str = "reject"
 
     def __post_init__(self) -> None:
         self.metric = resolve_metric(self.metric)
@@ -211,6 +244,32 @@ class HarmonyConfig:
             raise ValueError(
                 f"memory_bandwidth must be positive or None, got "
                 f"{self.memory_bandwidth}"
+            )
+        if self.serve_max_batch <= 0:
+            raise ValueError(
+                f"serve_max_batch must be positive, got {self.serve_max_batch}"
+            )
+        if self.serve_slo_ms <= 0:
+            raise ValueError(
+                f"serve_slo_ms must be positive, got {self.serve_slo_ms}"
+            )
+        if not 0.0 < self.serve_deadline_fraction <= 1.0:
+            raise ValueError(
+                f"serve_deadline_fraction must be in (0, 1], got "
+                f"{self.serve_deadline_fraction}"
+            )
+        if self.serve_queue_depth <= 0:
+            raise ValueError(
+                f"serve_queue_depth must be positive, got "
+                f"{self.serve_queue_depth}"
+            )
+        self.serve_shed_policy = (
+            str(self.serve_shed_policy).lower().replace("-", "_")
+        )
+        if self.serve_shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown serve_shed_policy {self.serve_shed_policy!r}; "
+                f"supported policies: {', '.join(sorted(SHED_POLICIES))}"
             )
 
     def replace(self, **changes: object) -> "HarmonyConfig":

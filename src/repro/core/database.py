@@ -19,6 +19,8 @@ full simulated-performance report.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.cluster.cluster import Cluster
@@ -71,6 +73,10 @@ class HarmonyDB:
         self._decision: PlanDecision | None = None
         self._placement = None
         self._host_backend = None
+        # Serializes lazy host-backend construction and teardown:
+        # concurrent first searches used to race the spawn (two pools,
+        # one leaked). The search path itself stays lock-free.
+        self._backend_lock = threading.Lock()
         self._tracer = None
         self._metrics = None
 
@@ -370,6 +376,11 @@ class HarmonyDB:
             )
         backend = self._get_host_backend()
         nprobe = nprobe if nprobe is not None else self.config.nprobe
+        routing_cache = backend.kernel.routing_cache
+        if routing_cache is not None:
+            hits_before, misses_before = routing_cache.counters()
+        else:
+            hits_before = misses_before = 0
         dead: set[int] = set()
         if self.cluster.failed_workers:
             from repro.cluster.recovery import unavailable_shards
@@ -456,6 +467,10 @@ class HarmonyDB:
             rerank_candidates=int(backend.last_rerank_count),
             code_bytes=backend.code_nbytes(),
         )
+        if routing_cache is not None:
+            hits_after, misses_after = routing_cache.counters()
+            report.routing_cache_hits = hits_after - hits_before
+            report.routing_cache_misses = misses_after - misses_before
         return result, report
 
     def _get_host_backend(self):
@@ -464,8 +479,16 @@ class HarmonyDB:
         The backend persists across searches (thread/process pools are
         expensive to spin up); it is closed and rebuilt whenever the
         plan or placement changes, and released by :meth:`close`.
+        Construction is serialized by ``_backend_lock`` so concurrent
+        first callers share one backend instead of racing the spawn.
         """
-        if self._host_backend is None:
+        backend = self._host_backend
+        if backend is not None:
+            return backend
+        with self._backend_lock:
+            backend = self._host_backend
+            if backend is not None:
+                return backend
             from repro.core.executor import (
                 ProcessBackend,
                 SerialBackend,
@@ -473,7 +496,7 @@ class HarmonyDB:
             )
 
             if self.config.backend == "thread":
-                self._host_backend = ThreadBackend(
+                backend = ThreadBackend(
                     self.index,
                     plan=self.plan,
                     n_threads=self.config.n_threads,
@@ -483,7 +506,7 @@ class HarmonyDB:
                     scan_precision=self.config.scan_precision,
                 )
             elif self.config.backend == "process":
-                self._host_backend = ProcessBackend(
+                backend = ProcessBackend(
                     self.index,
                     plan=self.plan,
                     n_workers=self.config.n_workers,
@@ -493,7 +516,7 @@ class HarmonyDB:
                     scan_precision=self.config.scan_precision,
                 )
             else:
-                self._host_backend = SerialBackend(
+                backend = SerialBackend(
                     self.index,
                     plan=self.plan,
                     prewarm_size=self.config.prewarm_size,
@@ -501,12 +524,14 @@ class HarmonyDB:
                     batch_queries=self.config.batch_queries,
                     scan_precision=self.config.scan_precision,
                 )
-            self._host_backend.tracer = self._tracer
-        return self._host_backend
+            backend.tracer = self._tracer
+            self._host_backend = backend
+        return backend
 
     def _drop_host_backend(self) -> None:
         """Close and forget the host backend (pools, shared memory)."""
-        backend, self._host_backend = self._host_backend, None
+        with self._backend_lock:
+            backend, self._host_backend = self._host_backend, None
         if backend is not None:
             backend.close()
 
@@ -517,6 +542,26 @@ class HarmonyDB:
         lazily rebuilds whatever backend it needs.
         """
         self._drop_host_backend()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def serve(self, **overrides):
+        """Start a :class:`repro.serve.HarmonyServer` over this DB.
+
+        The server's coalescing / SLO / admission knobs default to the
+        deployment's ``serve_*`` config fields; keyword overrides
+        (``max_batch=``, ``slo_ms=``, ``queue_depth=``,
+        ``shed_policy=``, ``deadline_fraction=``, ``metrics=``) adjust
+        them per server. The returned server is already started; use
+        it as a context manager or call ``close()`` to drain and stop.
+        """
+        if not self.is_built:
+            raise RuntimeError("build() must be called before serve()")
+        from repro.serve.server import HarmonyServer
+
+        return HarmonyServer(self, **overrides)
 
     # ------------------------------------------------------------------
     # Observability
@@ -655,6 +700,11 @@ class HarmonyDB:
                 "hedge_latency_threshold": config.hedge_latency_threshold,
                 "scan_precision": config.scan_precision,
                 "memory_bandwidth": config.memory_bandwidth,
+                "serve_max_batch": config.serve_max_batch,
+                "serve_slo_ms": config.serve_slo_ms,
+                "serve_deadline_fraction": config.serve_deadline_fraction,
+                "serve_queue_depth": config.serve_queue_depth,
+                "serve_shed_policy": config.serve_shed_policy,
             }
         )
         assignment = np.full(self.index.ntotal, -1, dtype=np.int64)

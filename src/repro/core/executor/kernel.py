@@ -46,7 +46,11 @@ from repro.core.pruning import (
     SQ8ShardScan,
 )
 from repro.core.results import SearchResult
-from repro.core.routing import shard_candidate_lists, touched_shards
+from repro.core.routing import (
+    RoutingCache,
+    shard_candidate_lists,
+    touched_shards,
+)
 from repro.distance.kernels import scores_to_query
 from repro.distance.metrics import Metric, normalize_rows
 from repro.distance.partial import query_slice_norms, slice_norms
@@ -159,7 +163,18 @@ class ScanKernel:
         #: wall-clock span per (shard, slice) stage; None (default)
         #: keeps the scan loops instrumentation-free.
         self.tracer = None
+        #: Memoized probe-cell -> shard-set routing (hot, skewed
+        #: serving traffic re-routes the same cells constantly). Pure
+        #: memoization keyed by index version — results are unchanged.
+        #: Set to None to disable.
+        self.routing_cache: RoutingCache | None = RoutingCache()
         self._packed: ShardPackedBase | None = None
+        #: Serializes packed-layout (re)builds and norm-table refreshes
+        #: so concurrent searches through one kernel never tear the
+        #: cached data plane (lazy refresh used to race under
+        #: multi-threaded callers). Reentrant: the build path reads the
+        #: norm cache it also guards.
+        self._layout_lock = threading.RLock()
         self._base_slice_norms: np.ndarray | None = None
         if self.metric is not Metric.L2:
             self._base_slice_norms = slice_norms(index.base, plan.slices)
@@ -195,26 +210,39 @@ class ScanKernel:
             and (not with_codes or packed.has_codes)
         ):
             return packed
-        self._refresh_base_norms()
-        packed = ShardPackedBase.build(
-            self.index,
-            self.plan,
-            base_slice_norms=self._base_slice_norms,
-            with_codes=with_codes,
-        )
-        self._packed = packed
-        return packed
+        with self._layout_lock:
+            # Double-checked: another thread may have refreshed while
+            # this one waited for the lock.
+            packed = self._packed
+            if (
+                packed is not None
+                and packed.matches(self.index)
+                and (not with_codes or packed.has_codes)
+            ):
+                return packed
+            self._refresh_base_norms()
+            packed = ShardPackedBase.build(
+                self.index,
+                self.plan,
+                base_slice_norms=self._base_slice_norms,
+                with_codes=with_codes,
+            )
+            self._packed = packed
+            return packed
 
     def _refresh_base_norms(self) -> None:
-        if (
-            self._base_slice_norms is not None
-            and self._base_slice_norms.shape[0] != self.index.base.shape[0]
-        ):
-            # The index grew since kernel construction (streaming adds);
-            # refresh the per-slice norm cache so IP bounds stay lossless.
-            self._base_slice_norms = slice_norms(
-                self.index.base, self.plan.slices
-            )
+        with self._layout_lock:
+            if (
+                self._base_slice_norms is not None
+                and self._base_slice_norms.shape[0]
+                != self.index.base.shape[0]
+            ):
+                # The index grew since kernel construction (streaming
+                # adds); refresh the per-slice norm cache so IP bounds
+                # stay lossless.
+                self._base_slice_norms = slice_norms(
+                    self.index.base, self.plan.slices
+                )
 
     def _candidate_slice_norms(
         self, candidates: np.ndarray
@@ -287,8 +315,19 @@ class ScanKernel:
         return ids
 
     def shards_for(self, state: QueryState) -> np.ndarray:
-        """Vector shards the query must visit, ascending."""
-        return touched_shards(self.plan, state.probe_row)
+        """Vector shards the query must visit, ascending.
+
+        Served from the :class:`~repro.core.routing.RoutingCache` when
+        one is attached (the default): hot probe cells skip the
+        routing recomputation entirely, which matters exactly for the
+        repeated, skewed traffic the serving layer sees.
+        """
+        cache = self.routing_cache
+        if cache is None:
+            return touched_shards(self.plan, state.probe_row)
+        return cache.shards_for(
+            self.plan, state.probe_row, self.index.version
+        )
 
     def _gather_candidates(
         self,

@@ -159,8 +159,13 @@ class ExecutionReport:
         mean_peak_memory_bytes: per-worker peak bytes averaged over
             workers (robust to uneven shard sizes).
         plan_summary: human-readable plan description.
-        latencies: per-query simulated latency (dispatch to final
-            result merge), seconds; empty when not recorded.
+        latencies: per-query latency in seconds; empty when not
+            recorded. Simulated runs record dispatch-to-final-merge
+            timelines; batches executed by the serving layer record
+            each member request's *end-to-end* latency (coalescing
+            queue wait + batch service), so percentiles over a served
+            batch reflect what individual callers observed rather
+            than only the batch's wall time.
         fault_stats: retry / hedge / drop counters (None on a healthy
             run with no fault schedule attached).
         degraded: coverage and recall accounting (None unless the
@@ -179,6 +184,13 @@ class ExecutionReport:
         code_bytes: resident bytes of the packed SQ8 code blocks —
             the compact representation sq8 candidate scans stream;
             ``0`` on fp32 or when no packed layout was built.
+        routing_cache_hits / routing_cache_misses: probe-cell routing
+            lookups served from / missing the memoized
+            :class:`~repro.core.routing.RoutingCache` during the batch
+            (both ``0`` when no cache is attached, e.g. sim backend).
+        queue_seconds: time the batch's requests spent waiting in the
+            serving layer's coalescing buffer, summed over requests;
+            ``0.0`` outside the serving path.
     """
 
     n_queries: int
@@ -201,6 +213,9 @@ class ExecutionReport:
     worker_steals: "list[int] | None" = None
     rerank_candidates: int = 0
     code_bytes: int = 0
+    routing_cache_hits: int = 0
+    routing_cache_misses: int = 0
+    queue_seconds: float = 0.0
 
     @property
     def qps(self) -> float:
@@ -284,6 +299,9 @@ class ExecutionReport:
             "layout_bytes": int(self.layout_bytes),
             "rerank_candidates": int(self.rerank_candidates),
             "code_bytes": int(self.code_bytes),
+            "routing_cache_hits": int(self.routing_cache_hits),
+            "routing_cache_misses": int(self.routing_cache_misses),
+            "queue_seconds": float(self.queue_seconds),
         }
         if self.worker_steals is not None:
             out["worker_steals"] = [int(s) for s in self.worker_steals]

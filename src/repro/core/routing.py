@@ -15,6 +15,8 @@ visited — plus the execution-order policies of Section 4.3:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.partition import PartitionPlan
@@ -28,6 +30,81 @@ def touched_shards(plan: PartitionPlan, probe_row: np.ndarray) -> np.ndarray:
         probe_row: the query's probed inverted-list ids.
     """
     return np.unique(plan.shard_of_list[np.asarray(probe_row, dtype=np.int64)])
+
+
+class RoutingCache:
+    """Memoized ``probed-list cell -> touched-shard set`` routing.
+
+    Skewed serving traffic repeats itself: hot queries land in the same
+    cluster-id grid cell (the same set of probed inverted lists) over
+    and over, and the planner-derived shard probe set for a cell never
+    changes while the index generation is stable. The cache keys on the
+    *sorted, deduplicated* probed-list ids — the grid cell — so probe
+    order (which only affects scan scheduling, never the shard set)
+    cannot fragment entries.
+
+    Entries are validated against ``IVFFlatIndex.version``: any add or
+    effective delete moves the version and atomically drops the whole
+    cache, the same staleness protocol the packed layouts use. Hit and
+    miss counts are kept on the instance and surfaced through
+    ``ExecutionReport.routing_cache_hits`` / ``..._misses`` and the
+    ``harmony_routing_cache_{hits,misses}_total`` metric families.
+
+    Thread safety: all methods take the internal lock, so concurrent
+    searches through one kernel share the cache without racing. The
+    returned arrays are shared — callers must treat them as read-only
+    (every current caller only iterates).
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: dict[tuple, np.ndarray] = {}
+        self._version: int | None = None
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def shards_for(
+        self, plan: PartitionPlan, probe_row: np.ndarray, version: int
+    ) -> np.ndarray:
+        """Cached :func:`touched_shards`, invalidated on version moves."""
+        key = tuple(sorted({int(x) for x in np.asarray(probe_row).ravel()}))
+        with self._lock:
+            if self._version != version:
+                self._entries.clear()
+                self._version = version
+            cached = self._entries.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        shards = touched_shards(plan, probe_row)
+        shards.setflags(write=False)
+        with self._lock:
+            if self._version == version:
+                if len(self._entries) >= self.max_entries:
+                    # FIFO eviction: drop the oldest inserted cell.
+                    self._entries.pop(next(iter(self._entries)))
+                self._entries[key] = shards
+        return shards
+
+    def counters(self) -> "tuple[int, int]":
+        """Consistent ``(hits, misses)`` snapshot."""
+        with self._lock:
+            return self.hits, self.misses
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._version = None
 
 
 def shard_candidate_lists(

@@ -314,6 +314,24 @@ def report_metrics(
             "harmony_rerank_candidates_total",
             "Survivors re-ranked against fp32 rows (sq8 scan path)",
         ).inc(rerank_candidates)
+    cache_hits = float(getattr(report, "routing_cache_hits", 0))
+    cache_misses = float(getattr(report, "routing_cache_misses", 0))
+    if cache_hits:
+        registry.counter(
+            "harmony_routing_cache_hits_total",
+            "Probe-cell routing lookups served from the memoized cache",
+        ).inc(cache_hits)
+    if cache_misses:
+        registry.counter(
+            "harmony_routing_cache_misses_total",
+            "Probe-cell routing lookups that recomputed touched shards",
+        ).inc(cache_misses)
+    queue_seconds = float(getattr(report, "queue_seconds", 0.0))
+    if queue_seconds:
+        registry.counter(
+            "harmony_queue_wait_seconds_total",
+            "Serving-layer coalescing queue wait, summed over requests",
+        ).inc(queue_seconds)
     worker_steals = getattr(report, "worker_steals", None)
     if worker_steals is not None:
         for worker, steals in enumerate(worker_steals):
