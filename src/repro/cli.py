@@ -92,6 +92,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "results, a quarter of the scan bandwidth)",
     )
     run.add_argument(
+        "--scan-timeout",
+        type=float,
+        default=None,
+        dest="scan_timeout",
+        metavar="SECONDS",
+        help="per-task scan watchdog on host backends: tasks running "
+        "longer are hedged onto a fresh attempt (stragglers), and "
+        "abandoned with coverage accounting in degraded mode",
+    )
+    run.add_argument(
+        "--scan-retries",
+        type=int,
+        default=3,
+        dest="scan_retries",
+        help="hedged re-issues per task before it is abandoned "
+        "(degraded mode) or the batch fails",
+    )
+    run.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -219,6 +237,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["reject", "shed_oldest", "degrade_nprobe"],
         help="overload policy for the admission study rows",
     )
+    serve.add_argument(
+        "--deadline-policy",
+        default=None,
+        dest="deadline_policy",
+        choices=["block", "partial", "timeout"],
+        help="what a request whose SLO deadline expires mid-batch "
+        "gets: block (wait for the full result), partial (degraded "
+        "empty response, flagged), or timeout (typed RequestTimeout)",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--smoke",
@@ -257,6 +284,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         batch_queries=not args.no_batch_queries,
         scan_precision=args.scan_precision,
+        scan_timeout=args.scan_timeout,
+        scan_retries=args.scan_retries,
     )
     print(
         f"dataset {dataset.name}: {dataset.size:,} x {dataset.dim} vectors, "
@@ -469,6 +498,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         backend=args.backend,
         forced_grid=grid,
         seed=args.seed,
+        serve_deadline_policy=(
+            args.deadline_policy
+            if args.deadline_policy is not None
+            else "block"
+        ),
     )
     db = HarmonyDB(dim=dataset.dim, config=config)
     db.build(dataset.base, sample_queries=dataset.queries)

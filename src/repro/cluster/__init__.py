@@ -30,6 +30,15 @@ from repro.cluster.messages import (
     query_chunk_bytes,
     result_set_bytes,
 )
+from repro.cluster.host_faults import (
+    DelayScan,
+    DropSharedMemory,
+    HostFaultCounters,
+    HostFaultError,
+    HostFaultInjector,
+    InjectedWorkerKill,
+    KillWorker,
+)
 from repro.cluster.network import CommMode, NetworkModel
 from repro.cluster.node import WorkerNode
 from repro.cluster.recovery import (
@@ -43,8 +52,15 @@ from repro.cluster.stats import TimeBreakdown
 __all__ = [
     "Cluster",
     "CommMode",
+    "DelayScan",
+    "DropSharedMemory",
     "FaultEvent",
     "FaultSchedule",
+    "HostFaultCounters",
+    "HostFaultError",
+    "HostFaultInjector",
+    "InjectedWorkerKill",
+    "KillWorker",
     "MESSAGE_HEADER_BYTES",
     "NetworkModel",
     "RecoveryManager",

@@ -19,6 +19,11 @@ from repro.distance.metrics import Metric, resolve_metric
 #: underscores, so the paper-issue spelling ``degrade-nprobe`` works).
 SHED_POLICIES = ("reject", "shed_oldest", "degrade_nprobe")
 
+#: ``HarmonyConfig.serve_deadline_policy``: what the serving layer does
+#: with a request whose end-to-end deadline expires while its batch is
+#: still executing (hyphens normalize to underscores).
+DEADLINE_POLICIES = ("block", "partial", "timeout")
+
 
 class Mode(str, enum.Enum):
     """Partitioning mode (the paper's ``-Mode`` parameter).
@@ -108,6 +113,17 @@ class HarmonyConfig:
             above which a duplicate request is hedged to a second live
             replica, taking whichever finishes first. ``None`` (the
             default) disables hedging.
+        scan_timeout: host-backend straggler watchdog in wall-clock
+            seconds (thread/process backends). ``None`` (default)
+            disables it; when set, a shard task exceeding the timeout
+            is speculatively re-issued with exponential escalation —
+            the host mirror of the sim pipeline's retry/hedge path.
+            Results stay byte-identical (hedged duplicates are
+            deduplicated by task).
+        scan_retries: re-issues per straggling host task before the
+            supervisor gives up; with ``degraded_mode`` the task is
+            then abandoned and charged to per-query coverage,
+            otherwise the supervisor keeps waiting.
         scan_precision: candidate-generation representation. ``"fp32"``
             (the default) scans full-precision rows; ``"sq8"`` scans
             packed uint8 codes with error-padded lossless pruning
@@ -142,6 +158,17 @@ class HarmonyConfig:
             overload-admitted requests at half the requested nprobe
             (flagged on the response, like degraded mode), shedding
             the oldest beyond the hard cap.
+        serve_deadline_policy: what the server does when executing a
+            batch would blow a request's end-to-end deadline
+            (``t_submit + serve_slo_ms``): ``"block"`` (default)
+            waits for the batch regardless — the pre-deadline
+            behavior; ``"partial"`` resolves expired waiters with an
+            empty, ``timed_out``-flagged degraded response while the
+            batch keeps running for the rest; ``"timeout"`` fails
+            expired waiters with
+            :class:`repro.serve.RequestTimeout`. Either way the
+            flusher thread itself never blocks past the deadline and
+            a batch-execution crash fails only that batch's futures.
     """
 
     n_machines: int = 4
@@ -167,6 +194,8 @@ class HarmonyConfig:
     retry_timeout: float = 2e-4
     max_retries: int = 3
     hedge_latency_threshold: "float | None" = None
+    scan_timeout: "float | None" = None
+    scan_retries: int = 3
     scan_precision: str = "fp32"
     memory_bandwidth: "float | None" = None
     serve_max_batch: int = 32
@@ -174,6 +203,7 @@ class HarmonyConfig:
     serve_deadline_fraction: float = 0.25
     serve_queue_depth: int = 256
     serve_shed_policy: str = "reject"
+    serve_deadline_policy: str = "block"
 
     def __post_init__(self) -> None:
         self.metric = resolve_metric(self.metric)
@@ -234,6 +264,15 @@ class HarmonyConfig:
                 f"hedge_latency_threshold must be positive or None, got "
                 f"{self.hedge_latency_threshold}"
             )
+        if self.scan_timeout is not None and self.scan_timeout <= 0:
+            raise ValueError(
+                f"scan_timeout must be positive or None, got "
+                f"{self.scan_timeout}"
+            )
+        if self.scan_retries < 0:
+            raise ValueError(
+                f"scan_retries must be non-negative, got {self.scan_retries}"
+            )
         self.scan_precision = str(self.scan_precision).lower()
         if self.scan_precision not in ("fp32", "sq8"):
             raise ValueError(
@@ -270,6 +309,15 @@ class HarmonyConfig:
             raise ValueError(
                 f"unknown serve_shed_policy {self.serve_shed_policy!r}; "
                 f"supported policies: {', '.join(sorted(SHED_POLICIES))}"
+            )
+        self.serve_deadline_policy = (
+            str(self.serve_deadline_policy).lower().replace("-", "_")
+        )
+        if self.serve_deadline_policy not in DEADLINE_POLICIES:
+            raise ValueError(
+                f"unknown serve_deadline_policy "
+                f"{self.serve_deadline_policy!r}; supported policies: "
+                f"{', '.join(sorted(DEADLINE_POLICIES))}"
             )
 
     def replace(self, **changes: object) -> "HarmonyConfig":

@@ -73,6 +73,7 @@ class HarmonyDB:
         self._decision: PlanDecision | None = None
         self._placement = None
         self._host_backend = None
+        self._host_faults = None
         # Serializes lazy host-backend construction and teardown:
         # concurrent first searches used to race the spawn (two pools,
         # one leaked). The search path itself stays lock-free.
@@ -410,17 +411,19 @@ class HarmonyDB:
             skip_shards=skip_shards, coverage=coverage,
         )
         elapsed = time.perf_counter() - start
-        fault_stats = None
+        from repro.core.results import FaultStats
+
+        host_faults = backend.fault_counters.take()
         degraded = None
+        skipped = 0
         if coverage is not None:
             from repro.core.executor.kernel import recall_vs_healthy
-            from repro.core.results import DegradedReport, FaultStats
+            from repro.core.results import DegradedReport
             from repro.core.routing import touched_shards
 
             prepared = backend.kernel.prepare_queries(queries)
             probes = self.index.probe(prepared, nprobe)
             allowed = self.index.allowed_mask(filter_labels)
-            skipped = 0
             if dead:
                 for i in range(prepared.shape[0]):
                     shards = touched_shards(self.plan, probes[i])
@@ -434,13 +437,20 @@ class HarmonyDB:
                 coverage=fractions,
                 n_degraded_queries=int(degraded_idx.size),
                 skipped_scans=skipped,
+                abandoned_scans=host_faults.abandoned_scans,
                 recall_vs_healthy=recall_vs_healthy(
                     backend.kernel, prepared, probes, k, allowed,
                     degraded_idx, result.ids,
                 ),
             )
-            stats = FaultStats(skipped_scans=skipped)
-            fault_stats = stats if stats.any_activity else None
+        stats = FaultStats(
+            skipped_scans=skipped,
+            abandoned_scans=host_faults.abandoned_scans,
+            worker_respawns=host_faults.worker_respawns,
+            tasks_requeued=host_faults.tasks_requeued,
+            scan_timeouts=host_faults.scan_timeouts,
+        )
+        fault_stats = stats if stats.any_activity else None
         report = ExecutionReport(
             n_queries=result.n_queries,
             k=k,
@@ -504,6 +514,8 @@ class HarmonyDB:
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
                     scan_precision=self.config.scan_precision,
+                    scan_timeout=self.config.scan_timeout,
+                    scan_retries=self.config.scan_retries,
                 )
             elif self.config.backend == "process":
                 backend = ProcessBackend(
@@ -514,6 +526,8 @@ class HarmonyDB:
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
                     scan_precision=self.config.scan_precision,
+                    scan_timeout=self.config.scan_timeout,
+                    scan_retries=self.config.scan_retries,
                 )
             else:
                 backend = SerialBackend(
@@ -525,6 +539,7 @@ class HarmonyDB:
                     scan_precision=self.config.scan_precision,
                 )
             backend.tracer = self._tracer
+            backend.chaos = self._host_faults
             self._host_backend = backend
         return backend
 
@@ -542,6 +557,26 @@ class HarmonyDB:
         lazily rebuilds whatever backend it needs.
         """
         self._drop_host_backend()
+
+    def set_host_faults(self, injector) -> None:
+        """Attach a :class:`repro.cluster.HostFaultInjector` (or None).
+
+        Arms deterministic chaos (worker kills, scan delays, shm
+        drops) on the host execution path; the thread and process
+        backends consult the injector at task boundaries. Applies to
+        the current backend and to any backend built later. Pass
+        ``None`` to disarm.
+        """
+        if self.config.backend == "sim":
+            raise ValueError(
+                "host fault injection applies to host backends; the "
+                "'sim' backend scripts faults via FaultSchedule"
+            )
+        self._host_faults = injector
+        with self._backend_lock:
+            backend = self._host_backend
+        if backend is not None:
+            backend.chaos = injector
 
     # ------------------------------------------------------------------
     # Serving
@@ -699,12 +734,15 @@ class HarmonyDB:
                 "max_retries": config.max_retries,
                 "hedge_latency_threshold": config.hedge_latency_threshold,
                 "scan_precision": config.scan_precision,
+                "scan_timeout": config.scan_timeout,
+                "scan_retries": config.scan_retries,
                 "memory_bandwidth": config.memory_bandwidth,
                 "serve_max_batch": config.serve_max_batch,
                 "serve_slo_ms": config.serve_slo_ms,
                 "serve_deadline_fraction": config.serve_deadline_fraction,
                 "serve_queue_depth": config.serve_queue_depth,
                 "serve_shed_policy": config.serve_shed_policy,
+                "serve_deadline_policy": config.serve_deadline_policy,
             }
         )
         assignment = np.full(self.index.ntotal, -1, dtype=np.int64)

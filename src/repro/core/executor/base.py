@@ -88,6 +88,16 @@ class HostBackend(Backend):
         scan_precision: ``"fp32"`` or ``"sq8"`` (SQ8 candidate
             generation with exact float32 re-ranking — byte-identical
             results, a quarter of the candidate-scan bandwidth).
+        scan_timeout: per-task straggler watchdog in wall-clock
+            seconds. ``None`` (default) disables it; when set, a shard
+            task exceeding the timeout is speculatively re-issued
+            (results are deduplicated, so hedged duplicates stay
+            byte-identical), escalating exponentially across
+            ``scan_retries`` attempts — the host mirror of the sim
+            pipeline's retry/hedge semantics.
+        scan_retries: re-issues per straggling task before the
+            supervisor gives up (degraded mode then abandons the task
+            with coverage accounting; otherwise it keeps waiting).
     """
 
     def __init__(
@@ -99,12 +109,33 @@ class HostBackend(Backend):
         batch_queries: bool = True,
         use_packed_base: bool = True,
         scan_precision: str = "fp32",
+        scan_timeout: "float | None" = None,
+        scan_retries: int = 3,
     ) -> None:
         if not index.is_trained:
             raise RuntimeError("backend requires a trained index")
+        if scan_timeout is not None and scan_timeout <= 0:
+            raise ValueError(
+                f"scan_timeout must be positive or None, got {scan_timeout}"
+            )
+        if scan_retries < 0:
+            raise ValueError(
+                f"scan_retries must be non-negative, got {scan_retries}"
+            )
+        from repro.cluster.host_faults import HostFaultCounters
+
         self.index = index
         self.plan = plan if plan is not None else default_plan(index)
         self.batch_queries = batch_queries
+        self.scan_timeout = scan_timeout
+        self.scan_retries = int(scan_retries)
+        #: Optional :class:`repro.cluster.host_faults.HostFaultInjector`
+        #: driving deterministic chaos through this backend. None
+        #: (default) keeps the hot path injection-free.
+        self.chaos = None
+        #: Recovery activity (respawns / requeues / timeouts /
+        #: abandons) since the last ``fault_counters.take()``.
+        self.fault_counters = HostFaultCounters()
         #: Optional repro.obs.Tracer recording wall-clock spans, one
         #: lane per host worker thread. None (default) keeps the
         #: untraced path free of instrumentation.

@@ -23,15 +23,31 @@ happens to release; this backend sidesteps it with a pool of
   (looser) reads only prune less, never wrongly — the bound is
   lossless — so results stay **byte-identical** to the serial oracle
   for any interleaving, batched or per query.
-- **Graceful degradation** — if shared memory is unavailable, a
-  worker crashes, or the pool misbehaves in any way, the backend
-  tears the pool down and transparently re-runs the batch on the
-  inherited thread path (same kernel, same bytes out).
+- **Supervision** — each batch runs as one or more *rounds*, every
+  round owning a fresh scheduling segment (deque heads/tails + steal
+  counters). The parent watches worker liveness while collecting: a
+  worker that dies mid-round has its unfinished tasks requeued onto a
+  repair round for the survivors and is respawned in the background
+  (``harmony_worker_respawns_total`` / ``harmony_tasks_requeued_total``),
+  and the query completes byte-identically on the pool — results are
+  deduplicated by task, so a task finished twice merges once. With
+  ``scan_timeout`` set, rounds exceeding their (exponentially
+  escalating) deadline hedge their stragglers onto new rounds
+  (``harmony_scan_timeouts_total``); once ``scan_retries`` is
+  exhausted, degraded mode abandons the task with per-query coverage
+  accounting (``harmony_abandoned_scans_total``) instead of blocking.
+- **Graceful degradation** — only when the *whole* pool is lost (every
+  worker dead, shared memory unavailable, repeated requeues making no
+  progress) does the backend tear the pool down and transparently
+  re-run the batch on the inherited thread path (same kernel, same
+  bytes out).
 
-Scheduling state (deque heads/tails, steal counters) lives in one
-small shared int64 block guarded by per-deque locks; the task table
-itself is broadcast per batch, so scheduling traffic is index
-arithmetic, not pickled objects.
+Per-round scheduling segments are what make recovery safe: a straggler
+or a dead worker can never corrupt the next round's deques because no
+round ever reuses another round's control block. Chaos kills fire at
+task boundaries (see :mod:`repro.cluster.host_faults`), so the one
+genuinely unrecoverable interleaving — a worker dying while *holding a
+deque lock* — is left to the stall watchdog, which falls back.
 """
 
 from __future__ import annotations
@@ -40,13 +56,19 @@ import os
 import queue as _queue_mod
 import time
 import traceback
+import weakref
 
 import numpy as np
 
+from repro.cluster.host_faults import apply_task_chaos, sleep_for_delay
 from repro.core.executor.kernel import GROUP_BLOCK_ELEMENTS, collect_results
 from repro.core.executor.threads import ThreadBackend
 from repro.core.heap import TopKHeap
-from repro.core.layout import SharedShardPackedBase, _attach_shm
+from repro.core.layout import (
+    SharedShardPackedBase,
+    _attach_shm,
+    _release_owned_segment,
+)
 from repro.core.partition import PartitionPlan
 from repro.core.pruning import (
     ShardGroupScan,
@@ -71,6 +93,15 @@ _POLL_SECONDS = 0.2
 #: every worker still claims to be alive.
 _STALL_SECONDS = 120.0
 
+#: After the batch's results are in, how long to wait for the workers'
+#: round barriers (keeps steal accounting exact on the healthy path;
+#: late barriers are reaped by later batches, never waited on).
+_SETTLE_GRACE = 2.0
+
+#: Requeue generations without a single task completing before the
+#: supervisor declares the pool systematically broken and falls back.
+_MAX_BARREN_REQUEUES = 2
+
 
 class ProcessPoolError(RuntimeError):
     """The worker pool is unusable; the caller should fall back."""
@@ -88,6 +119,11 @@ class _SharedInt64:
         self.shm = shm
         self.array = np.ndarray((n,), dtype=np.int64, buffer=shm.buf)
         self._owner = owner
+        self._finalizer = (
+            weakref.finalize(self, _release_owned_segment, shm)
+            if owner
+            else None
+        )
 
     @classmethod
     def create(cls, n: int) -> "_SharedInt64":
@@ -105,6 +141,9 @@ class _SharedInt64:
     def destroy(self) -> None:
         arr, self.array = self.array, None
         del arr
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
         try:
             self.shm.close()
         except (OSError, BufferError):
@@ -123,6 +162,11 @@ class _SharedF64:
         self.shm = shm
         self.array = np.ndarray((n,), dtype=np.float64, buffer=shm.buf)
         self._owner = owner
+        self._finalizer = (
+            weakref.finalize(self, _release_owned_segment, shm)
+            if owner
+            else None
+        )
 
     @classmethod
     def create(cls, values: np.ndarray) -> "_SharedF64":
@@ -144,6 +188,9 @@ class _SharedF64:
     def destroy(self) -> None:
         arr, self.array = self.array, None
         del arr
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
         try:
             self.shm.close()
         except (OSError, BufferError):
@@ -402,12 +449,26 @@ def _worker_main(
     cmd_queue,
     result_queue,
     locks,
-    ctrl_name: str,
 ) -> None:
-    """Worker loop: wait for a batch, drain own deque, steal, repeat."""
-    ctrl = _SharedInt64.attach(ctrl_name, 3 * n_workers)
+    """Worker loop: wait for a round, drain own deque, steal, repeat.
+
+    Every ``batch`` command carries its own scheduling segment
+    (``ctx["ctrl"]``) and threshold board; both are attached for the
+    round and dropped after, so a straggler can never touch a newer
+    round's deques. A round whose shared segments are already gone
+    (the parent finished the batch without this worker) degenerates
+    to an immediate barrier message.
+    """
     layout: SharedShardPackedBase | None = None
     layout_name: str | None = None
+    task_ordinal = 0  # lifetime tasks started by this worker slot
+
+    def flush_results() -> None:
+        # Chaos-kill hook: push buffered results to the parent before
+        # dying so replaying a schedule yields the same message set.
+        result_queue.close()
+        result_queue.join_thread()
+
     try:
         while True:
             msg = cmd_queue.get()
@@ -416,14 +477,27 @@ def _worker_main(
             if msg[0] != "batch":
                 continue
             batch_id, ctx = msg[1], msg[2]
+            board = None
+            ctrl = None
             try:
-                manifest = ctx["layout"]
-                if layout is None or layout_name != manifest["shm_name"]:
-                    if layout is not None:
-                        layout.close()
-                    layout = SharedShardPackedBase.attach(manifest)
-                    layout_name = manifest["shm_name"]
-                board = _SharedF64.attach(ctx["thresholds"])
+                try:
+                    manifest = ctx["layout"]
+                    if layout is None or layout_name != manifest["shm_name"]:
+                        if layout is not None:
+                            layout.close()
+                            layout = None
+                        layout = SharedShardPackedBase.attach(manifest)
+                        layout_name = manifest["shm_name"]
+                    board = _SharedF64.attach(ctx["thresholds"])
+                    ctrl = _SharedInt64.attach(
+                        ctx["ctrl"]["name"], 3 * n_workers
+                    )
+                except FileNotFoundError:
+                    # Stale round: the batch already finished and its
+                    # segments were reclaimed. Barrier out and move on.
+                    result_queue.put(("done", batch_id, worker_id))
+                    continue
+                chaos_spec = ctx.get("chaos")
                 tasks = ctx["tasks"]
                 my_lock = locks[worker_id]
                 while True:
@@ -436,6 +510,11 @@ def _worker_main(
                         )
                     if task_id is None:
                         break
+                    delay = apply_task_chaos(
+                        chaos_spec, worker_id, task_ordinal,
+                        flush=flush_results,
+                    )
+                    task_ordinal += 1
                     shard, qidxs = tasks[task_id]
                     t0 = time.perf_counter()
                     if len(qidxs) == 1:
@@ -452,25 +531,29 @@ def _worker_main(
                             list(qidxs), board.array,
                         )
                     t1 = time.perf_counter()
+                    sleep_for_delay(delay, t1 - t0)
                     result_queue.put(
                         (
                             "task", batch_id, worker_id, task_id,
                             payload, t0, t1, int(shard),
                         )
                     )
-                board.destroy()
-                # Batch barrier: after this message the worker provably
-                # never touches the ctrl array again until the next
-                # "batch" command, so the parent may reseed the deques.
+                # Round barrier: after this message the worker provably
+                # never touches this round's ctrl segment again, so the
+                # parent may reclaim it.
                 result_queue.put(("done", batch_id, worker_id))
             except Exception:
                 result_queue.put(
                     ("error", batch_id, worker_id, traceback.format_exc())
                 )
+            finally:
+                if board is not None:
+                    board.destroy()
+                if ctrl is not None:
+                    ctrl.destroy()
     finally:
         if layout is not None:
             layout.close()
-        ctrl.destroy()
 
 
 # ---------------------------------------------------------------------------
@@ -479,7 +562,7 @@ def _worker_main(
 
 
 class ProcessBackend(ThreadBackend):
-    """Persistent process-pool execution over shared-memory shards.
+    """Persistent supervised process-pool execution over shared memory.
 
     Args:
         index: trained+populated IVF index.
@@ -488,16 +571,22 @@ class ProcessBackend(ThreadBackend):
         n_workers: pool size (default ``os.cpu_count()``).
         start_method: multiprocessing start method; default prefers
             ``fork`` (cheap startup) and falls back to ``spawn``.
-        prewarm_size / enable_pruning / batch_queries: as on
+        prewarm_size / enable_pruning / batch_queries /
+        scan_timeout / scan_retries: as on
             :class:`~repro.core.executor.base.HostBackend`. The packed
             layout is always enabled — it *is* the shared data plane.
 
     The pool starts lazily on the first ``search()`` and persists
     across calls; call :meth:`close` (or use the backend as a context
-    manager) to release processes and shared segments. Whenever the
-    pool or shared memory is unusable the batch transparently re-runs
-    on the inherited thread path — same kernel, byte-identical
-    results — and :attr:`fallback_active` flips to True.
+    manager) to release processes and shared segments.
+
+    A worker that dies mid-batch is *supervised around*: its
+    unfinished tasks are requeued onto the survivors, the worker is
+    respawned in the background, and the batch completes on the pool
+    with byte-identical results — :attr:`fallback_active` stays False.
+    Only a total loss (every worker dead, shared memory gone, or
+    repeated requeues without progress) flips execution to the
+    inherited thread path, which still returns the same bytes.
     """
 
     name = "process"
@@ -513,6 +602,8 @@ class ProcessBackend(ThreadBackend):
         batch_queries: bool = True,
         use_packed_base: bool = True,
         scan_precision: str = "fp32",
+        scan_timeout: "float | None" = None,
+        scan_retries: int = 3,
     ) -> None:
         if n_workers is not None and n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -525,6 +616,8 @@ class ProcessBackend(ThreadBackend):
             batch_queries=batch_queries,
             use_packed_base=True,
             scan_precision=scan_precision,
+            scan_timeout=scan_timeout,
+            scan_retries=scan_retries,
         )
         self.n_workers = (
             int(n_workers) if n_workers is not None
@@ -535,10 +628,12 @@ class ProcessBackend(ThreadBackend):
         self._cmd_queues: list = []
         self._result_queue = None
         self._locks: list = []
-        self._ctrl: _SharedInt64 | None = None
         self._shared_layout: SharedShardPackedBase | None = None
         self._pool_broken = False
-        self._batch_counter = 0
+        self._round_counter = 0
+        #: Live round records keyed by round id; rounds that outlast
+        #: their batch (abandoned stragglers) are reaped here later.
+        self._rounds: dict[int, dict] = {}
         #: Successful steals per worker in the most recent batch.
         self.last_steal_counts: np.ndarray = np.zeros(
             self.n_workers, dtype=np.int64
@@ -590,34 +685,78 @@ class ProcessBackend(ThreadBackend):
         self._shared_layout = shared
         return shared
 
+    def _spawn_worker(self, wid: int, ctx) -> None:
+        """Start worker ``wid`` on a fresh command queue."""
+        q = ctx.Queue()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                wid, self.n_workers, self.plan, self.kernel.metric,
+                q, self._result_queue, self._locks,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        if wid < len(self._procs):
+            self._cmd_queues[wid] = q
+            self._procs[wid] = proc
+        else:
+            self._cmd_queues.append(q)
+            self._procs.append(proc)
+
+    def _respawn_worker(self, wid: int, tracer=None) -> None:
+        """Replace a dead worker slot with a fresh process.
+
+        The old command queue is dropped (its pending round commands
+        died with the worker — the supervisor requeues those tasks);
+        the new worker joins from the *next* round dispatched.
+        """
+        old_q = self._cmd_queues[wid]
+        try:
+            old_q.close()
+        except Exception:
+            pass
+        self._spawn_worker(wid, self._context())
+        self.fault_counters.worker_respawns += 1
+        if self.chaos is not None:
+            self.chaos.on_worker_death(wid)
+        if tracer is not None:
+            now = time.perf_counter()
+            tracer.record(
+                "worker-respawn", "fault",
+                node=PROCESS_LANE_BASE + wid,
+                start=now, end=now, worker=wid,
+            )
+
     def _ensure_pool(self) -> bool:
-        """Start (or confirm) the pool; False means use the fallback."""
+        """Start (or repair) the pool; False means use the fallback.
+
+        A partially dead pool is repaired in place — dead slots are
+        respawned (counted as ``worker_respawns``) and the batch
+        proceeds on the pool. Only a *fully* dead pool, or shared
+        memory being unavailable, breaks the pool for good.
+        """
         if self._pool_broken:
             return False
         try:
+            if self.chaos is not None:
+                self.chaos.check_shared_memory(self)
             self._refresh_shared_layout()
             if self._procs:
-                if all(p.is_alive() for p in self._procs):
-                    return True
-                raise ProcessPoolError("worker process died")
+                dead = [
+                    wid for wid, p in enumerate(self._procs)
+                    if not p.is_alive()
+                ]
+                if len(dead) == len(self._procs):
+                    raise ProcessPoolError("entire worker pool died")
+                for wid in dead:
+                    self._respawn_worker(wid, self.tracer)
+                return True
             ctx = self._context()
-            n = self.n_workers
-            self._ctrl = _SharedInt64.create(3 * n)
-            self._locks = [ctx.Lock() for _ in range(n)]
+            self._locks = [ctx.Lock() for _ in range(self.n_workers)]
             self._result_queue = ctx.Queue()
-            self._cmd_queues = [ctx.Queue() for _ in range(n)]
-            for wid in range(n):
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        wid, n, self.plan, self.kernel.metric,
-                        self._cmd_queues[wid], self._result_queue,
-                        self._locks, self._ctrl.shm.name,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                self._procs.append(proc)
+            for wid in range(self.n_workers):
+                self._spawn_worker(wid, ctx)
             return True
         except Exception:
             self._teardown_pool()
@@ -649,9 +788,9 @@ class ProcessBackend(ThreadBackend):
         self._cmd_queues = []
         self._result_queue = None
         self._locks = []
-        if self._ctrl is not None:
-            self._ctrl.destroy()
-            self._ctrl = None
+        for rec in self._rounds.values():
+            rec["ctrl"].destroy()
+        self._rounds = {}
 
     def close(self) -> None:
         """Stop workers and free every shared segment. Idempotent."""
@@ -697,29 +836,40 @@ class ProcessBackend(ThreadBackend):
                 tasks.append((shard, tuple(members[i: i + chunk])))
         return tasks
 
-    def _seed_deques(self, tasks) -> "list[tuple[int, int]]":
-        """Contiguous deque ranges balanced by estimated scan volume."""
+    def _seed_ranges(
+        self, round_tasks, alive: "list[int]"
+    ) -> "list[tuple[int, int]]":
+        """Contiguous deque ranges balanced by estimated scan volume.
+
+        Only ``alive`` workers receive a non-empty range; dead slots
+        get ``(0, 0)`` and any worker can still steal from any range,
+        so one live worker suffices to drain the round.
+        """
         n = self.n_workers
-        if not tasks:
-            return [(0, 0)] * n
+        ranges = [(0, 0)] * n
+        if not round_tasks or not alive:
+            return ranges
         layout = self._shared_layout
         weights = np.array(
             [
                 max(1, len(qidxs))
                 * max(1, layout.shard_size(shard))
-                for shard, qidxs in tasks
+                for shard, qidxs in round_tasks
             ],
             dtype=np.float64,
         )
         cum = np.cumsum(weights)
         total = cum[-1]
+        m = len(alive)
         bounds = [0]
-        for w in range(1, n):
-            bounds.append(int(np.searchsorted(cum, total * w / n)))
-        bounds.append(len(tasks))
+        for w in range(1, m):
+            bounds.append(int(np.searchsorted(cum, total * w / m)))
+        bounds.append(len(round_tasks))
         for i in range(1, len(bounds)):
             bounds[i] = max(bounds[i], bounds[i - 1])
-        return [(bounds[i], bounds[i + 1]) for i in range(n)]
+        for slot, wid in enumerate(sorted(alive)):
+            ranges[wid] = (bounds[slot], bounds[slot + 1])
+        return ranges
 
     # -- search ---------------------------------------------------------
 
@@ -743,7 +893,7 @@ class ProcessBackend(ThreadBackend):
             return self._process_search(
                 queries, k, nprobe, filter_labels, skip_shards, coverage
             )
-        except (ProcessPoolError, OSError):
+        except (ProcessPoolError, OSError, EOFError):
             self._teardown_pool()
             self._pool_broken = True
             return super().search(
@@ -816,25 +966,15 @@ class ProcessBackend(ThreadBackend):
     def _dispatch_batch(
         self, tasks, states, queries, probes, allowed, k, local_cov, tracer
     ) -> None:
-        self._batch_counter += 1
-        batch_id = self._batch_counter
-        n = self.n_workers
-        ranges = self._seed_deques(tasks)
-        ctrl = self._ctrl.array
-        for wid, (start, stop) in enumerate(ranges):
-            ctrl[wid] = start  # head
-            ctrl[n + wid] = stop  # tail
-            ctrl[2 * n + wid] = 0  # steals
         board = _SharedF64.create(
             np.array([s.heap.threshold for s in states], dtype=np.float64)
         )
         query_norms = None
         if states and states[0].query_norms is not None:
             query_norms = np.stack([s.query_norms for s in states])
-        ctx = {
+        ctx_base = {
             "layout": self._shared_layout.manifest(),
             "thresholds": board.manifest(),
-            "tasks": tasks,
             "queries": queries,
             "probes": probes,
             "prewarm": [s.prewarmed for s in states],
@@ -844,57 +984,259 @@ class ProcessBackend(ThreadBackend):
             "enable_pruning": self.enable_pruning,
             "scan_precision": self.scan_precision,
         }
+        self.last_steal_counts = np.zeros(self.n_workers, dtype=np.int64)
         try:
-            for q in self._cmd_queues:
-                q.put(("batch", batch_id, ctx))
-            self._collect(
-                batch_id, len(tasks), states, board, local_cov, tracer
+            self._supervise(
+                tasks, ctx_base, states, board, allowed, local_cov, tracer
             )
         finally:
-            steals = np.array(ctrl[2 * n: 3 * n], dtype=np.int64)
-            self.last_steal_counts = steals
-            self.total_steals += int(steals.sum())
             board.destroy()
 
-    def _collect(
-        self, batch_id, n_tasks, states, board, local_cov, tracer
-    ) -> None:
-        """Merge streamed task results; return once the batch quiesces.
+    # -- supervision ----------------------------------------------------
 
-        Completion requires every task result *and* a ``done`` barrier
-        message from every worker — only then is it safe to reseed the
-        shared deque bounds for the next batch.
+    def _alive_workers(self) -> "list[int]":
+        return [
+            wid for wid, p in enumerate(self._procs) if p.is_alive()
+        ]
+
+    def _dispatch_round(
+        self, task_ids, tasks, ctx_base, batch_tag, attempt, gen,
+        completed_count,
+    ) -> dict:
+        """Ship one round (a subset of the batch's tasks) to the pool."""
+        alive = self._alive_workers()
+        if not alive:
+            raise ProcessPoolError("no live workers to dispatch to")
+        self._round_counter += 1
+        rid = self._round_counter
+        round_tasks = [tasks[t] for t in task_ids]
+        ctrl = _SharedInt64.create(3 * self.n_workers)
+        ranges = self._seed_ranges(round_tasks, alive)
+        n = self.n_workers
+        for wid, (start, stop) in enumerate(ranges):
+            ctrl.array[wid] = start  # head
+            ctrl.array[n + wid] = stop  # tail
+            ctrl.array[2 * n + wid] = 0  # steals
+        chaos_spec = (
+            self.chaos.process_spec() if self.chaos is not None else None
+        )
+        ctx = dict(
+            ctx_base,
+            tasks=round_tasks,
+            ctrl={"name": ctrl.shm.name, "n": n},
+            chaos=chaos_spec,
+        )
+        rec = {
+            "id": rid,
+            "batch": batch_tag,
+            "task_ids": tuple(task_ids),
+            "ctrl": ctrl,
+            "workers": set(alive),
+            "done": set(),
+            "start": time.monotonic(),
+            "attempt": int(attempt),
+            "gen": int(gen),
+            "hedged": False,
+            "completed_at_dispatch": int(completed_count),
+        }
+        if self.scan_timeout is not None:
+            rec["deadline"] = rec["start"] + (
+                float(self.scan_timeout) * (2.0 ** rec["attempt"])
+            )
+        self._rounds[rid] = rec
+        for wid in alive:
+            self._cmd_queues[wid].put(("batch", rid, ctx))
+        return rec
+
+    def _settle_round(self, rec) -> None:
+        """Reclaim a round whose workers have all barriered (or died)."""
+        n = self.n_workers
+        steals = np.array(
+            rec["ctrl"].array[2 * n: 3 * n], dtype=np.int64
+        )
+        self.last_steal_counts = self.last_steal_counts + steals
+        self.total_steals += int(steals.sum())
+        rec["ctrl"].destroy()
+        del self._rounds[rec["id"]]
+
+    def _supervise(
+        self, tasks, ctx_base, states, board, allowed, local_cov, tracer
+    ) -> None:
+        """Run the batch to completion across supervised rounds.
+
+        Invariants that keep results byte-identical under any fault
+        schedule:
+
+        - every task id is merged **at most once** (``completed`` /
+          ``abandoned`` gate the merge), so hedged duplicates and
+          requeued re-executions can never double-push candidates;
+        - rounds never share scheduling segments, so a straggler from
+          round *i* cannot pop tasks meant for round *j*;
+        - a task is only *abandoned* in degraded mode, and its missed
+          candidates are charged to the per-query coverage buffer the
+          same way skipped shards are.
         """
-        received = 0
-        done = 0
-        seen: set[int] = set()
+        batch_tag = object()  # identity tag: this batch's rounds
+        kernel = self.kernel
+        outstanding = set(range(len(tasks)))
+        completed: set[int] = set()
+        abandoned: set[int] = set()
+        reissues = {t: 0 for t in outstanding}
+        covered = {t: set() for t in outstanding}  # task -> active rounds
+
+        def abandon(task_ids) -> None:
+            for t in task_ids:
+                if t not in outstanding:
+                    continue
+                outstanding.discard(t)
+                abandoned.add(t)
+                self.fault_counters.abandoned_scans += 1
+                shard, qidxs = tasks[t]
+                for q in qidxs:
+                    local_cov[q, 1] += kernel.count_candidates(
+                        states[q], shard, allowed
+                    )
+
+        def requeue_after_settle(rec) -> None:
+            if rec["batch"] is not batch_tag:
+                return  # a previous batch's straggler round
+            stale = [
+                t for t in rec["task_ids"]
+                if t in outstanding and not covered[t]
+            ]
+            if not stale:
+                return
+            made_progress = len(completed) > rec["completed_at_dispatch"]
+            if not made_progress and rec["gen"] >= _MAX_BARREN_REQUEUES:
+                if local_cov is not None:
+                    abandon(stale)
+                    return
+                raise ProcessPoolError(
+                    f"{rec['gen']} requeue rounds completed no tasks"
+                )
+            self.fault_counters.tasks_requeued += len(stale)
+            if tracer is not None:
+                now = time.perf_counter()
+                tracer.record(
+                    "task-requeue", "fault",
+                    node=PROCESS_LANE_BASE,
+                    start=now, end=now, tasks=len(stale),
+                )
+            new_rec = self._dispatch_round(
+                stale, tasks, ctx_base, batch_tag,
+                attempt=rec["attempt"], gen=rec["gen"] + 1,
+                completed_count=len(completed),
+            )
+            for t in stale:
+                covered[t].add(new_rec["id"])
+
+        def mark_round_progress(rec) -> None:
+            if rec["workers"] <= rec["done"]:
+                for t in rec["task_ids"]:
+                    cov = covered.get(t)
+                    if cov is not None:
+                        cov.discard(rec["id"])
+                self._settle_round(rec)
+                requeue_after_settle(rec)
+
+        def check_workers() -> None:
+            dead = [
+                wid for wid, p in enumerate(self._procs)
+                if not p.is_alive()
+            ]
+            if not dead:
+                return
+            if len(dead) == len(self._procs):
+                raise ProcessPoolError("entire worker pool died mid-batch")
+            for wid in dead:
+                self._respawn_worker(wid, tracer)
+            for rec in list(self._rounds.values()):
+                before = len(rec["workers"])
+                rec["workers"] -= set(dead)
+                if len(rec["workers"]) != before:
+                    mark_round_progress(rec)
+
+        def check_deadlines(now: float) -> None:
+            if self.scan_timeout is None:
+                return
+            for rec in list(self._rounds.values()):
+                if (
+                    rec["batch"] is not batch_tag
+                    or rec["hedged"]
+                    or now < rec.get("deadline", float("inf"))
+                ):
+                    continue
+                rec["hedged"] = True
+                late = [t for t in rec["task_ids"] if t in outstanding]
+                if not late:
+                    continue
+                hedge = [t for t in late if reissues[t] < self.scan_retries]
+                spent = [t for t in late if reissues[t] >= self.scan_retries]
+                if hedge:
+                    for t in hedge:
+                        reissues[t] += 1
+                    self.fault_counters.scan_timeouts += len(hedge)
+                    new_rec = self._dispatch_round(
+                        hedge, tasks, ctx_base, batch_tag,
+                        attempt=rec["attempt"] + 1, gen=rec["gen"],
+                        completed_count=len(completed),
+                    )
+                    for t in hedge:
+                        covered[t].add(new_rec["id"])
+                if spent and local_cov is not None:
+                    # Degraded mode: stop waiting — charge the missed
+                    # candidates to coverage, exactly like a skipped
+                    # shard, and let the batch return promptly.
+                    abandon(spent)
+                # Non-degraded: keep waiting; the straggler is slow,
+                # not lost, and the stall watchdog bounds the worst
+                # case (a genuinely wedged pool falls back).
+
+        first = self._dispatch_round(
+            sorted(outstanding), tasks, ctx_base, batch_tag,
+            attempt=0, gen=0, completed_count=0,
+        )
+        for t in outstanding:
+            covered[t].add(first["id"])
+
         last_progress = time.monotonic()
-        while received < n_tasks or done < len(self._procs):
+        while outstanding:
             try:
                 msg = self._result_queue.get(timeout=_POLL_SECONDS)
             except _queue_mod.Empty:
-                if any(not p.is_alive() for p in self._procs):
-                    raise ProcessPoolError("worker process died mid-batch")
-                if time.monotonic() - last_progress > _STALL_SECONDS:
+                msg = None
+            now = time.monotonic()
+            if msg is None:
+                check_workers()
+                check_deadlines(now)
+                if now - last_progress > _STALL_SECONDS:
                     raise ProcessPoolError("worker pool stalled")
                 continue
-            if msg[1] != batch_id:
-                continue  # stale leftovers from an aborted batch
-            if msg[0] == "error":
+            kind, rid = msg[0], msg[1]
+            if kind == "error":
                 raise ProcessPoolError(f"worker failed:\n{msg[3]}")
-            last_progress = time.monotonic()
-            if msg[0] == "done":
-                done += 1
+            rec = self._rounds.get(rid)
+            if rec is None:
+                continue  # stale leftovers from a reclaimed round
+            if kind == "done":
+                rec["done"].add(msg[2])
+                mark_round_progress(rec)
+                last_progress = now
                 continue
-            _, _, wid, task_id, payload, t0, t1, shard = msg
-            if task_id in seen:
-                continue
-            seen.add(task_id)
+            _, _, wid, local_tid, payload, t0, t1, shard = msg
+            if rec["batch"] is not batch_tag:
+                continue  # a previous batch's task: states are gone
+            orig = rec["task_ids"][local_tid]
+            if orig in completed or orig in abandoned:
+                continue  # hedged duplicate: first result won
+            completed.add(orig)
+            outstanding.discard(orig)
+            last_progress = now
             for qidx, scores, ids, n_candidates, n_reranked in payload:
                 if local_cov is not None:
                     local_cov[qidx, :] += int(n_candidates)
                 if n_reranked:
-                    self.kernel._count_rerank_amount(int(n_reranked))
+                    kernel._count_rerank_amount(int(n_reranked))
                 if len(scores):
                     heap = states[qidx].heap
                     heap.push_many(scores, ids)
@@ -907,7 +1249,38 @@ class ProcessBackend(ThreadBackend):
                     worker=wid, shard=shard,
                     queries=len(payload),
                 )
-            received += 1
+
+        # All results are in. Give the round barriers a short grace
+        # window so steal accounting stays exact on the healthy path;
+        # rounds past their deadline (hedged stragglers) are not worth
+        # waiting on — later batches reap them.
+        grace_end = time.monotonic() + _SETTLE_GRACE
+        while any(
+            rec["batch"] is batch_tag and not rec["hedged"]
+            for rec in self._rounds.values()
+        ):
+            remaining = grace_end - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                msg = self._result_queue.get(
+                    timeout=min(_POLL_SECONDS, remaining)
+                )
+            except _queue_mod.Empty:
+                try:
+                    check_workers()
+                except ProcessPoolError:
+                    break  # results are already in; next search repairs
+                continue
+            if msg[0] == "done":
+                rec = self._rounds.get(msg[1])
+                if rec is not None:
+                    rec["done"].add(msg[2])
+                    if rec["workers"] <= rec["done"]:
+                        self._settle_round(rec)
+            elif msg[0] == "error":
+                raise ProcessPoolError(f"worker failed:\n{msg[3]}")
+            # task messages here are duplicates of completed tasks
 
     def __enter__(self) -> "ProcessBackend":
         return self

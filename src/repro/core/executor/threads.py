@@ -17,15 +17,40 @@ calls (constructing a ``ThreadPoolExecutor`` per call costs thread
 spawns on every query batch); :meth:`ThreadBackend.close` releases it,
 and a closed backend transparently re-creates the pool if searched
 again.
+
+Fault story (host-path robustness):
+
+- With ``scan_timeout`` set, the per-query path supervises each query
+  task through a future: a task that exceeds the (exponentially
+  escalating) timeout is **hedged** — re-submitted to the pool — and
+  whichever copy finishes first wins. ``kernel.search_one`` is pure
+  (it builds a fresh heap, mutating no shared state), so a duplicate
+  run computes the identical heap and the race is benign: results
+  stay byte-identical.
+- An attached :class:`~repro.cluster.host_faults.HostFaultInjector`
+  can delay tasks (straggler emulation) or kill them at entry
+  (:class:`~repro.cluster.host_faults.InjectedWorkerKill`); injected
+  kills fire *before* any shared state is touched, so the supervisor
+  simply re-runs the task — the thread-pool analogue of the process
+  backend's requeue-and-respawn.
+- The batched shard-group path supports delay and entry-kill
+  injection (retried the same way) but not timeout hedging: group
+  tasks merge into shared per-query heaps mid-flight, so duplicating
+  one would double-push candidates. Straggler *hedging* therefore
+  needs ``batch_queries=False`` or the process backend, whose tasks
+  are hedge-safe by construction.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
+from repro.cluster.host_faults import InjectedWorkerKill, sleep_for_delay
 from repro.core.executor.base import HostBackend
 from repro.core.partition import PartitionPlan
+from repro.util.retry import RetryPolicy
 
 
 class ThreadBackend(HostBackend):
@@ -39,6 +64,8 @@ class ThreadBackend(HostBackend):
         prewarm_size: heap-seeding candidates per query (0 disables
             pruning entirely).
         enable_pruning: toggle lossless early-stop pruning.
+        scan_timeout / scan_retries: straggler watchdog (see
+            :class:`HostBackend`).
 
     With a ``tracer`` attached (see :class:`HostBackend`), wall-clock
     spans land on one lane per pool thread, so the exported timeline
@@ -57,6 +84,8 @@ class ThreadBackend(HostBackend):
         batch_queries: bool = True,
         use_packed_base: bool = True,
         scan_precision: str = "fp32",
+        scan_timeout: "float | None" = None,
+        scan_retries: int = 3,
     ) -> None:
         if n_threads is not None and n_threads <= 0:
             raise ValueError(f"n_threads must be positive, got {n_threads}")
@@ -68,6 +97,8 @@ class ThreadBackend(HostBackend):
             batch_queries=batch_queries,
             use_packed_base=use_packed_base,
             scan_precision=scan_precision,
+            scan_timeout=scan_timeout,
+            scan_retries=scan_retries,
         )
         self.n_threads = n_threads
         self._pool: ThreadPoolExecutor | None = None
@@ -98,13 +129,113 @@ class ThreadBackend(HostBackend):
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- chaos + supervision --------------------------------------------
+
+    def _chaos_wrap(self, fn):
+        """Wrap a task callable with chaos injection + kill retry.
+
+        Injected kills fire at task entry (before any shared state is
+        touched), so re-running the task is always safe; each retry is
+        counted as a requeue. Delays time the task body and stretch it
+        by the injected straggler factor.
+        """
+        chaos = self.chaos
+        if chaos is None:
+            return fn
+
+        def wrapped(arg):
+            for _ in range(self.scan_retries + 1):
+                delay, kill = chaos.thread_task_event()
+                if kill:
+                    self.fault_counters.tasks_requeued += 1
+                    continue  # re-run: the task body never started
+                t0 = time.perf_counter()
+                out = fn(arg)
+                sleep_for_delay(delay, time.perf_counter() - t0)
+                return out
+            raise InjectedWorkerKill(
+                "chaos kill kept firing beyond scan_retries"
+            )
+
+        return wrapped
+
     def _map(self, fn, nq: int) -> None:
         pool = self._ensure_thread_pool()
-        list(pool.map(fn, range(nq)))
+        fn = self._chaos_wrap(fn)
+        if self.scan_timeout is None:
+            list(pool.map(fn, range(nq)))
+            return
+        self._map_hedged(pool, fn, nq)
+
+    def _map_hedged(self, pool, fn, nq: int) -> None:
+        """Per-query supervision: hedge stragglers past the timeout.
+
+        ``fn(i)`` must be idempotent — on this path it is
+        ``kernel.search_one`` writing its (deterministic) heap into
+        ``heaps[i]`` — so racing duplicates are benign. A pool thread
+        cannot be killed, so after ``scan_retries`` hedges the
+        supervisor simply keeps waiting on every copy; the hedges
+        bound straggler latency, not worst-case work.
+        """
+        policy = RetryPolicy(
+            base=float(self.scan_timeout), max_attempts=self.scan_retries
+        )
+        outstanding: dict[int, list] = {
+            i: [pool.submit(fn, i)] for i in range(nq)
+        }
+        attempts = {i: 0 for i in range(nq)}
+        errors: list[BaseException] = []
+        while outstanding:
+            running = [f for futs in outstanding.values() for f in futs]
+            min_attempt = min(attempts[i] for i in outstanding)
+            timeout = None
+            if min_attempt <= self.scan_retries:
+                timeout = policy.delay(min(min_attempt, policy.max_attempts))
+            done, _ = wait(running, timeout=timeout, return_when=FIRST_COMPLETED)
+            progressed = False
+            for i in list(outstanding):
+                futs = outstanding[i]
+                finished = [f for f in futs if f.done()]
+                if finished:
+                    progressed = True
+                    exc = None
+                    for f in finished:
+                        exc = f.exception()
+                        if exc is None:
+                            break
+                    if exc is not None and len(finished) == len(futs):
+                        errors.append(exc)
+                    elif exc is not None:
+                        continue  # a live hedge may still succeed
+                    del outstanding[i]
+            if progressed or not outstanding:
+                continue
+            # Timeout tick: hedge every straggler that still has
+            # attempts left; results are idempotent so the duplicate
+            # is free of correctness risk.
+            for i in list(outstanding):
+                if attempts[i] < self.scan_retries:
+                    attempts[i] += 1
+                    self.fault_counters.scan_timeouts += 1
+                    outstanding[i].append(pool.submit(fn, i))
+                else:
+                    attempts[i] += 1  # stop rearming the wait timeout
+        if errors:
+            raise errors[0]
 
     def _group_mapper(self):
         def run(task, shards) -> None:
             pool = self._ensure_thread_pool()
-            list(pool.map(task, shards))
+            futures = [
+                pool.submit(self._chaos_wrap(task), shard)
+                for shard in shards
+            ]
+            errors = []
+            for future in futures:
+                exc = future.exception()
+                if exc is not None:
+                    errors.append(exc)
+            if errors:
+                raise errors[0]
 
         return run

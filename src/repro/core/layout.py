@@ -18,6 +18,8 @@ deletes), mirroring the existing ``_base_slice_norms`` refresh.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.core.partition import PartitionPlan
@@ -78,6 +80,25 @@ def sq8_slice_errors(
         seg = diff[:, start:stop]
         err[:, j] = np.sqrt(np.einsum("ij,ij->i", seg, seg))
     return np.nextafter(err.astype(np.float32), np.float32(np.inf))
+
+
+def _release_owned_segment(shm) -> None:
+    """Finalizer body for owner layouts: drop the mapping, free pages.
+
+    Module-level (not a bound method) so the ``weakref.finalize``
+    callback holds no reference to the layout; it keeps only the
+    ``SharedMemory`` handle alive, which is exactly the resource it
+    must release. Runs at most once — :meth:`SharedShardPackedBase.
+    unlink` detaches it on the explicit-cleanup path.
+    """
+    try:
+        shm.close()
+    except (OSError, BufferError):
+        pass
+    try:
+        shm.unlink()
+    except (FileNotFoundError, OSError):
+        pass
 
 
 def _attach_shm(name: str):
@@ -424,6 +445,10 @@ class SharedShardPackedBase(ShardPackedBase):
     creator and attachers — calls :meth:`close` to drop its mapping.
     The segment persists until the last mapping closes, so the parent
     may safely unlink a stale layout while workers still scan it.
+    A ``weakref.finalize`` guard on owner layouts frees the segment
+    at garbage collection or interpreter exit even when ``unlink``
+    was never called, so a crashed or careless caller cannot leak
+    ``/dev/shm`` pages for the life of the machine.
     """
 
     def __init__(self, *args, shm=None, owner=False, **kwargs) -> None:
@@ -431,6 +456,11 @@ class SharedShardPackedBase(ShardPackedBase):
         self._shm = shm
         self._owner = owner
         self._spec: dict = {}
+        self._finalizer = (
+            weakref.finalize(self, _release_owned_segment, shm)
+            if owner and shm is not None
+            else None
+        )
 
     # -- construction ---------------------------------------------------
 
@@ -578,6 +608,9 @@ class SharedShardPackedBase(ShardPackedBase):
         """Free the segment (creator only); also closes the mapping."""
         shm = self._shm
         owner, self._owner = self._owner, False
+        finalizer, self._finalizer = self._finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
         self.close()
         if shm is not None and owner:
             try:

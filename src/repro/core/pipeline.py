@@ -62,6 +62,7 @@ from repro.core.executor.kernel import (
 from repro.core.heap import TopKHeap
 from repro.core.partition import PartitionPlan
 from repro.core.pruning import PruningStats, ShardScan
+from repro.util.retry import RetryPolicy
 from repro.core.results import (
     DegradedReport,
     ExecutionReport,
@@ -640,6 +641,11 @@ class PipelineEngine:
         widths = self.plan.slices.widths()
         machine = state.machine_for[block]
         clock = ready
+        # Jitter-free policy: simulated fault timelines must replay
+        # byte-identically, so attempt i waits exactly base * 2**i.
+        backoff = RetryPolicy(
+            base=config.retry_timeout, max_attempts=config.max_retries
+        )
         for attempt in range(config.max_retries + 1):
             hedge_machine = None
             hedge_end = None
@@ -693,7 +699,7 @@ class PipelineEngine:
             # to another live replica (re-shipping the query chunk) or
             # knock on the same machine again — it may have recovered.
             fstats.retries += 1
-            clock += config.retry_timeout * (2.0 ** attempt)
+            clock += backoff.delay(attempt)
             alternate = self._pick_alternate(state, block, machine, clock)
             if alternate is not None:
                 fstats.failovers += 1

@@ -53,6 +53,12 @@ class FaultStats:
             replica existed (``degraded_mode`` only).
         abandoned_scans: shard scans abandoned mid-run after exhausting
             retries (``degraded_mode`` only).
+        worker_respawns: dead host-backend worker processes replaced
+            by the supervisor during the batch.
+        tasks_requeued: (query-group, shard) tasks re-issued to
+            surviving workers after a worker death or injected kill.
+        scan_timeouts: tasks that exceeded ``scan_timeout`` and were
+            hedged onto a fresh attempt by the straggler watchdog.
     """
 
     retries: int = 0
@@ -62,6 +68,9 @@ class FaultStats:
     dropped_messages: int = 0
     skipped_scans: int = 0
     abandoned_scans: int = 0
+    worker_respawns: int = 0
+    tasks_requeued: int = 0
+    scan_timeouts: int = 0
 
     @property
     def any_activity(self) -> bool:
@@ -74,6 +83,9 @@ class FaultStats:
                 self.dropped_messages,
                 self.skipped_scans,
                 self.abandoned_scans,
+                self.worker_respawns,
+                self.tasks_requeued,
+                self.scan_timeouts,
             )
         )
 
@@ -86,6 +98,9 @@ class FaultStats:
             "dropped_messages": self.dropped_messages,
             "skipped_scans": self.skipped_scans,
             "abandoned_scans": self.abandoned_scans,
+            "worker_respawns": self.worker_respawns,
+            "tasks_requeued": self.tasks_requeued,
+            "scan_timeouts": self.scan_timeouts,
         }
 
 

@@ -43,6 +43,7 @@ from repro.serve.server import (
     HarmonyServer,
     RequestRejected,
     RequestShed,
+    RequestTimeout,
     ServeResponse,
     ServerClosed,
     ServeStats,
@@ -55,6 +56,7 @@ __all__ = [
     "OpenLoopResult",
     "RequestRejected",
     "RequestShed",
+    "RequestTimeout",
     "SequentialResult",
     "ServeResponse",
     "ServerClosed",

@@ -36,6 +36,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,6 +65,11 @@ class RequestShed(AdmissionError):
     """The request was evicted from the queue to admit newer traffic."""
 
 
+class RequestTimeout(RuntimeError):
+    """The request's end-to-end deadline expired before its batch
+    finished (``serve_deadline_policy="timeout"``)."""
+
+
 class ServerClosed(RuntimeError):
     """``submit`` was called on a closed (or closing) server."""
 
@@ -85,6 +91,10 @@ class ServeResponse:
         service_seconds: wall-clock of the batch search this request
             rode in.
         batch_size: how many requests shared that batch.
+        timed_out: True when the request's end-to-end deadline expired
+            mid-execution and ``serve_deadline_policy="partial"``
+            resolved it with an empty degraded payload (``ids`` all
+            ``-1``, ``distances`` all ``+inf``) instead of blocking.
     """
 
     ids: np.ndarray
@@ -95,6 +105,7 @@ class ServeResponse:
     queue_seconds: float
     service_seconds: float
     batch_size: int
+    timed_out: bool = False
 
     @property
     def e2e_seconds(self) -> float:
@@ -121,6 +132,7 @@ class ServeStats:
     queue_seconds: float = 0.0
     service_seconds: float = 0.0
     slo_violations: int = 0
+    deadline_exceeded: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -142,6 +154,7 @@ class ServeStats:
             "queue_seconds": float(self.queue_seconds),
             "service_seconds": float(self.service_seconds),
             "slo_violations": self.slo_violations,
+            "deadline_exceeded": self.deadline_exceeded,
         }
 
 
@@ -180,6 +193,7 @@ class HarmonyServer:
         deadline_fraction: float | None = None,
         queue_depth: int | None = None,
         shed_policy: str | None = None,
+        deadline_policy: str | None = None,
         metrics=None,
     ) -> None:
         config = db.config
@@ -203,7 +217,7 @@ class HarmonyServer:
             shed_policy if shed_policy is not None else config.serve_shed_policy
         )
         policy = str(policy).lower().replace("-", "_")
-        from repro.core.config import SHED_POLICIES
+        from repro.core.config import DEADLINE_POLICIES, SHED_POLICIES
 
         if policy not in SHED_POLICIES:
             raise ValueError(
@@ -211,6 +225,18 @@ class HarmonyServer:
                 f"{', '.join(SHED_POLICIES)}"
             )
         self.shed_policy = policy
+        dpolicy = (
+            deadline_policy
+            if deadline_policy is not None
+            else config.serve_deadline_policy
+        )
+        dpolicy = str(dpolicy).lower().replace("-", "_")
+        if dpolicy not in DEADLINE_POLICIES:
+            raise ValueError(
+                f"unknown deadline_policy {dpolicy!r}; expected one of "
+                f"{', '.join(DEADLINE_POLICIES)}"
+            )
+        self.deadline_policy = dpolicy
         if self.max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
         if self.slo_ms <= 0:
@@ -231,6 +257,11 @@ class HarmonyServer:
         self._paused = False
         self._closing = False
         self._closed = False
+        #: Single-thread helper that runs batch searches when a
+        #: non-blocking deadline policy is active, so the flusher can
+        #: resolve expired waiters while the search is still running.
+        #: Lazy: the default "block" policy never creates it.
+        self._exec_pool = None
         self._thread = threading.Thread(
             target=self._flush_loop, name="harmony-serve-flusher", daemon=True
         )
@@ -399,6 +430,9 @@ class HarmonyServer:
             self._paused = False
             self._cond.notify_all()
         self._thread.join(timeout)
+        if self._exec_pool is not None:
+            self._exec_pool.shutdown(wait=True)
+            self._exec_pool = None
         self._closed = True
 
     def __enter__(self) -> "HarmonyServer":
@@ -476,20 +510,137 @@ class HarmonyServer:
             self._execute(batch)
 
     def _execute(self, batch: "list[_Request]") -> None:
+        """Run one batch, never letting a failure kill the flusher.
+
+        Any exception — batch assembly, dispatch, or the search
+        itself — fails only *this batch's* unresolved futures (counted
+        in ``ServeStats.failed``); the flusher thread survives to
+        serve the next batch.
+        """
+        try:
+            self._execute_batch(batch)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+            unresolved = [r for r in batch if not r.future.done()]
+            self.stats.failed += len(unresolved)
+            self._count(
+                "harmony_serve_failed_total",
+                "Requests failed by batch-execution errors",
+                n=len(unresolved),
+            )
+            for request in unresolved:
+                request.future.set_exception(exc)
+
+    # -- deadline-aware execution ---------------------------------------
+
+    def _ensure_exec_pool(self):
+        if self._exec_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._exec_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="harmony-serve-exec"
+            )
+        return self._exec_pool
+
+    def _resolve_expired(
+        self, request: "_Request", now: float, batch_size: int, t_start: float
+    ) -> None:
+        """Resolve one waiter whose e2e deadline passed mid-execution."""
+        self.stats.deadline_exceeded += 1
+        self.stats.slo_violations += 1
+        self._count(
+            "harmony_serve_deadline_exceeded_total",
+            "Requests resolved at their expired e2e deadline",
+        )
+        self._count(
+            "harmony_serve_slo_violations_total",
+            "Requests whose e2e latency exceeded serve_slo_ms",
+        )
+        if self.deadline_policy == "timeout":
+            self.stats.failed += 1
+            request.future.set_exception(
+                RequestTimeout(
+                    f"deadline ({self.slo_ms:g} ms) expired before the "
+                    f"batch finished"
+                )
+            )
+            return
+        # "partial": an empty degraded payload, flagged — the serving
+        # twin of degraded-mode coverage flags, with zero coverage.
+        self.stats.completed += 1
+        request.future.set_result(
+            ServeResponse(
+                ids=np.full(request.k, -1, dtype=np.int64),
+                distances=np.full(request.k, np.inf, dtype=np.float64),
+                k=request.k,
+                nprobe_used=request.nprobe,
+                degraded=True,
+                queue_seconds=float(t_start - request.t_submit),
+                service_seconds=float(now - t_start),
+                batch_size=batch_size,
+                timed_out=True,
+            )
+        )
+
+    def _search_with_deadlines(self, batch, queries, k, nprobe, t_start):
+        """Run the batch on the helper thread, resolving waiters whose
+        deadline expires mid-flight; returns ``(result, report)`` or
+        ``(None, None)`` when every waiter was already resolved.
+
+        The helper pool has exactly one thread, so batch searches stay
+        serialized even when an abandoned search is still draining —
+        the backend never sees concurrent calls.
+        """
+        pool = self._ensure_exec_pool()
+        search = pool.submit(self.db.search, queries, k=k, nprobe=nprobe)
+        slo = self.slo_ms / 1000.0
+        waiters = sorted(batch, key=lambda r: r.t_submit)
+        idx = 0
+        while True:
+            now = time.perf_counter()
+            while idx < len(waiters) and waiters[idx].t_submit + slo <= now:
+                if not search.done():
+                    self._resolve_expired(
+                        waiters[idx], now, len(batch), t_start
+                    )
+                idx += 1
+            if search.done():
+                break
+            if idx >= len(waiters):
+                # Every waiter is resolved; let the search drain on the
+                # helper (the next batch queues behind it) and swallow
+                # its eventual outcome.
+                search.add_done_callback(lambda f: f.exception())
+                return None, None
+            try:
+                search.result(
+                    timeout=max(0.0, waiters[idx].t_submit + slo - now)
+                )
+            except _FuturesTimeout:
+                continue
+            break
+        # Done (or failed): surface the outcome to the normal path.
+        return search.result()
+
+    def _execute_batch(self, batch: "list[_Request]") -> None:
         queries = np.stack([request.query for request in batch])
         k = batch[0].k
         nprobe = batch[0].nprobe
         degraded = batch[0].degraded
         t_start = time.perf_counter()
-        try:
+        if self.deadline_policy == "block":
             result, report = self.db.search(queries, k=k, nprobe=nprobe)
-        except BaseException as exc:  # noqa: BLE001 - forwarded to callers
-            self.stats.failed += len(batch)
-            for request in batch:
-                request.future.set_exception(exc)
-            return
+        else:
+            result, report = self._search_with_deadlines(
+                batch, queries, k, nprobe, t_start
+            )
+            if result is None:
+                return
         t_end = time.perf_counter()
         service = t_end - t_start
+        # Waiters resolved at their deadline mid-execution (partial /
+        # timeout policies) already got their answer; the late real
+        # results are discarded for them below.
+        live = [not request.future.done() for request in batch]
         queue_waits = np.array(
             [t_start - request.t_submit for request in batch],
             dtype=np.float64,
@@ -502,7 +653,7 @@ class HarmonyServer:
         report.queue_seconds = float(queue_waits.sum())
         self.last_report = report
         self.stats.batches += 1
-        self.stats.completed += len(batch)
+        self.stats.completed += sum(live)
         self.stats.queue_seconds += float(queue_waits.sum())
         self.stats.service_seconds += service
         tracer = self.db.tracer
@@ -548,6 +699,8 @@ class HarmonyServer:
                 queue_hist.observe(float(wait))
                 e2e_hist.observe(float(wait) + service)
         for i, request in enumerate(batch):
+            if not live[i]:
+                continue  # resolved at its deadline mid-execution
             e2e = float(queue_waits[i]) + service
             if e2e > slo_seconds:
                 self.stats.slo_violations += 1
@@ -572,9 +725,9 @@ class HarmonyServer:
     # Metrics plumbing
     # ------------------------------------------------------------------
 
-    def _count(self, name: str, help: str) -> None:
-        if self.metrics is not None:
-            self.metrics.counter(name, help).inc()
+    def _count(self, name: str, help: str, n: int = 1) -> None:
+        if self.metrics is not None and n > 0:
+            self.metrics.counter(name, help).inc(float(n))
 
     def _gauge(self, name: str, help: str):
         return self.metrics.gauge(name, help)

@@ -1,0 +1,5 @@
+"""Small shared utilities with no dependency on the core engine."""
+
+from repro.util.retry import RetryPolicy, backoff_delay
+
+__all__ = ["RetryPolicy", "backoff_delay"]

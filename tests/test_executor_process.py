@@ -219,6 +219,43 @@ def test_shared_layout_staleness_and_unbacked_manifest():
         unbacked.manifest()
 
 
+def test_owner_layout_segment_freed_without_unlink():
+    """Dropping the owner without unlink() still frees the segment.
+
+    The ``weakref.finalize`` guard is the backstop against /dev/shm
+    leaks when a caller garbage-collects a layout (or the interpreter
+    exits) without running the explicit lifecycle.
+    """
+    import gc
+
+    from repro.core.layout import _attach_shm
+
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+
+    shared = SharedShardPackedBase.build(index, plan)
+    name = shared.shm_name
+    _attach_shm(name).close()  # segment exists while the owner lives
+    del shared
+    gc.collect()
+    with pytest.raises(FileNotFoundError):
+        _attach_shm(name)
+
+    # An attacher must NOT free the segment at GC — only its mapping.
+    shared = SharedShardPackedBase.build(index, plan)
+    name = shared.shm_name
+    attached = SharedShardPackedBase.attach(shared.manifest())
+    del attached
+    gc.collect()
+    _attach_shm(name).close()  # still alive: owner holds it
+    # Explicit unlink detaches the finalizer; GC after is a no-op.
+    shared.unlink()
+    del shared
+    gc.collect()
+    with pytest.raises(FileNotFoundError):
+        _attach_shm(name)
+
+
 # ---------------------------------------------------------------------------
 # Pool lifecycle
 # ---------------------------------------------------------------------------
@@ -293,11 +330,12 @@ def test_single_worker_pool():
 
 
 # ---------------------------------------------------------------------------
-# Fallback
+# Supervision + fallback
 # ---------------------------------------------------------------------------
 
 
-def test_worker_crash_falls_back_to_threads():
+def test_worker_crash_between_batches_respawns():
+    """A single dead worker is repaired in place, not fallen back on."""
     index = make_index()
     plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
     queries = make_queries(index.dim)
@@ -308,6 +346,29 @@ def test_worker_crash_falls_back_to_threads():
     victim = backend._procs[0]
     os.kill(victim.pid, signal.SIGKILL)
     victim.join(timeout=5.0)
+
+    got = backend.search(queries, k=5, nprobe=4)  # repaired transparently
+    assert not backend.fallback_active
+    assert backend.pool_running
+    assert all(p.is_alive() for p in backend._procs)
+    assert backend.fault_counters.worker_respawns >= 1
+    np.testing.assert_array_equal(got.ids, reference.ids)
+    np.testing.assert_array_equal(got.distances, reference.distances)
+    backend.close()
+
+
+def test_whole_pool_crash_falls_back_to_threads():
+    """Total pool loss is the (only) crash that flips to the fallback."""
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    reference = SerialBackend(index, plan=plan).search(queries, k=5, nprobe=4)
+
+    backend = ProcessBackend(index, plan=plan, n_workers=2)
+    backend.search(queries, k=5, nprobe=4)
+    for victim in list(backend._procs):
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5.0)
 
     got = backend.search(queries, k=5, nprobe=4)  # transparently degraded
     assert backend.fallback_active
@@ -326,6 +387,41 @@ def test_worker_crash_falls_back_to_threads():
     )
     np.testing.assert_array_equal(got2.ids, ref2.ids)
     np.testing.assert_array_equal(cov_got, cov_ref)
+    backend.close()
+
+
+def test_worker_crash_mid_query_completes_on_pool():
+    """A chaos kill mid-batch requeues + respawns; no thread fallback."""
+    from repro.cluster.host_faults import (
+        DelayScan,
+        HostFaultInjector,
+        KillWorker,
+    )
+
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    reference = SerialBackend(index, plan=plan).search(queries, k=5, nprobe=4)
+
+    backend = ProcessBackend(index, plan=plan, n_workers=2)
+    # Kill worker 0 on its very first task; pace worker 1 a little so
+    # it cannot drain the whole batch before worker 0 ever pops one.
+    backend.chaos = HostFaultInjector(
+        kills=[KillWorker(worker=0, at_task=0)],
+        delays=[DelayScan(seconds=0.002, worker=1)],
+    )
+    got = backend.search(queries, k=5, nprobe=4)
+    assert not backend.fallback_active
+    assert backend.fault_counters.worker_respawns >= 1
+    assert backend.fault_counters.tasks_requeued >= 1
+    assert "kill:worker=0" in backend.chaos.fired
+    np.testing.assert_array_equal(got.ids, reference.ids)
+    np.testing.assert_array_equal(got.distances, reference.distances)
+
+    # The respawned pool keeps serving identically, still no fallback.
+    again = backend.search(queries, k=5, nprobe=4)
+    assert not backend.fallback_active
+    np.testing.assert_array_equal(again.ids, reference.ids)
     backend.close()
 
 

@@ -128,6 +128,9 @@ class TestFaultStatsDict:
             "dropped_messages",
             "skipped_scans",
             "abandoned_scans",
+            "worker_respawns",
+            "tasks_requeued",
+            "scan_timeouts",
         ]
 
     def test_values_round_trip(self):

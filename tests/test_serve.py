@@ -430,3 +430,132 @@ def test_serve_knobs_survive_save_load(tmp_path, serve_db, serve_queries):
         server.close()
     finally:
         loaded.close()
+
+
+# ---------------------------------------------------------------------------
+# Deadline-aware execution + flusher crash-safety
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_policy_defaults_to_block(serve_db):
+    with serve_db.serve() as server:
+        assert server.deadline_policy == "block"
+    with pytest.raises(ValueError, match="deadline_policy"):
+        serve_db.serve(deadline_policy="hope")
+    with pytest.raises(ValueError, match="serve_deadline_policy"):
+        HarmonyConfig(serve_deadline_policy="nope")
+    assert (
+        HarmonyConfig(serve_deadline_policy="Partial").serve_deadline_policy
+        == "partial"
+    )
+
+
+def test_partial_policy_resolves_expired_waiters(
+    serve_db, serve_queries, monkeypatch
+):
+    """A batch blowing the deadline yields a flagged empty partial."""
+    real_search = serve_db.search
+
+    def slow_search(*args, **kwargs):
+        time.sleep(0.3)
+        return real_search(*args, **kwargs)
+
+    monkeypatch.setattr(serve_db, "search", slow_search)
+    with serve_db.serve(slo_ms=50.0, deadline_policy="partial") as server:
+        t0 = time.perf_counter()
+        response = server.submit(serve_queries[0], k=4).result(timeout=30)
+        elapsed = time.perf_counter() - t0
+        assert response.timed_out and response.degraded
+        assert np.all(response.ids == -1)
+        assert np.all(np.isinf(response.distances))
+        # Resolved at the ~50 ms deadline, not after the 300 ms search.
+        assert elapsed < 0.25
+        assert server.stats.deadline_exceeded == 1
+        assert server.stats.completed == 1
+        # The flusher survived; once the abandoned search drains off
+        # the helper thread, a fast request gets real results.
+        monkeypatch.setattr(serve_db, "search", real_search)
+        time.sleep(0.35)
+        again = server.submit(serve_queries[1], k=4).result(timeout=30)
+        assert not again.timed_out
+        assert np.any(again.ids >= 0)
+    stats = server.stats
+    assert stats.submitted == stats.completed + stats.rejected + (
+        stats.shed + stats.failed
+    )
+
+
+def test_timeout_policy_raises_typed_timeout(
+    serve_db, serve_queries, monkeypatch
+):
+    from repro.serve import RequestTimeout
+
+    real_search = serve_db.search
+
+    def slow_search(*args, **kwargs):
+        time.sleep(0.3)
+        return real_search(*args, **kwargs)
+
+    monkeypatch.setattr(serve_db, "search", slow_search)
+    with serve_db.serve(slo_ms=50.0, deadline_policy="timeout") as server:
+        future = server.submit(serve_queries[0], k=4)
+        with pytest.raises(RequestTimeout):
+            future.result(timeout=30)
+        assert server.stats.deadline_exceeded == 1
+        assert server.stats.failed == 1
+        monkeypatch.setattr(serve_db, "search", real_search)
+        time.sleep(0.35)
+        ok = server.submit(serve_queries[1], k=4).result(timeout=30)
+        assert np.any(ok.ids >= 0)
+    stats = server.stats
+    assert stats.submitted == stats.completed + stats.rejected + (
+        stats.shed + stats.failed
+    )
+
+
+def test_flusher_survives_batch_crash(serve_db, serve_queries, monkeypatch):
+    """A search exception fails that batch's futures, not the flusher."""
+    real_search = serve_db.search
+    crashes = {"left": 1}
+
+    def flaky_search(*args, **kwargs):
+        if crashes["left"] > 0:
+            crashes["left"] -= 1
+            raise RuntimeError("injected batch crash")
+        return real_search(*args, **kwargs)
+
+    monkeypatch.setattr(serve_db, "search", flaky_search)
+    registry = MetricsRegistry()
+    with serve_db.serve(metrics=registry) as server:
+        doomed = server.submit(serve_queries[0], k=4)
+        with pytest.raises(RuntimeError, match="injected batch crash"):
+            doomed.result(timeout=30)
+        assert server.stats.failed == 1
+        assert server._thread.is_alive()
+        ok = server.submit(serve_queries[1], k=4).result(timeout=30)
+        assert np.any(ok.ids >= 0)
+        assert server.stats.completed >= 1
+    sample = registry.to_prometheus()
+    assert "harmony_serve_failed_total 1" in sample
+    stats = server.stats
+    assert stats.submitted == stats.completed + stats.rejected + (
+        stats.shed + stats.failed
+    )
+
+
+def test_deadline_metric_published(serve_db, serve_queries, monkeypatch):
+    real_search = serve_db.search
+
+    def slow_search(*args, **kwargs):
+        time.sleep(0.2)
+        return real_search(*args, **kwargs)
+
+    monkeypatch.setattr(serve_db, "search", slow_search)
+    registry = MetricsRegistry()
+    with serve_db.serve(
+        slo_ms=40.0, deadline_policy="partial", metrics=registry
+    ) as server:
+        server.submit(serve_queries[0], k=3).result(timeout=30)
+    sample = registry.to_prometheus()
+    assert "harmony_serve_deadline_exceeded_total 1" in sample
+    assert server.stats.slo_violations >= 1
