@@ -130,6 +130,14 @@ class HarmonyConfig:
             bounds and re-ranks survivors against float32, returning
             byte-identical results for a quarter of the scan
             bandwidth. Honoured by every backend.
+        delta_compact_ratio: write-path compaction trigger. Mutations
+            are absorbed as per-shard delta segments and tombstone
+            bits on the immutable packed base; once the pending rows
+            (deltas + tombstones) exceed this fraction of the base
+            generation, the next search merges them into a fresh
+            generation. Results are byte-identical either way.
+        auto_compact: disable to never compact automatically; deltas
+            then accumulate until :meth:`HarmonyDB.compact` is called.
         memory_bandwidth: simulated per-node memory bandwidth cap in
             bytes/second shared by that node's concurrent scans
             (``"sim"`` backend only). ``None`` (the default) models
@@ -197,6 +205,8 @@ class HarmonyConfig:
     scan_timeout: "float | None" = None
     scan_retries: int = 3
     scan_precision: str = "fp32"
+    delta_compact_ratio: float = 0.25
+    auto_compact: bool = True
     memory_bandwidth: "float | None" = None
     serve_max_batch: int = 32
     serve_slo_ms: float = 20.0
@@ -279,6 +289,12 @@ class HarmonyConfig:
                 f"unknown scan_precision {self.scan_precision!r}; "
                 f"supported precisions: fp32, sq8"
             )
+        if self.delta_compact_ratio <= 0:
+            raise ValueError(
+                f"delta_compact_ratio must be positive, got "
+                f"{self.delta_compact_ratio}"
+            )
+        self.auto_compact = bool(self.auto_compact)
         if self.memory_bandwidth is not None and self.memory_bandwidth <= 0:
             raise ValueError(
                 f"memory_bandwidth must be positive or None, got "

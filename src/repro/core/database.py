@@ -218,7 +218,13 @@ class HarmonyDB:
         return removed
 
     def _refresh_engine(self):
-        """Rebuild the engine/placement after an index mutation."""
+        """Rebuild the sim engine/placement after an index mutation.
+
+        The host backend (thread/process pools, shared segments) is
+        deliberately *kept*: the plan is unchanged, so its kernel
+        absorbs the mutation lazily as delta rows / tombstone bits on
+        the next search instead of paying a full layout repack.
+        """
         assert self._engine is not None and self._decision is not None
         self._engine.release_data()
         self._engine = PipelineEngine(
@@ -228,8 +234,33 @@ class HarmonyDB:
             config=self.config,
         )
         self._placement = self._engine.place_data()
-        self._drop_host_backend()
         return self._placement
+
+    def compact(self) -> dict:
+        """Merge pending delta segments and tombstones into a fresh
+        base-generation layout now, instead of waiting for the
+        ``delta_compact_ratio`` trigger.
+
+        Searches are byte-identical before and after; compaction only
+        restores packed-layout density after heavy mutation churn (and,
+        on the process backend, re-homes the shared segment once on the
+        next search). Returns a stats dict with ``compacted``,
+        ``generation``, ``delta_rows_merged`` and
+        ``tombstones_cleared``; a no-op (nothing pending, or no host
+        backend active yet) reports ``compacted: False``.
+        """
+        if not self.is_built:
+            raise RuntimeError("build() must be called before compact()")
+        with self._backend_lock:
+            backend = self._host_backend
+        if backend is None:
+            return {
+                "compacted": False,
+                "generation": 0,
+                "delta_rows_merged": 0,
+                "tombstones_cleared": 0,
+            }
+        return backend.kernel.compact()
 
     def replan(
         self, sample_queries: np.ndarray, k: int = 10
@@ -377,6 +408,7 @@ class HarmonyDB:
             )
         backend = self._get_host_backend()
         nprobe = nprobe if nprobe is not None else self.config.nprobe
+        lstats_before = backend.kernel.layout_stats()
         routing_cache = backend.kernel.routing_cache
         if routing_cache is not None:
             hits_before, misses_before = routing_cache.counters()
@@ -477,6 +509,17 @@ class HarmonyDB:
             rerank_candidates=int(backend.last_rerank_count),
             code_bytes=backend.code_nbytes(),
         )
+        # Gauges are end-of-batch state; build/refresh/compaction
+        # counters are per-batch deltas (metrics counters accumulate
+        # across reports, mirroring the routing-cache idiom).
+        lstats = backend.kernel.layout_stats()
+        report.layout_generation = lstats["layout_generation"]
+        report.delta_rows = lstats["delta_rows"]
+        report.tombstones_pending = lstats["tombstones_since_build"]
+        for key in (
+            "layout_builds", "layout_refreshes", "layout_compactions"
+        ):
+            setattr(report, key, lstats[key] - lstats_before[key])
         if routing_cache is not None:
             hits_after, misses_after = routing_cache.counters()
             report.routing_cache_hits = hits_after - hits_before
@@ -516,6 +559,8 @@ class HarmonyDB:
                     scan_precision=self.config.scan_precision,
                     scan_timeout=self.config.scan_timeout,
                     scan_retries=self.config.scan_retries,
+                    delta_compact_ratio=self.config.delta_compact_ratio,
+                    auto_compact=self.config.auto_compact,
                 )
             elif self.config.backend == "process":
                 backend = ProcessBackend(
@@ -528,6 +573,8 @@ class HarmonyDB:
                     scan_precision=self.config.scan_precision,
                     scan_timeout=self.config.scan_timeout,
                     scan_retries=self.config.scan_retries,
+                    delta_compact_ratio=self.config.delta_compact_ratio,
+                    auto_compact=self.config.auto_compact,
                 )
             else:
                 backend = SerialBackend(
@@ -537,6 +584,8 @@ class HarmonyDB:
                     enable_pruning=self.config.enable_pruning,
                     batch_queries=self.config.batch_queries,
                     scan_precision=self.config.scan_precision,
+                    delta_compact_ratio=self.config.delta_compact_ratio,
+                    auto_compact=self.config.auto_compact,
                 )
             backend.tracer = self._tracer
             backend.chaos = self._host_faults
@@ -734,6 +783,8 @@ class HarmonyDB:
                 "max_retries": config.max_retries,
                 "hedge_latency_threshold": config.hedge_latency_threshold,
                 "scan_precision": config.scan_precision,
+                "delta_compact_ratio": config.delta_compact_ratio,
+                "auto_compact": config.auto_compact,
                 "scan_timeout": config.scan_timeout,
                 "scan_retries": config.scan_retries,
                 "memory_bandwidth": config.memory_bandwidth,

@@ -98,6 +98,9 @@ class HostBackend(Backend):
         scan_retries: re-issues per straggling task before the
             supervisor gives up (degraded mode then abandons the task
             with coverage accounting; otherwise it keeps waiting).
+        delta_compact_ratio / auto_compact: LSM write-path knobs
+            forwarded to the kernel (see
+            :class:`~repro.core.executor.kernel.ScanKernel`).
     """
 
     def __init__(
@@ -111,6 +114,8 @@ class HostBackend(Backend):
         scan_precision: str = "fp32",
         scan_timeout: "float | None" = None,
         scan_retries: int = 3,
+        delta_compact_ratio: float = 0.25,
+        auto_compact: bool = True,
     ) -> None:
         if not index.is_trained:
             raise RuntimeError("backend requires a trained index")
@@ -150,6 +155,8 @@ class HostBackend(Backend):
             enable_pruning=enable_pruning,
             use_packed_base=use_packed_base,
             scan_precision=scan_precision,
+            delta_compact_ratio=delta_compact_ratio,
+            auto_compact=auto_compact,
         )
 
     @property

@@ -119,6 +119,12 @@ class ScanKernel:
             pruning bounds, then re-ranks survivors against float32 —
             results stay bitwise identical to the fp32 path. Requires
             the packed base layout.
+        delta_compact_ratio: compaction trigger — when the packed
+            layout's pending rows (delta segments + tombstones) exceed
+            this fraction of its base generation, the next
+            :meth:`packed_base` merges them into a fresh generation.
+        auto_compact: disable to never compact automatically (deltas
+            then grow until :meth:`compact` is called explicitly).
     """
 
     def __init__(
@@ -130,6 +136,8 @@ class ScanKernel:
         enable_pruning: bool = True,
         use_packed_base: bool = True,
         scan_precision: str = "fp32",
+        delta_compact_ratio: float = 0.25,
+        auto_compact: bool = True,
     ) -> None:
         if not index.is_trained:
             raise RuntimeError("kernel requires a trained index")
@@ -168,6 +176,22 @@ class ScanKernel:
         #: memoization keyed by index version — results are unchanged.
         #: Set to None to disable.
         self.routing_cache: RoutingCache | None = RoutingCache()
+        if delta_compact_ratio <= 0:
+            raise ValueError(
+                "delta_compact_ratio must be positive, got "
+                f"{delta_compact_ratio}"
+            )
+        self.delta_compact_ratio = float(delta_compact_ratio)
+        self.auto_compact = bool(auto_compact)
+        #: Full packed-layout constructions (every generation, including
+        #: the first build and every compaction).
+        self.layout_builds = 0
+        #: In-place delta refreshes — mutations absorbed without
+        #: touching the base generation.
+        self.layout_refreshes = 0
+        #: Generations created by merging deltas/tombstones back into
+        #: the base (subset of ``layout_builds`` after the first).
+        self.layout_compactions = 0
         self._packed: ShardPackedBase | None = None
         #: Serializes packed-layout (re)builds and norm-table refreshes
         #: so concurrent searches through one kernel never tear the
@@ -195,7 +219,16 @@ class ScanKernel:
     # ------------------------------------------------------------------
 
     def packed_base(self) -> ShardPackedBase | None:
-        """The shard-major packed layout, rebuilt lazily on staleness.
+        """The shard-major packed layout, maintained incrementally.
+
+        Mutation handling is LSM-style: when the cached layout can
+        absorb the index's new state in place (appended rows become
+        delta-segment rows, removals flip tombstone bits) it is
+        *refreshed* rather than rebuilt — the immutable base generation
+        is untouched. Once pending deltas/tombstones exceed
+        ``delta_compact_ratio`` of the base (and ``auto_compact`` is
+        on), they are merged into a fresh base generation via a full
+        rebuild. Results are byte-identical either way.
 
         Returns None when packing is disabled, in which case candidate
         gathering falls back to fancy-indexing ``index.base``.
@@ -220,26 +253,108 @@ class ScanKernel:
                 and (not with_codes or packed.has_codes)
             ):
                 return packed
-            self._refresh_base_norms()
-            packed = ShardPackedBase.build(
-                self.index,
-                self.plan,
-                base_slice_norms=self._base_slice_norms,
-                with_codes=with_codes,
-            )
-            self._packed = packed
-            return packed
+            if (
+                packed is not None
+                and (not with_codes or packed.has_codes)
+                and packed.can_refresh(self.index)
+            ):
+                self._refresh_base_norms()
+                new_norms = None
+                if self._base_slice_norms is not None:
+                    new_norms = self._base_slice_norms[packed.ntotal :]
+                if packed.refresh(self.index, new_slice_norms=new_norms):
+                    self.layout_refreshes += 1
+                if self.auto_compact and packed.should_compact(
+                    self.delta_compact_ratio
+                ):
+                    return self._rebuild_layout(with_codes, compaction=True)
+                return packed
+            return self._rebuild_layout(with_codes)
+
+    def _rebuild_layout(
+        self, with_codes: bool, compaction: bool = False
+    ) -> ShardPackedBase:
+        """Build a fresh base generation (caller holds ``_layout_lock``)."""
+        self._refresh_base_norms()
+        packed = ShardPackedBase.build(
+            self.index,
+            self.plan,
+            base_slice_norms=self._base_slice_norms,
+            with_codes=with_codes,
+        )
+        self._packed = packed
+        self.layout_builds += 1
+        if compaction:
+            self.layout_compactions += 1
+        return packed
+
+    def compact(self) -> dict:
+        """Merge pending deltas and tombstones into a new generation now.
+
+        Returns a stats dict; ``compacted`` is False when there was
+        nothing pending (or packing is disabled).
+        """
+        if not self.use_packed_base:
+            return {
+                "compacted": False,
+                "generation": 0,
+                "delta_rows_merged": 0,
+                "tombstones_cleared": 0,
+            }
+        with self._layout_lock:
+            packed = self.packed_base()
+            merged = packed.delta_rows
+            cleared = packed.tombstones_since
+            if merged == 0 and cleared == 0:
+                return {
+                    "compacted": False,
+                    "generation": packed.generation,
+                    "delta_rows_merged": 0,
+                    "tombstones_cleared": 0,
+                }
+            with_codes = self.scan_precision == "sq8"
+            packed = self._rebuild_layout(with_codes, compaction=True)
+            return {
+                "compacted": True,
+                "generation": packed.generation,
+                "delta_rows_merged": merged,
+                "tombstones_cleared": cleared,
+            }
+
+    def layout_stats(self) -> dict:
+        """Generation/delta counters for reports and metrics."""
+        packed = self._packed
+        return {
+            "layout_generation": packed.generation if packed else 0,
+            "delta_rows": packed.delta_rows if packed else 0,
+            "tombstones_since_build": (
+                packed.tombstones_since if packed else 0
+            ),
+            "layout_builds": self.layout_builds,
+            "layout_refreshes": self.layout_refreshes,
+            "layout_compactions": self.layout_compactions,
+        }
 
     def _refresh_base_norms(self) -> None:
         with self._layout_lock:
-            if (
-                self._base_slice_norms is not None
-                and self._base_slice_norms.shape[0]
-                != self.index.base.shape[0]
-            ):
-                # The index grew since kernel construction (streaming
-                # adds); refresh the per-slice norm cache so IP bounds
-                # stay lossless.
+            if self._base_slice_norms is None:
+                return
+            cached = self._base_slice_norms.shape[0]
+            total = self.index.base.shape[0]
+            if cached == total:
+                return
+            if cached < total:
+                # The index grew since the last refresh (streaming
+                # adds). Per-row slice norms are independent of their
+                # neighbors, so extending the cache with just the new
+                # rows is bitwise identical to a full recompute.
+                appended = slice_norms(
+                    self.index.base[cached:total], self.plan.slices
+                )
+                self._base_slice_norms = np.concatenate(
+                    [self._base_slice_norms, appended], axis=0
+                )
+            else:  # pragma: no cover - ids are append-only
                 self._base_slice_norms = slice_norms(
                     self.index.base, self.plan.slices
                 )

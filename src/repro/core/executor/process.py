@@ -460,7 +460,10 @@ def _worker_main(
     to an immediate barrier message.
     """
     layout: SharedShardPackedBase | None = None
-    layout_name: str | None = None
+    # Attachment cache key: (base shm name, overlay shm name). Every
+    # overlay sync publishes under a fresh name, so a key change is
+    # exactly "the data plane moved" — re-attach (re-mmap, no copy).
+    layout_key: "tuple[str, str | None] | None" = None
     task_ordinal = 0  # lifetime tasks started by this worker slot
 
     def flush_results() -> None:
@@ -482,12 +485,17 @@ def _worker_main(
             try:
                 try:
                     manifest = ctx["layout"]
-                    if layout is None or layout_name != manifest["shm_name"]:
+                    overlay = manifest.get("overlay")
+                    key = (
+                        manifest["shm_name"],
+                        overlay["shm_name"] if overlay else None,
+                    )
+                    if layout is None or layout_key != key:
                         if layout is not None:
                             layout.close()
                             layout = None
                         layout = SharedShardPackedBase.attach(manifest)
-                        layout_name = manifest["shm_name"]
+                        layout_key = key
                     board = _SharedF64.attach(ctx["thresholds"])
                     ctrl = _SharedInt64.attach(
                         ctx["ctrl"]["name"], 3 * n_workers
@@ -604,6 +612,8 @@ class ProcessBackend(ThreadBackend):
         scan_precision: str = "fp32",
         scan_timeout: "float | None" = None,
         scan_retries: int = 3,
+        delta_compact_ratio: float = 0.25,
+        auto_compact: bool = True,
     ) -> None:
         if n_workers is not None and n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -618,6 +628,8 @@ class ProcessBackend(ThreadBackend):
             scan_precision=scan_precision,
             scan_timeout=scan_timeout,
             scan_retries=scan_retries,
+            delta_compact_ratio=delta_compact_ratio,
+            auto_compact=auto_compact,
         )
         self.n_workers = (
             int(n_workers) if n_workers is not None
@@ -640,6 +652,12 @@ class ProcessBackend(ThreadBackend):
         )
         #: Successful steals accumulated over the backend's lifetime.
         self.total_steals = 0
+        #: Full shared-segment re-homes (new base generations copied
+        #: into fresh shm). Delta-only mutations must not bump this.
+        self.shm_base_rehomes = 0
+        #: Overlay-segment republishes (deltas/tombstones shipped to
+        #: workers without touching the base pages).
+        self.shm_overlay_syncs = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -668,21 +686,44 @@ class ProcessBackend(ThreadBackend):
         return mp.get_context("fork" if "fork" in methods else "spawn")
 
     def _refresh_shared_layout(self) -> SharedShardPackedBase:
-        """(Re)build the shared segment when the index version moved."""
+        """(Re)home the shared segment only when the base generation moves.
+
+        Delta-absorbed mutations keep the immutable base pages exactly
+        where they are: the kernel refreshes the layout in place and
+        only the small overlay segment (delta rows + tombstone mask) is
+        republished. A full shm re-home happens solely when a *new
+        generation* appears — the first build or a compaction.
+        """
         layout = self._shared_layout
         if (
             layout is not None
+            and self.kernel._packed is layout
             and layout.matches(self.index)
             and (self.scan_precision != "sq8" or layout.has_codes)
         ):
+            # Still current — but the kernel may have absorbed deltas
+            # in place since the last dispatch; republishing is a no-op
+            # unless the overlay version moved.
+            if layout.sync_overlay():
+                self.shm_overlay_syncs += 1
             return layout
         packed = self.kernel.packed_base()
+        if packed is layout and layout is not None:
+            # Same generation, new deltas/tombstones: overlay-only sync.
+            if layout.sync_overlay():
+                self.shm_overlay_syncs += 1
+            return layout
         shared = SharedShardPackedBase.from_packed(packed)
+        if shared.delta_rows or shared.tombstones_since:
+            # The adopted layout already carries pending deltas (it was
+            # refreshed before the pool existed); publish them too.
+            shared.sync_overlay()
         # The parent scans the same pages: no second resident copy.
         self.kernel._packed = shared
         if layout is not None:
             layout.unlink()
         self._shared_layout = shared
+        self.shm_base_rehomes += 1
         return shared
 
     def _spawn_worker(self, wid: int, ctx) -> None:

@@ -86,6 +86,8 @@ class ThreadBackend(HostBackend):
         scan_precision: str = "fp32",
         scan_timeout: "float | None" = None,
         scan_retries: int = 3,
+        delta_compact_ratio: float = 0.25,
+        auto_compact: bool = True,
     ) -> None:
         if n_threads is not None and n_threads <= 0:
             raise ValueError(f"n_threads must be positive, got {n_threads}")
@@ -99,6 +101,8 @@ class ThreadBackend(HostBackend):
             scan_precision=scan_precision,
             scan_timeout=scan_timeout,
             scan_retries=scan_retries,
+            delta_compact_ratio=delta_compact_ratio,
+            auto_compact=auto_compact,
         )
         self.n_threads = n_threads
         self._pool: ThreadPoolExecutor | None = None

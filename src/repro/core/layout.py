@@ -10,19 +10,36 @@ candidates then reduces to concatenating a handful of ``arange`` ranges
 and one fancy-index into a small shard-local array — cheap, cache-
 friendly, and independent of the total base size.
 
-The packed copy is a pure cache: :class:`~repro.core.executor.kernel.
-ScanKernel` builds it lazily and drops it whenever the index's
-:attr:`~repro.index.ivf.IVFFlatIndex.version` moves (streaming adds or
-deletes), mirroring the existing ``_base_slice_norms`` refresh.
+The packed arrays are maintained LSM-style. A full :meth:`build` packs
+one immutable *base generation*; streaming mutations never touch it.
+:meth:`refresh` appends newly added rows to per-shard append-only
+*delta segments* (rows/ids/norms, plus SQ8 codes encoded against the
+generation's frozen quantization params) and mirrors deletions into a
+*tombstone mask* that gathers apply before any row reaches a heap —
+so an ``add``/``remove`` batch costs O(batch), not O(ntotal), and the
+shared-memory copy of the base never has to be re-homed for it.
+Because every pruning bound and score is computed per row (partial
+einsums are independent of which other rows share a block), scanning
+base + delta under a tombstone mask is byte-identical to scanning a
+freshly rebuilt layout. When deltas and tombstones accumulate past a
+ratio of the base (:meth:`should_compact`), a *compaction* merges them
+into a new base generation via an ordinary rebuild.
 """
 
 from __future__ import annotations
 
+import itertools
 import weakref
 
 import numpy as np
 
 from repro.core.partition import PartitionPlan
+from repro.util.growable import GrowableArray
+
+#: Process-wide base-generation ids: every full build/compaction gets
+#: a fresh one, so the process backend can tell "same generation, new
+#: deltas" (overlay sync) from "new generation" (full shm re-home).
+_GENERATIONS = itertools.count(1)
 
 #: Smallest admissible per-dimension quantization step. Constant
 #: columns have zero span; without the clamp encode would divide by a
@@ -121,17 +138,89 @@ def _attach_shm(name: str):
         resource_tracker.register = original
 
 
+def _stacked_take(
+    base: np.ndarray,
+    base_sel: np.ndarray,
+    delta: np.ndarray,
+    delta_sel: np.ndarray,
+) -> np.ndarray:
+    """Gather base and delta candidate rows into one fresh block.
+
+    The hot path of every mixed base+delta scan: ``np.take`` with
+    ``mode="clip"`` writes straight into the preallocated output, so
+    each candidate row is copied exactly once — fancy indexing plus
+    ``np.concatenate`` would copy everything twice. Indices are
+    in-range by construction, so clipping never fires.
+    """
+    n_base = base_sel.size
+    out = np.empty(
+        (n_base + delta_sel.size,) + base.shape[1:], dtype=base.dtype
+    )
+    np.take(base, base_sel, axis=0, out=out[:n_base], mode="clip")
+    np.take(delta, delta_sel, axis=0, out=out[n_base:], mode="clip")
+    return out
+
+
+class SplitRows:
+    """A base row block and its delta block, indexable as one array.
+
+    SQ8 re-ranking touches exact rows through two operations only —
+    fancy indexing with local row indices and ``.shape`` — so the
+    base/delta split can stay invisible to the scan classes: indices
+    below the base length resolve into the base block, the rest into
+    the delta block, positionally identical to indexing their
+    concatenation (without ever materializing it).
+    """
+
+    __slots__ = ("_base", "_delta")
+
+    def __init__(self, base: np.ndarray, delta: np.ndarray) -> None:
+        self._base = base
+        self._delta = delta
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (
+            self._base.shape[0] + self._delta.shape[0],
+            self._base.shape[1],
+        )
+
+    def __getitem__(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.intp)
+        base_n = self._base.shape[0]
+        in_base = idx < base_n
+        if in_base.all():
+            return self._base[idx]
+        out = np.empty(
+            (idx.shape[0], self._base.shape[1]), dtype=self._base.dtype
+        )
+        out[in_base] = self._base[idx[in_base]]
+        out[~in_base] = self._delta[idx[~in_base] - base_n]
+        return out
+
+
 class ShardPackedBase:
     """Per-shard contiguous copies of list-member rows, ids, and norms.
 
-    Build with :meth:`build`; query with :meth:`gather`. All arrays are
-    immutable snapshots of the index at build time — use
-    :meth:`matches` to detect staleness.
+    Build with :meth:`build`; query with :meth:`gather`. The base
+    arrays are an immutable snapshot of the index at build time;
+    streaming mutations land in per-shard delta segments and the
+    tombstone mask via :meth:`refresh` — use :meth:`matches` to detect
+    staleness and :meth:`can_refresh` to tell "refreshable in place"
+    from "needs a full rebuild".
 
     Attributes:
-        version: the index version this layout was packed from.
-        ntotal: base size at build time (cheap secondary staleness
-            check for indexes that predate the version counter).
+        version: the index version this layout currently reflects.
+        ntotal: base size currently reflected (cheap secondary
+            staleness check for indexes that predate the version
+            counter).
+        index_uid: :attr:`IVFFlatIndex.uid` of the source index; keyed
+            into staleness so a reloaded index (version counter reset)
+            can never alias a layout packed from its predecessor.
+        generation: base-generation id; moves only on full builds
+            (including compactions), never on delta refreshes.
+        delta_version: bumps on every in-place refresh; the process
+            backend syncs its overlay segment when this moves.
     """
 
     def __init__(
@@ -147,6 +236,11 @@ class ShardPackedBase:
         code_err: "list[np.ndarray | None] | None" = None,
         code_lo: np.ndarray | None = None,
         code_scale: np.ndarray | None = None,
+        plan: PartitionPlan | None = None,
+        index_uid: int = 0,
+        generation: int = 0,
+        tombstone: np.ndarray | None = None,
+        dead_at_build: int = 0,
     ) -> None:
         self._rows = rows
         self._ids = ids
@@ -161,6 +255,63 @@ class ShardPackedBase:
         )
         self._code_lo = code_lo
         self._code_scale = code_scale
+        self._plan = plan
+        self.index_uid = index_uid
+        self.generation = generation if generation else next(_GENERATIONS)
+        self.delta_version = 0
+        self._tombstone = (
+            tombstone
+            if tombstone is not None
+            else np.zeros(ntotal, dtype=bool)
+        )
+        self._dead_at_build = dead_at_build
+        self._tombstones_since = 0
+        self._with_norms = any(n is not None for n in norms)
+        self._init_empty_deltas()
+
+    def _init_empty_deltas(self) -> None:
+        n_shards = len(self._rows)
+        dim = self._rows[0].shape[1] if n_shards else 0
+        n_slices = None
+        for err in self._code_err:
+            if err is not None:
+                n_slices = err.shape[1]
+        if n_slices is None and self._with_norms:
+            for norm in self._norms:
+                if norm is not None:
+                    n_slices = norm.shape[1]
+        self._drows = [
+            GrowableArray(row_shape=(dim,), dtype=np.float32)
+            for _ in range(n_shards)
+        ]
+        self._dids = [
+            GrowableArray(dtype=np.int64) for _ in range(n_shards)
+        ]
+        self._dlists = [
+            GrowableArray(dtype=np.int64) for _ in range(n_shards)
+        ]
+        # float64 to match the base norm table bit-for-bit: slice norms
+        # feed the conservative pruning bound, and a float32 round-down
+        # (even half an ulp) could unsafely prune a true candidate.
+        self._dnorms = [
+            GrowableArray(row_shape=(n_slices,), dtype=np.float64)
+            if self._with_norms
+            else None
+            for _ in range(n_shards)
+        ]
+        with_codes = self._code_lo is not None
+        self._dcodes = [
+            GrowableArray(row_shape=(dim,), dtype=np.uint8)
+            if with_codes
+            else None
+            for _ in range(n_shards)
+        ]
+        self._dcode_err = [
+            GrowableArray(row_shape=(n_slices,), dtype=np.float32)
+            if with_codes
+            else None
+            for _ in range(n_shards)
+        ]
 
     @classmethod
     def build(
@@ -228,6 +379,7 @@ class ShardPackedBase:
             else:
                 codes.append(None)
                 code_err.append(None)
+        tombstone = np.array(index.deleted_mask, dtype=bool, copy=True)
         return cls(
             rows=rows,
             ids=ids,
@@ -240,25 +392,158 @@ class ShardPackedBase:
             code_err=code_err,
             code_lo=code_lo,
             code_scale=code_scale,
+            plan=plan,
+            index_uid=index.uid,
+            tombstone=tombstone,
+            dead_at_build=int(tombstone.sum()),
         )
 
     def matches(self, index: "IVFFlatIndex") -> bool:
-        """True while the layout still reflects the index's contents."""
+        """True while the layout still reflects the index's contents.
+
+        Keys on the index *identity* (uid) as well as its mutation
+        counters: a reloaded index restarts ``version`` at 0, so the
+        counters alone could collide with a stale layout packed from
+        the pre-save object.
+        """
         return (
-            self.version == index.version and self.ntotal == index.ntotal
+            self.index_uid == index.uid
+            and self.version == index.version
+            and self.ntotal == index.ntotal
         )
+
+    # -- incremental maintenance ---------------------------------------
+
+    def can_refresh(self, index: "IVFFlatIndex") -> bool:
+        """True when :meth:`refresh` can absorb the index's mutations.
+
+        The only index mutations are appends (ids grow monotonically)
+        and tombstoning (flags flip one way), so any same-uid index
+        that has moved forward is refreshable; a different index
+        object, or one attached without a plan (worker-side layouts),
+        needs a full rebuild.
+        """
+        return (
+            self._plan is not None
+            and self.index_uid == index.uid
+            and index.ntotal >= self.ntotal
+            and index.version >= self.version
+        )
+
+    def refresh(
+        self,
+        index: "IVFFlatIndex",
+        new_slice_norms: np.ndarray | None = None,
+    ) -> bool:
+        """Absorb pending mutations into deltas/tombstones, in place.
+
+        Appended rows are routed to their shard's delta segment (with
+        per-slice norms, and SQ8 codes encoded against the *frozen*
+        base-generation params — still lossless, because the pruning
+        bound is padded by each row's actual reconstruction error and
+        survivors re-rank against exact float32). Deletions only flip
+        tombstone bits. The base arrays are never touched, so a
+        mutation batch costs O(batch + ntotal/8 bits), not a repack.
+
+        Args:
+            index: the (mutated) source index; must satisfy
+                :meth:`can_refresh`.
+            new_slice_norms: per-slice norms of the appended rows
+                (``index.base[ntotal_old:]``) when the layout packs
+                norms; computed by the caller so the kernel's own norm
+                table and the layout stay bitwise in sync.
+
+        Returns:
+            True when anything changed (and ``delta_version`` moved).
+        """
+        if self.matches(index):
+            return False
+        if not self.can_refresh(index):
+            raise RuntimeError(
+                "layout cannot be refreshed from this index; rebuild"
+            )
+        old_n, new_n = self.ntotal, index.ntotal
+        if new_n > old_n:
+            new_ids = np.arange(old_n, new_n, dtype=np.int64)
+            lists = index.assignment_of(new_ids)
+            shards = self._plan.shard_of_list[lists]
+            if self._with_norms and new_slice_norms is None:
+                raise ValueError(
+                    "layout packs per-slice norms; refresh needs "
+                    "new_slice_norms for the appended rows"
+                )
+            rows = index.base[old_n:new_n]
+            for shard in np.unique(shards):
+                sel = np.flatnonzero(shards == shard)
+                self._append_delta(
+                    int(shard),
+                    new_ids[sel],
+                    rows[sel],
+                    lists[sel],
+                    None
+                    if new_slice_norms is None
+                    else new_slice_norms[sel],
+                )
+        self._tombstone = np.array(index.deleted_mask, dtype=bool, copy=True)
+        self._tombstones_since = (
+            int(self._tombstone.sum()) - self._dead_at_build
+        )
+        self.version = index.version
+        self.ntotal = new_n
+        self.delta_version += 1
+        return True
+
+    def _append_delta(
+        self,
+        shard: int,
+        ids: np.ndarray,
+        rows: np.ndarray,
+        lists: np.ndarray,
+        norms: np.ndarray | None,
+    ) -> None:
+        rows = np.ascontiguousarray(rows, dtype=np.float32)
+        self._drows[shard].append(rows)
+        self._dids[shard].append(ids)
+        self._dlists[shard].append(lists)
+        if self._dnorms[shard] is not None:
+            self._dnorms[shard].append(norms)
+        if self._dcodes[shard] is not None:
+            codes = sq8_encode(rows, self._code_lo, self._code_scale)
+            self._dcodes[shard].append(codes)
+            self._dcode_err[shard].append(
+                sq8_slice_errors(
+                    rows, codes, self._code_lo, self._code_scale,
+                    self._plan.slices,
+                )
+            )
+
+    @property
+    def delta_rows(self) -> int:
+        """Rows currently living in delta segments (all shards)."""
+        return int(sum(len(d) for d in self._dids))
+
+    @property
+    def tombstones_since(self) -> int:
+        """Rows tombstoned since this base generation was packed."""
+        return int(self._tombstones_since)
+
+    def should_compact(self, ratio: float) -> bool:
+        """True when deltas + tombstones exceed ``ratio`` of the base."""
+        base_rows = sum(ids.size for ids in self._ids)
+        pending = self.delta_rows + self.tombstones_since
+        return pending > ratio * max(1, base_rows)
 
     @property
     def n_shards(self) -> int:
         return len(self._rows)
 
     def shard_size(self, shard: int) -> int:
-        """Packed (live) row count of one shard."""
-        return self._ids[shard].size
+        """Packed row count of one shard (base + delta segments)."""
+        return self._ids[shard].size + len(self._dids[shard])
 
     @property
     def nbytes(self) -> int:
-        """Total bytes held by the packed arrays."""
+        """Total bytes held by the packed arrays (base + deltas)."""
         total = 0
         for arrays in (
             self._rows, self._ids, self._norms, self._codes, self._code_err
@@ -266,7 +551,16 @@ class ShardPackedBase:
             for arr in arrays:
                 if arr is not None:
                     total += arr.nbytes
-        total += self._list_start.nbytes + self._list_stop.nbytes
+        for buffers in (
+            self._drows, self._dids, self._dlists, self._dnorms,
+            self._dcodes, self._dcode_err,
+        ):
+            for buf in buffers:
+                if buf is not None:
+                    total += buf.nbytes
+        if self._list_start is not None:
+            total += self._list_start.nbytes + self._list_stop.nbytes
+        total += self._tombstone.nbytes
         for arr in (self._code_lo, self._code_scale):
             if arr is not None:
                 total += arr.nbytes
@@ -294,14 +588,18 @@ class ShardPackedBase:
 
     @property
     def rows_nbytes(self) -> int:
-        """Bytes of the float32 row blocks alone."""
-        return int(sum(arr.nbytes for arr in self._rows))
+        """Bytes of the float32 row blocks alone (base + delta)."""
+        return int(
+            sum(arr.nbytes for arr in self._rows)
+            + sum(buf.nbytes for buf in self._drows)
+        )
 
     @property
     def codes_nbytes(self) -> int:
         """Bytes of the uint8 code blocks alone (0 without codes)."""
         return int(
             sum(arr.nbytes for arr in self._codes if arr is not None)
+            + sum(buf.nbytes for buf in self._dcodes if buf is not None)
         )
 
     @property
@@ -309,6 +607,9 @@ class ShardPackedBase:
         """Bytes of the SQ8 side tables (error norms + dequant params)."""
         total = sum(
             arr.nbytes for arr in self._code_err if arr is not None
+        )
+        total += sum(
+            buf.nbytes for buf in self._dcode_err if buf is not None
         )
         for arr in (self._code_lo, self._code_scale):
             if arr is not None:
@@ -339,6 +640,44 @@ class ShardPackedBase:
             ``(ids, rows, norms)`` — global ids, a fresh float32 row
             block, and the matching per-slice norm block (None for L2).
         """
+        local, ids = self._base_candidates(shard, lists, allowed, exclude)
+        dsel, dids = self._delta_candidates(shard, lists, allowed, exclude)
+        if dsel is None:
+            if local is None:
+                return (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(
+                        (0, self._rows[shard].shape[1]), dtype=np.float32
+                    ),
+                    None,
+                )
+            rows = self._rows[shard][local]
+            shard_norms = self._norms[shard]
+            norms = None if shard_norms is None else shard_norms[local]
+            return ids, rows, norms
+        drow_buf = self._drows[shard].view
+        dnorm_buf = self._dnorms[shard]
+        if local is None:
+            dnorms = None if dnorm_buf is None else dnorm_buf.view[dsel]
+            return dids, drow_buf[dsel], dnorms
+        ids = np.concatenate([ids, dids])
+        rows = _stacked_take(self._rows[shard], local, drow_buf, dsel)
+        shard_norms = self._norms[shard]
+        norms = (
+            None
+            if shard_norms is None
+            else _stacked_take(shard_norms, local, dnorm_buf.view, dsel)
+        )
+        return ids, rows, norms
+
+    def _base_candidates(
+        self,
+        shard: int,
+        lists: np.ndarray,
+        allowed: np.ndarray | None,
+        exclude: np.ndarray | None,
+    ) -> "tuple[np.ndarray | None, np.ndarray | None]":
+        """Masked (local indices, global ids) of base-block candidates."""
         shard_ids = self._ids[shard]
         parts = []
         for list_id in np.asarray(lists, dtype=np.int64):
@@ -347,26 +686,67 @@ class ShardPackedBase:
             if stop > start:
                 parts.append(np.arange(start, stop, dtype=np.intp))
         if not parts:
-            empty_ids = np.empty(0, dtype=np.int64)
-            empty_rows = np.empty(
-                (0, self._rows[shard].shape[1]), dtype=np.float32
-            )
-            return empty_ids, empty_rows, None
+            return None, None
         local = np.concatenate(parts) if len(parts) > 1 else parts[0]
         ids = shard_ids[local]
-        if allowed is not None or exclude is not None:
-            mask = np.ones(ids.size, dtype=bool)
-            if allowed is not None:
-                mask &= allowed[ids]
-            if exclude is not None:
-                mask &= ~exclude[ids]
-            if not mask.all():
-                local = local[mask]
-                ids = ids[mask]
-        rows = self._rows[shard][local]
-        shard_norms = self._norms[shard]
-        norms = None if shard_norms is None else shard_norms[local]
-        return ids, rows, norms
+        mask = self._candidate_mask(ids, allowed, exclude)
+        if mask is not None:
+            local = local[mask]
+            ids = ids[mask]
+            if ids.size == 0:
+                return None, None
+        return local, ids
+
+    def _delta_candidates(
+        self,
+        shard: int,
+        lists: np.ndarray,
+        allowed: np.ndarray | None,
+        exclude: np.ndarray | None,
+    ) -> "tuple[np.ndarray | None, np.ndarray | None]":
+        """Masked (delta indices, global ids) of delta-segment candidates.
+
+        Delta rows are appended in arrival order regardless of list;
+        membership is a linear pass over the per-shard list tags via a
+        probed-list lookup table — fine, because compaction bounds the
+        delta size to a fraction of the base.
+        """
+        dlists = self._dlists[shard].view
+        if dlists.size == 0:
+            return None, None
+        probed = np.zeros(self._list_start.size, dtype=bool)
+        probed[np.asarray(lists, dtype=np.int64)] = True
+        sel = np.flatnonzero(probed[dlists])
+        if sel.size == 0:
+            return None, None
+        ids = self._dids[shard].view[sel]
+        mask = self._candidate_mask(ids, allowed, exclude)
+        if mask is not None:
+            sel = sel[mask]
+            ids = ids[mask]
+            if ids.size == 0:
+                return None, None
+        return sel, ids
+
+    def _candidate_mask(
+        self,
+        ids: np.ndarray,
+        allowed: np.ndarray | None,
+        exclude: np.ndarray | None,
+    ) -> np.ndarray | None:
+        """Combined admissibility/tombstone mask, or None to keep all."""
+        mask = None
+        if allowed is not None:
+            mask = allowed[ids]
+        if exclude is not None:
+            drop = ~exclude[ids]
+            mask = drop if mask is None else mask & drop
+        if self._tombstones_since:
+            live = ~self._tombstone[ids]
+            mask = live if mask is None else mask & live
+        if mask is None or mask.all():
+            return None
+        return mask
 
     def gather_sq8(
         self,
@@ -385,21 +765,18 @@ class ShardPackedBase:
         Returns:
             ``(ids, codes, err, norms, rows_full, local)`` — global
             ids, fresh uint8 code and float32 error-norm blocks, the
-            per-slice norm block (None for L2), the shard's *full*
-            float32 row array (not copied), and each candidate's row
-            index into it.
+            per-slice norm block (None for L2), the shard's full exact
+            row storage (a :class:`SplitRows` over the base and delta
+            blocks, not copied), and each candidate's row index into
+            it.
         """
         if not self.has_codes:
             raise RuntimeError("layout was packed without SQ8 codes")
-        shard_ids = self._ids[shard]
-        parts = []
-        for list_id in np.asarray(lists, dtype=np.int64):
-            start = self._list_start[list_id]
-            stop = self._list_stop[list_id]
-            if stop > start:
-                parts.append(np.arange(start, stop, dtype=np.intp))
-        rows_full = self._rows[shard]
-        if not parts:
+        base_n = self._rows[shard].shape[0]
+        rows_full = SplitRows(self._rows[shard], self._drows[shard].view)
+        local, ids = self._base_candidates(shard, lists, allowed, exclude)
+        dsel, dids = self._delta_candidates(shard, lists, allowed, exclude)
+        if local is None and dsel is None:
             n_slices = self._code_err[shard].shape[1]
             return (
                 np.empty(0, dtype=np.int64),
@@ -409,21 +786,35 @@ class ShardPackedBase:
                 rows_full,
                 np.empty(0, dtype=np.intp),
             )
-        local = np.concatenate(parts) if len(parts) > 1 else parts[0]
-        ids = shard_ids[local]
-        if allowed is not None or exclude is not None:
-            mask = np.ones(ids.size, dtype=bool)
-            if allowed is not None:
-                mask &= allowed[ids]
-            if exclude is not None:
-                mask &= ~exclude[ids]
-            if not mask.all():
-                local = local[mask]
-                ids = ids[mask]
-        codes = self._codes[shard][local]
-        err = self._code_err[shard][local]
         shard_norms = self._norms[shard]
-        norms = None if shard_norms is None else shard_norms[local]
+        if dsel is None:
+            codes = self._codes[shard][local]
+            err = self._code_err[shard][local]
+            norms = None if shard_norms is None else shard_norms[local]
+            return ids, codes, err, norms, rows_full, local
+        dcode_buf = self._dcodes[shard].view
+        derr_buf = self._dcode_err[shard].view
+        dnorm_buf = self._dnorms[shard]
+        dlocal = (base_n + dsel).astype(np.intp)
+        if local is None:
+            dnorms = None if dnorm_buf is None else dnorm_buf.view[dsel]
+            return (
+                dids,
+                dcode_buf[dsel],
+                derr_buf[dsel],
+                dnorms,
+                rows_full,
+                dlocal,
+            )
+        ids = np.concatenate([ids, dids])
+        codes = _stacked_take(self._codes[shard], local, dcode_buf, dsel)
+        err = _stacked_take(self._code_err[shard], local, derr_buf, dsel)
+        norms = (
+            None
+            if shard_norms is None
+            else _stacked_take(shard_norms, local, dnorm_buf.view, dsel)
+        )
+        local = np.concatenate([local, dlocal])
         return ids, codes, err, norms, rows_full, local
 
 
@@ -461,6 +852,14 @@ class SharedShardPackedBase(ShardPackedBase):
             if owner and shm is not None
             else None
         )
+        # Overlay segment: a small, frequently re-published mirror of
+        # the delta segments + tombstone mask. The base segment above
+        # is immutable for the life of its generation; only this
+        # overlay moves when mutations are absorbed.
+        self._overlay_shm = None
+        self._overlay_spec: dict = {}
+        self._overlay_version = -1
+        self._overlay_finalizer = None
 
     # -- construction ---------------------------------------------------
 
@@ -516,11 +915,36 @@ class SharedShardPackedBase(ShardPackedBase):
             ],
             code_lo=views.get("code_lo"),
             code_scale=views.get("code_scale"),
+            plan=packed._plan,
+            index_uid=packed.index_uid,
+            generation=packed.generation,
+            tombstone=packed._tombstone,
+            dead_at_build=packed._dead_at_build,
             shm=shm,
             owner=True,
         )
         layout._spec = spec
+        layout._adopt_delta_state(packed)
         return layout
+
+    def _adopt_delta_state(self, packed: ShardPackedBase) -> None:
+        """Take over the source layout's delta segments wholesale.
+
+        The owner keeps deltas in private (host-memory) growth buffers
+        — they stay small by construction, bounded by the compaction
+        ratio — and mirrors them into the overlay segment on
+        :meth:`sync_overlay`.
+        """
+        self._drows = packed._drows
+        self._dids = packed._dids
+        self._dlists = packed._dlists
+        self._dnorms = packed._dnorms
+        self._dcodes = packed._dcodes
+        self._dcode_err = packed._dcode_err
+        self._tombstone = packed._tombstone
+        self._dead_at_build = packed._dead_at_build
+        self._tombstones_since = packed._tombstones_since
+        self.delta_version = packed.delta_version
 
     @classmethod
     def build(
@@ -541,16 +965,109 @@ class SharedShardPackedBase(ShardPackedBase):
     # -- cross-process plumbing ----------------------------------------
 
     def manifest(self) -> dict:
-        """Picklable description a worker passes to :meth:`attach`."""
+        """Picklable description a worker passes to :meth:`attach`.
+
+        ``shm_name`` is the immutable base generation's segment;
+        ``overlay`` (None until the first post-build mutation) names
+        the current delta/tombstone mirror. Workers key their cached
+        attachment on the pair, so delta-only refreshes re-map just
+        the small overlay.
+        """
         if self._shm is None:
             raise RuntimeError("layout is not backed by shared memory")
+        overlay = None
+        if self._overlay_shm is not None:
+            overlay = {
+                "shm_name": self._overlay_shm.name,
+                "spec": dict(self._overlay_spec),
+                "delta_version": self._overlay_version,
+            }
         return {
             "shm_name": self._shm.name,
             "n_shards": self.n_shards,
             "spec": dict(self._spec),
             "version": self.version,
             "ntotal": self.ntotal,
+            "uid": self.index_uid,
+            "generation": self.generation,
+            "dead_at_build": self._dead_at_build,
+            "tombstones_since": self._tombstones_since,
+            "overlay": overlay,
         }
+
+    def sync_overlay(self) -> bool:
+        """Publish the current deltas + tombstones as a fresh overlay.
+
+        No-op while the overlay already mirrors ``delta_version``.
+        Otherwise writes all delta arrays and the tombstone mask into
+        a new (small) shared segment and retires the previous one —
+        workers still scanning it keep valid mappings until they
+        close; new dispatches attach the replacement. The base segment
+        is untouched, so a delta-only mutation batch never re-homes
+        the bulk of the layout.
+
+        Returns:
+            True when a new overlay segment was published.
+        """
+        if (
+            self._overlay_shm is not None
+            and self._overlay_version == self.delta_version
+        ):
+            return False
+        from multiprocessing import shared_memory
+
+        arrays: list[tuple[str, np.ndarray]] = [
+            ("tombstone", self._tombstone)
+        ]
+        for shard in range(self.n_shards):
+            arrays.append((f"drows{shard}", self._drows[shard].view))
+            arrays.append((f"dids{shard}", self._dids[shard].view))
+            arrays.append((f"dlists{shard}", self._dlists[shard].view))
+            if self._dnorms[shard] is not None:
+                arrays.append((f"dnorms{shard}", self._dnorms[shard].view))
+            if self._dcodes[shard] is not None:
+                arrays.append((f"dcodes{shard}", self._dcodes[shard].view))
+                arrays.append(
+                    (f"dcode_err{shard}", self._dcode_err[shard].view)
+                )
+        total = sum(arr.nbytes for _, arr in arrays)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        offset = 0
+        spec: dict[str, tuple[int, tuple, str]] = {}
+        for key, arr in arrays:
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+            )
+            view[...] = arr
+            spec[key] = (offset, tuple(arr.shape), arr.dtype.str)
+            offset += arr.nbytes
+        self._retire_overlay()
+        self._overlay_shm = shm
+        self._overlay_spec = spec
+        self._overlay_version = self.delta_version
+        if self._owner:
+            self._overlay_finalizer = weakref.finalize(
+                self, _release_owned_segment, shm
+            )
+        return True
+
+    def _retire_overlay(self) -> None:
+        shm, self._overlay_shm = self._overlay_shm, None
+        finalizer, self._overlay_finalizer = self._overlay_finalizer, None
+        if finalizer is not None:
+            finalizer.detach()
+        self._overlay_spec = {}
+        self._overlay_version = -1
+        if shm is not None:
+            try:
+                shm.close()
+            except (OSError, BufferError):
+                pass
+            if self._owner:
+                try:
+                    shm.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
 
     @classmethod
     def attach(cls, manifest: dict) -> "SharedShardPackedBase":
@@ -579,11 +1096,48 @@ class SharedShardPackedBase(ShardPackedBase):
             code_err=[view(f"code_err{s}") for s in range(n_shards)],
             code_lo=view("code_lo"),
             code_scale=view("code_scale"),
+            index_uid=manifest.get("uid", 0),
+            generation=manifest.get("generation", 0),
             shm=shm,
             owner=False,
         )
         layout._spec = dict(spec)
+        overlay = manifest.get("overlay")
+        if overlay is not None:
+            layout._attach_overlay(manifest, overlay)
         return layout
+
+    def _attach_overlay(self, manifest: dict, overlay: dict) -> None:
+        """Map the delta/tombstone overlay alongside the base views."""
+        shm = _attach_shm(overlay["shm_name"])
+        spec = overlay["spec"]
+
+        def view(key: str) -> np.ndarray | None:
+            if key not in spec:
+                return None
+            offset, shape, dtype = spec[key]
+            return np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+
+        def wrap(key: str):
+            arr = view(key)
+            return None if arr is None else GrowableArray.wrap(arr)
+
+        n_shards = self.n_shards
+        self._drows = [wrap(f"drows{s}") for s in range(n_shards)]
+        self._dids = [wrap(f"dids{s}") for s in range(n_shards)]
+        self._dlists = [wrap(f"dlists{s}") for s in range(n_shards)]
+        self._dnorms = [wrap(f"dnorms{s}") for s in range(n_shards)]
+        self._dcodes = [wrap(f"dcodes{s}") for s in range(n_shards)]
+        self._dcode_err = [wrap(f"dcode_err{s}") for s in range(n_shards)]
+        self._tombstone = view("tombstone")
+        self._dead_at_build = manifest.get("dead_at_build", 0)
+        self._tombstones_since = manifest.get("tombstones_since", 0)
+        self.delta_version = overlay.get("delta_version", 0)
+        self._overlay_shm = shm
+        self._overlay_spec = dict(spec)
+        self._overlay_version = self.delta_version
 
     # -- lifecycle ------------------------------------------------------
 
@@ -592,12 +1146,16 @@ class SharedShardPackedBase(ShardPackedBase):
         return None if self._shm is None else self._shm.name
 
     def close(self) -> None:
-        """Drop this process's mapping (views become invalid)."""
+        """Drop this process's mappings (views become invalid)."""
         shm, self._shm = self._shm, None
         self._rows = self._ids = self._norms = []  # release buffer refs
         self._codes = self._code_err = []
+        self._drows = self._dids = self._dlists = []
+        self._dnorms = self._dcodes = self._dcode_err = []
+        self._tombstone = np.zeros(0, dtype=bool)
         self._list_start = self._list_stop = None
         self._code_lo = self._code_scale = None
+        self._retire_overlay()
         if shm is not None:
             try:
                 shm.close()
@@ -605,13 +1163,14 @@ class SharedShardPackedBase(ShardPackedBase):
                 pass
 
     def unlink(self) -> None:
-        """Free the segment (creator only); also closes the mapping."""
+        """Free the segments (creator only); also closes the mappings."""
         shm = self._shm
-        owner, self._owner = self._owner, False
+        owner = self._owner
         finalizer, self._finalizer = self._finalizer, None
         if finalizer is not None:
             finalizer.detach()
-        self.close()
+        self.close()  # retires the overlay (unlinking it when owner)
+        self._owner = False
         if shm is not None and owner:
             try:
                 shm.unlink()

@@ -206,6 +206,19 @@ class ExecutionReport:
         queue_seconds: time the batch's requests spent waiting in the
             serving layer's coalescing buffer, summed over requests;
             ``0.0`` outside the serving path.
+        layout_generation: base-generation counter of the packed layout
+            the batch scanned (bumps only on full rebuilds/compactions;
+            ``0`` when no packed layout was in play).
+        delta_rows: mutation rows pending in the layout's delta
+            segments at batch end — absorbed writes not yet merged
+            into the base generation.
+        tombstones_pending: removals tombstoned since the base
+            generation was built (masked at scan time, reclaimed by
+            the next compaction).
+        layout_builds / layout_refreshes / layout_compactions: full
+            layout constructions, in-place delta refreshes, and
+            delta-merge compactions performed during this batch (a
+            steady-state read batch reports zeros for all three).
     """
 
     n_queries: int
@@ -231,6 +244,12 @@ class ExecutionReport:
     routing_cache_hits: int = 0
     routing_cache_misses: int = 0
     queue_seconds: float = 0.0
+    layout_generation: int = 0
+    delta_rows: int = 0
+    tombstones_pending: int = 0
+    layout_builds: int = 0
+    layout_refreshes: int = 0
+    layout_compactions: int = 0
 
     @property
     def qps(self) -> float:
@@ -317,6 +336,12 @@ class ExecutionReport:
             "routing_cache_hits": int(self.routing_cache_hits),
             "routing_cache_misses": int(self.routing_cache_misses),
             "queue_seconds": float(self.queue_seconds),
+            "layout_generation": int(self.layout_generation),
+            "delta_rows": int(self.delta_rows),
+            "tombstones_pending": int(self.tombstones_pending),
+            "layout_builds": int(self.layout_builds),
+            "layout_refreshes": int(self.layout_refreshes),
+            "layout_compactions": int(self.layout_compactions),
         }
         if self.worker_steals is not None:
             out["worker_steals"] = [int(s) for s in self.worker_steals]

@@ -9,6 +9,7 @@ IVF structure — only the *placement* of its lists/dimensions differs.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,52 @@ from repro.distance.kernels import (
 )
 from repro.distance.metrics import Metric, normalize_rows, resolve_metric
 from repro.index.kmeans import KMeans
+from repro.util.growable import GrowableArray
+
+#: Process-wide source of index identities. Every constructed index —
+#: including one rebuilt by ``load()`` — gets a fresh uid, so derived
+#: caches (packed layouts, shm segments) can never alias across index
+#: *objects* even when their ``(version, ntotal)`` counters collide
+#: (e.g. a reloaded index whose version restarted at 0).
+_UIDS = itertools.count(1)
+
+
+class _InvertedLists:
+    """Per-list id storage behind amortized-doubling growth buffers.
+
+    Looks like the ``list[np.ndarray]`` it replaces — item access
+    returns the live id view, item assignment adopts a fresh array
+    (the persistence loaders do this), iteration yields views — while
+    ``append`` extends a single list without copying the others.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self, nlist: int) -> None:
+        self._bufs = [
+            GrowableArray(dtype=np.int64) for _ in range(nlist)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._bufs)
+
+    def __getitem__(self, list_id: int) -> np.ndarray:
+        return self._bufs[list_id].view
+
+    def __setitem__(self, list_id: int, ids: np.ndarray) -> None:
+        self._bufs[list_id] = GrowableArray.adopt(
+            np.asarray(ids, dtype=np.int64)
+        )
+
+    def __iter__(self):
+        return (buf.view for buf in self._bufs)
+
+    def append(self, list_id: int, ids: np.ndarray) -> None:
+        self._bufs[list_id].append(ids)
+
+    @property
+    def bytes_copied(self) -> int:
+        return sum(buf.bytes_copied for buf in self._bufs)
 
 
 @dataclass(frozen=True)
@@ -66,15 +113,15 @@ class IVFFlatIndex:
         self.seed = seed
         self.max_iterations = max_iterations
         self._centroids: np.ndarray | None = None
-        self._base = np.empty((0, dim), dtype=np.float32)
-        self._list_ids: list[np.ndarray] = [
-            np.empty(0, dtype=np.int64) for _ in range(nlist)
-        ]
-        self._deleted = np.zeros(0, dtype=bool)
-        self._labels = np.zeros(0, dtype=np.int64)
+        self._base_buf = GrowableArray(row_shape=(dim,), dtype=np.float32)
+        self._list_ids = _InvertedLists(nlist)
+        self._deleted_buf = GrowableArray(dtype=bool)
+        self._labels_buf = GrowableArray(dtype=np.int64)
+        self._assign_buf = GrowableArray(dtype=np.int64)
         self._train_elements = 0
         self._add_elements = 0
         self._version = 0
+        self._uid = next(_UIDS)
 
     @property
     def version(self) -> int:
@@ -85,6 +132,50 @@ class IVFFlatIndex:
         staleness without content hashing.
         """
         return self._version
+
+    @property
+    def uid(self) -> int:
+        """Process-unique index identity, fresh on every construction.
+
+        A version counter alone cannot distinguish "this index
+        mutated" from "a different index whose counter happens to
+        match" — notably an index reloaded from disk restarts at
+        version 0 with the same ntotal. Caches key on ``(uid,
+        version)`` so a reloaded index can never alias a stale layout.
+        """
+        return self._uid
+
+    # Storage properties: the private names predate the growth
+    # buffers, and the persistence loaders assign them wholesale, so
+    # they stay as read/write views over the buffers.
+
+    @property
+    def _base(self) -> np.ndarray:
+        return self._base_buf.view
+
+    @_base.setter
+    def _base(self, array: np.ndarray) -> None:
+        self._base_buf = GrowableArray.adopt(
+            np.asarray(array, dtype=np.float32)
+        )
+
+    @property
+    def _deleted(self) -> np.ndarray:
+        return self._deleted_buf.view
+
+    @_deleted.setter
+    def _deleted(self, array: np.ndarray) -> None:
+        self._deleted_buf = GrowableArray.adopt(np.asarray(array, dtype=bool))
+
+    @property
+    def _labels(self) -> np.ndarray:
+        return self._labels_buf.view
+
+    @_labels.setter
+    def _labels(self, array: np.ndarray) -> None:
+        self._labels_buf = GrowableArray.adopt(
+            np.asarray(array, dtype=np.int64)
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -159,19 +250,17 @@ class IVFFlatIndex:
         first_id = self.ntotal
         distances = pairwise_squared_l2(vectors, self._centroids)
         self._add_elements += vectors.shape[0] * self.nlist * self.dim
-        assignment = np.argmin(distances, axis=1)
-        self._base = np.vstack([self._base, vectors])
-        self._deleted = np.concatenate(
-            [self._deleted, np.zeros(vectors.shape[0], dtype=bool)]
-        )
-        self._labels = np.concatenate([self._labels, labels])
+        assignment = np.argmin(distances, axis=1).astype(np.int64)
+        self._assignments()  # materialize before ntotal moves
+        self._base_buf.append(vectors)
+        self._deleted_buf.append(np.zeros(vectors.shape[0], dtype=bool))
+        self._labels_buf.append(labels)
+        self._assign_buf.append(assignment)
         ids = np.arange(first_id, first_id + vectors.shape[0], dtype=np.int64)
-        for list_id in range(self.nlist):
-            mask = assignment == list_id
-            if mask.any():
-                self._list_ids[list_id] = np.concatenate(
-                    [self._list_ids[list_id], ids[mask]]
-                )
+        # Only the lists that actually received rows are touched;
+        # each append is amortized O(batch), not O(list length).
+        for list_id in np.unique(assignment):
+            self._list_ids.append(int(list_id), ids[assignment == list_id])
         self._version += 1
 
     def build_stats(self) -> IVFBuildStats:
@@ -220,16 +309,40 @@ class IVFFlatIndex:
         return removed
 
     def is_deleted(self, ids: np.ndarray) -> np.ndarray:
-        """Boolean deletion flags for the given ids."""
-        return self._deleted[np.asarray(ids, dtype=np.int64)]
+        """Boolean deletion flags for the given ids.
+
+        Raises:
+            IndexError: for ids outside ``[0, ntotal)`` — like
+                :meth:`remove_ids`, instead of letting negative ids
+                silently wrap to valid rows.
+        """
+        return self._deleted[self._validate_ids(ids)]
+
+    @property
+    def deleted_mask(self) -> np.ndarray:
+        """Tombstone flags for every stored id (read-only view)."""
+        return self._deleted
+
+    def _validate_ids(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.atleast_1d(np.asarray(ids, dtype=np.int64))
+        if ids.size and (ids.min() < 0 or ids.max() >= self.ntotal):
+            raise IndexError(
+                f"ids must be in [0, {self.ntotal}), got range "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return ids
 
     # ------------------------------------------------------------------
     # Metadata labels / filtering
     # ------------------------------------------------------------------
 
     def labels_of(self, ids: np.ndarray) -> np.ndarray:
-        """Metadata labels of the given ids."""
-        return self._labels[np.asarray(ids, dtype=np.int64)]
+        """Metadata labels of the given ids.
+
+        Raises:
+            IndexError: for ids outside ``[0, ntotal)``.
+        """
+        return self._labels[self._validate_ids(ids)]
 
     def allowed_mask(
         self, filter_labels: "np.ndarray | list[int] | tuple[int, ...] | None"
@@ -250,6 +363,44 @@ class IVFFlatIndex:
     # ------------------------------------------------------------------
     # Introspection used by the distributed engines
     # ------------------------------------------------------------------
+
+    def _assignments(self) -> np.ndarray:
+        """Per-row inverted-list assignment, shape ``(ntotal,)``.
+
+        Maintained incrementally by :meth:`add`; rebuilt from the
+        inverted lists when a persistence loader assigned storage
+        wholesale (the buffer length then lags ``ntotal``).
+        """
+        if len(self._assign_buf) != self.ntotal:
+            assignment = np.full(self.ntotal, -1, dtype=np.int64)
+            for list_id, ids in enumerate(self._list_ids):
+                assignment[ids] = list_id
+            self._assign_buf = GrowableArray.adopt(assignment)
+        return self._assign_buf.view
+
+    def assignment_of(self, ids: np.ndarray) -> np.ndarray:
+        """Inverted-list id of each given vector id.
+
+        Incremental layout maintenance uses this to route appended
+        rows to their vector shard without re-walking every list.
+        """
+        return self._assignments()[self._validate_ids(ids)]
+
+    @property
+    def mutation_bytes_copied(self) -> int:
+        """Total bytes moved by storage reallocations since creation.
+
+        Amortized-doubling growth keeps this linear in the rows ever
+        added; the pre-fix ``vstack``-per-add path was quadratic. A
+        regression test pins the bound.
+        """
+        return int(
+            self._base_buf.bytes_copied
+            + self._deleted_buf.bytes_copied
+            + self._labels_buf.bytes_copied
+            + self._assign_buf.bytes_copied
+            + self._list_ids.bytes_copied
+        )
 
     def list_members(self, list_id: int) -> np.ndarray:
         """Live (non-deleted) vector ids in inverted list ``list_id``."""
@@ -381,9 +532,7 @@ class IVFFlatIndex:
         """
         if not self.is_trained:
             raise RuntimeError("cannot save an untrained index")
-        assignment = np.full(self.ntotal, -1, dtype=np.int64)
-        for list_id, ids in enumerate(self._list_ids):
-            assignment[ids] = list_id
+        assignment = self._assignments()
         meta = np.array(
             [self.dim, self.nlist, self.seed, self.max_iterations,
              self._train_elements, self._add_elements],
@@ -487,6 +636,8 @@ class IVFFlatIndex:
         else:
             centroid_bytes = int(self._centroids.nbytes)
         id_bytes = int(sum(ids.nbytes for ids in self._list_ids))
+        # nbytes of the logical views, so the report tracks stored
+        # rows, not growth-buffer capacity slack.
         return {
             "base_vectors": int(self._base.nbytes),
             "centroids": centroid_bytes,

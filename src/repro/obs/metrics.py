@@ -326,6 +326,30 @@ def report_metrics(
             "harmony_routing_cache_misses_total",
             "Probe-cell routing lookups that recomputed touched shards",
         ).inc(cache_misses)
+    registry.gauge(
+        "harmony_delta_rows",
+        "Mutation rows pending in the layout's delta segments",
+    ).set(float(getattr(report, "delta_rows", 0)))
+    registry.gauge(
+        "harmony_tombstones_pending",
+        "Removals tombstoned since the base generation was built",
+    ).set(float(getattr(report, "tombstones_pending", 0)))
+    registry.gauge(
+        "harmony_layout_generation",
+        "Base-generation counter of the scanned packed layout",
+    ).set(float(getattr(report, "layout_generation", 0)))
+    compactions = float(getattr(report, "layout_compactions", 0))
+    if compactions:
+        registry.counter(
+            "harmony_compactions_total",
+            "Delta-merge compactions into a fresh base generation",
+        ).inc(compactions)
+    refreshes = float(getattr(report, "layout_refreshes", 0))
+    if refreshes:
+        registry.counter(
+            "harmony_layout_refreshes_total",
+            "In-place delta refreshes of the packed layout",
+        ).inc(refreshes)
     queue_seconds = float(getattr(report, "queue_seconds", 0.0))
     if queue_seconds:
         registry.counter(

@@ -289,7 +289,37 @@ def test_pool_persists_and_revives():
     backend.close()
 
 
-def test_shared_layout_rebuilds_on_version_bump():
+def test_shared_layout_absorbs_mutations_without_rehoming():
+    """A small add ships as a delta overlay: the base shm segment (and
+    its pages) stay exactly where they are — only the overlay segment
+    is republished — while results stay byte-identical."""
+    index = make_index()
+    plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
+    queries = make_queries(index.dim)
+    rng = np.random.default_rng(7)
+    with ProcessBackend(index, plan=plan, n_workers=2) as backend:
+        backend.search(queries, k=5, nprobe=4)
+        assert backend.shm_base_rehomes == 1  # the initial build
+        name_before = backend._shared_layout.shm_name
+        index.add(
+            rng.standard_normal((30, index.dim)).astype(np.float32),
+            labels=rng.integers(0, N_LABELS, 30),
+        )
+        got = backend.search(queries, k=5, nprobe=4)
+        assert backend._shared_layout.shm_name == name_before
+        assert backend.shm_base_rehomes == 1
+        assert backend.shm_overlay_syncs >= 1
+        assert backend._shared_layout.delta_rows == 30
+        reference = SerialBackend(index, plan=plan).search(
+            queries, k=5, nprobe=4
+        )
+        np.testing.assert_array_equal(got.ids, reference.ids)
+        np.testing.assert_array_equal(got.distances, reference.distances)
+
+
+def test_shared_layout_rehomes_on_compaction():
+    """Forcing a compaction creates a new generation, and only then is
+    the shm segment re-homed."""
     index = make_index()
     plan = build_plan(index, n_machines=4, n_vector_shards=2, n_dim_blocks=2)
     queries = make_queries(index.dim)
@@ -301,8 +331,13 @@ def test_shared_layout_rebuilds_on_version_bump():
             rng.standard_normal((30, index.dim)).astype(np.float32),
             labels=rng.integers(0, N_LABELS, 30),
         )
+        backend.search(queries, k=5, nprobe=4)
+        stats = backend.kernel.compact()
+        assert stats["compacted"] is True
         got = backend.search(queries, k=5, nprobe=4)
         assert backend._shared_layout.shm_name != name_before
+        assert backend.shm_base_rehomes == 2
+        assert backend._shared_layout.delta_rows == 0
         reference = SerialBackend(index, plan=plan).search(
             queries, k=5, nprobe=4
         )

@@ -121,17 +121,83 @@ class TestInvalidation:
         index.remove_ids([0, 1])
         assert packed.matches(index)
 
+    def test_staleness_survives_persistence_roundtrip(self, tmp_path):
+        """A reloaded index must never alias a stale layout.
+
+        Reloading resets the version counter, so a layout built
+        against the original object can collide with the clone on
+        ``(version, ntotal)`` alone — identity is keyed by ``uid``.
+        """
+        index = make_index()
+        plan = make_plan(index)
+        packed = ShardPackedBase.build(index, plan)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = IVFFlatIndex.load(path)
+        # One removal on the clone lines its counters up exactly with
+        # the original the layout was built from — the collision.
+        loaded.remove_ids([0])
+        assert loaded.version == index.version
+        assert loaded.ntotal == index.ntotal
+        assert not packed.matches(loaded)
+        assert not packed.can_refresh(loaded)
+        with pytest.raises(RuntimeError, match="cannot be refreshed"):
+            packed.refresh(loaded)
+        # A layout built against the clone is fresh for it.
+        assert ShardPackedBase.build(loaded, plan).matches(loaded)
+
     def test_kernel_caches_until_stale(self):
         index = make_index()
         plan = make_plan(index)
         kernel = ScanKernel(index, plan)
         first = kernel.packed_base()
         assert first is kernel.packed_base()  # cached, not rebuilt
+        assert kernel.layout_builds == 1
         index.add(np.ones((2, DIM), dtype=np.float32))
-        rebuilt = kernel.packed_base()
-        assert rebuilt is not first
-        assert rebuilt.matches(index)
-        assert rebuilt is kernel.packed_base()
+        refreshed = kernel.packed_base()
+        # A small add is absorbed in place as a delta segment — the
+        # base generation (and the object identity) survives.
+        assert refreshed is first
+        assert refreshed.matches(index)
+        assert refreshed.delta_rows == 2
+        assert kernel.layout_builds == 1
+        assert kernel.layout_refreshes == 1
+        assert refreshed is kernel.packed_base()
+
+    def test_kernel_auto_compacts_past_ratio(self):
+        index = make_index()
+        plan = make_plan(index)
+        kernel = ScanKernel(index, plan, delta_compact_ratio=0.1)
+        first = kernel.packed_base()
+        rng = np.random.default_rng(5)
+        index.add(rng.standard_normal((N // 5, DIM)).astype(np.float32))
+        compacted = kernel.packed_base()
+        # N//5 new rows exceed 10% of the base: deltas get merged into
+        # a fresh generation.
+        assert compacted is not first
+        assert compacted.delta_rows == 0
+        assert compacted.generation > first.generation
+        assert kernel.layout_compactions == 1
+        assert kernel.layout_builds == 2
+
+    def test_kernel_explicit_compact(self):
+        index = make_index()
+        plan = make_plan(index)
+        kernel = ScanKernel(index, plan, auto_compact=False)
+        first = kernel.packed_base()
+        index.add(np.ones((2, DIM), dtype=np.float32))
+        index.remove_ids([0])
+        assert kernel.packed_base() is first  # auto-compaction is off
+        stats = kernel.compact()
+        assert stats["compacted"] is True
+        assert stats["delta_rows_merged"] == 2
+        assert stats["tombstones_cleared"] == 1
+        second = kernel.packed_base()
+        assert second is not first
+        assert second.delta_rows == 0
+        assert second.tombstones_since == 0
+        # Nothing pending: a second compact is a no-op.
+        assert kernel.compact()["compacted"] is False
 
     def test_rebuilt_layout_sees_mutations(self):
         index = make_index()

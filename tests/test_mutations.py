@@ -1,7 +1,11 @@
 """Tests for streaming inserts and deletes (index + HarmonyDB)."""
 
+import io
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import HarmonyConfig, Mode
 from repro.core.database import HarmonyDB
@@ -140,3 +144,220 @@ class TestHarmonyDBMutations:
         np.testing.assert_array_equal(
             dbs[Mode.VECTOR].ids, dbs[Mode.DIMENSION].ids
         )
+
+
+class TestDeltaLayoutMaintenance:
+    """The LSM write path: delta-only mutations must not invalidate the
+    packed layout, and compaction must be invisible to results."""
+
+    @pytest.fixture()
+    def host_db(self, tiny_data, tiny_queries):
+        db = HarmonyDB(
+            dim=32,
+            config=HarmonyConfig(
+                n_machines=4, nlist=16, nprobe=4, backend="thread",
+                n_threads=2,
+            ),
+        )
+        db.build(tiny_data, sample_queries=tiny_queries)
+        yield db
+        db.close()
+
+    def test_mutation_batch_keeps_layout_and_pool(
+        self, host_db, tiny_queries
+    ):
+        """The acceptance gate: a delta-absorbable mutation batch does
+        not rebuild the packed layout (or the backend holding it)."""
+        db = host_db
+        db.search(tiny_queries, k=5)
+        backend = db._host_backend
+        assert backend is not None
+        kernel = backend.kernel
+        layout = kernel.packed_base()
+        builds_before = kernel.layout_builds
+        for step in range(3):
+            db.add(gaussian_blobs(10, 32, n_blobs=8, seed=50 + step))
+            db.remove(np.arange(step * 3, step * 3 + 3))
+            result, report = db.search(tiny_queries, k=5)
+            _, ref_ids = db.index.search(tiny_queries, k=5, nprobe=4)
+            np.testing.assert_array_equal(result.ids, ref_ids)
+        assert db._host_backend is backend  # pool survived mutations
+        assert kernel.packed_base() is layout  # same base generation
+        assert kernel.layout_builds == builds_before
+        assert kernel.layout_refreshes >= 3
+        assert report.delta_rows == 30
+        assert report.tombstones_pending == 9
+        assert report.layout_generation == layout.generation
+
+    def test_db_compact_merges_and_stays_exact(
+        self, host_db, tiny_queries
+    ):
+        db = host_db
+        db.search(tiny_queries, k=5)
+        db.add(gaussian_blobs(25, 32, n_blobs=8, seed=60))
+        db.remove(np.arange(7))
+        before, _ = db.search(tiny_queries, k=5)
+        stats = db.compact()
+        assert stats["compacted"] is True
+        assert stats["delta_rows_merged"] == 25
+        assert stats["tombstones_cleared"] == 7
+        after, report = db.search(tiny_queries, k=5)
+        np.testing.assert_array_equal(after.ids, before.ids)
+        np.testing.assert_array_equal(after.distances, before.distances)
+        assert report.delta_rows == 0
+        assert report.tombstones_pending == 0
+        # Nothing pending → explicit compact is a no-op.
+        assert db.compact()["compacted"] is False
+
+    def test_compact_before_any_search_is_noop(self, host_db):
+        assert host_db.compact()["compacted"] is False
+
+    def test_auto_compact_triggers_on_ratio(self, tiny_data, tiny_queries):
+        db = HarmonyDB(
+            dim=32,
+            config=HarmonyConfig(
+                n_machines=4, nlist=16, nprobe=4, backend="serial",
+                delta_compact_ratio=0.05,
+            ),
+        )
+        db.build(tiny_data, sample_queries=tiny_queries)
+        db.search(tiny_queries, k=5)
+        kernel = db._host_backend.kernel
+        # 40 rows > 5% of 400: the next search must compact.
+        db.add(gaussian_blobs(40, 32, n_blobs=8, seed=61))
+        result, report = db.search(tiny_queries, k=5)
+        assert report.layout_compactions == 1
+        assert report.delta_rows == 0
+        assert kernel.layout_compactions == 1
+        _, ref_ids = db.index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Property matrix: mutation interleavings x backends x precision
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(1, 12)),
+        st.tuples(st.just("remove"), st.integers(1, 8)),
+        st.tuples(st.just("compact"), st.just(0)),
+        st.tuples(st.just("search"), st.just(0)),
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+
+@pytest.fixture(scope="module")
+def saved_index(tiny_data):
+    """One trained index, serialized once; examples reload clones so
+    each interleaving starts from identical, unshared state."""
+    index = IVFFlatIndex(dim=32, nlist=16, seed=0)
+    index.train(tiny_data)
+    index.add(tiny_data)
+    buf = io.BytesIO()
+    index.save(buf)
+    return buf.getvalue()
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "sim"])
+@pytest.mark.parametrize("precision", ["fp32", "sq8"])
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.function_scoped_fixture, HealthCheck.too_slow
+    ],
+)
+@given(ops=_OPS, seed=st.integers(0, 2**16))
+def test_interleavings_match_serial_oracle(
+    backend, precision, ops, seed, saved_index, tiny_queries
+):
+    """Arbitrary add/remove/compact/search interleavings stay
+    byte-identical to the serial fp32 oracle on every backend and
+    scan precision, with deltas and tombstones in play throughout."""
+    index = IVFFlatIndex.load(io.BytesIO(saved_index))
+    config = HarmonyConfig(
+        n_machines=4,
+        nlist=16,
+        nprobe=4,
+        backend=backend,
+        n_threads=2,
+        scan_precision=precision,
+        delta_compact_ratio=0.5,  # keep deltas live across steps
+    )
+    db = HarmonyDB.from_trained_index(index, config=config)
+    rng = np.random.default_rng(seed)
+    try:
+        for op, arg in ops:
+            if op == "add":
+                db.add(
+                    rng.standard_normal((arg, 32)).astype(np.float32)
+                )
+            elif op == "remove":
+                alive = np.flatnonzero(~db.index.deleted_mask)
+                if alive.size:
+                    db.remove(
+                        rng.choice(
+                            alive,
+                            size=min(arg, alive.size),
+                            replace=False,
+                        )
+                    )
+            elif op == "compact":
+                db.compact()
+            else:
+                result, _ = db.search(tiny_queries, k=5)
+                ref_dist, ref_ids = db.index.search(
+                    tiny_queries, k=5, nprobe=4
+                )
+                np.testing.assert_array_equal(result.ids, ref_ids)
+        # Always end on a verified search.
+        result, _ = db.search(tiny_queries, k=5)
+        _, ref_ids = db.index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+    finally:
+        db.close()
+
+
+@pytest.mark.parametrize("precision", ["fp32", "sq8"])
+def test_interleavings_process_backend(
+    precision, saved_index, tiny_queries
+):
+    """The process pool (one persistent pool across the whole
+    interleaving) stays byte-identical through deltas, tombstones and
+    a mid-sequence compaction, without the shm base ever re-homing."""
+    index = IVFFlatIndex.load(io.BytesIO(saved_index))
+    config = HarmonyConfig(
+        n_machines=4,
+        nlist=16,
+        nprobe=4,
+        backend="process",
+        n_workers=2,
+        scan_precision=precision,
+        delta_compact_ratio=0.5,
+    )
+    db = HarmonyDB.from_trained_index(index, config=config)
+    rng = np.random.default_rng(9)
+    try:
+        db.search(tiny_queries, k=5)
+        backend = db._host_backend
+        for step in range(3):
+            db.add(rng.standard_normal((12, 32)).astype(np.float32))
+            alive = np.flatnonzero(~db.index.deleted_mask)
+            db.remove(rng.choice(alive, size=4, replace=False))
+            result, _ = db.search(tiny_queries, k=5)
+            _, ref_ids = db.index.search(tiny_queries, k=5, nprobe=4)
+            np.testing.assert_array_equal(result.ids, ref_ids)
+        assert backend.shm_base_rehomes == 1  # never re-homed
+        assert backend.shm_overlay_syncs >= 3
+        db.compact()
+        result, _ = db.search(tiny_queries, k=5)
+        _, ref_ids = db.index.search(tiny_queries, k=5, nprobe=4)
+        np.testing.assert_array_equal(result.ids, ref_ids)
+        assert backend.shm_base_rehomes == 2  # exactly the compaction
+        assert not backend.fallback_active
+    finally:
+        db.close()
