@@ -14,6 +14,7 @@ import numpy as np
 
 import _common as c
 from repro.workload.generators import skewed_workload
+from repro.workload.skew import zipf_query_stream
 
 SKEWS = [0.0, 0.25, 0.5, 0.75, 1.0]
 
@@ -116,3 +117,49 @@ def test_fig7_skewed_workloads(benchmark, capsys):
     assert float(np.mean(stability)) > 0.75
     # Harmony ends well ahead of vector at the extreme.
     assert float(np.mean(final_gaps)) > 1.5
+
+
+def test_fig7_repeated_query_arm(capsys):
+    """Popularity skew: Zipf *repeats* absorbed by the result cache.
+
+    The fig7 sweep skews *which lists* queries probe; production
+    traffic is additionally skewed in *which queries* arrive — a hot
+    pool replayed over and over. This arm replays a Zipf(1.2) repeated
+    stream (:func:`repro.workload.zipf_query_stream`) against a cached
+    and an uncached Harmony deployment and checks that every repeat is
+    answered from the cache, byte-identical to the uncached answer.
+    """
+    name = "sift1m"
+    pool = c.get_dataset(name).queries[:32]
+    stream, picks = zipf_query_stream(pool, alpha=1.2, n=200, seed=11)
+    unique = int(np.unique(picks).size)
+    uncached = c.deploy(name, c.Mode.HARMONY, sample_queries=pool)
+    cached = c.deploy(
+        name,
+        c.Mode.HARMONY,
+        sample_queries=pool,
+        enable_cache=True,
+        cache_size=4 * pool.shape[0],
+    )
+    for i in range(stream.shape[0]):
+        ref, _ = uncached.search(stream[i : i + 1], k=c.K)
+        got, _ = cached.search(stream[i : i + 1], k=c.K)
+        assert np.array_equal(ref.ids, got.ids)
+        assert np.array_equal(ref.distances, got.distances)
+    stats = cached.result_cache.stats()
+    assert stats.misses == unique
+    assert stats.hits == stream.shape[0] - unique
+    text = c.format_table(
+        ["requests", "distinct", "hits", "misses", "hit rate"],
+        [[
+            stream.shape[0],
+            unique,
+            stats.hits,
+            stats.misses,
+            f"{stats.hits / stream.shape[0]:.0%}",
+        ]],
+        title=f"fig7 repeated-query arm ({name}, Zipf 1.2)",
+    )
+    c.save_result("fig7_repeated_query.txt", text)
+    with capsys.disabled():
+        print("\n" + text)

@@ -26,12 +26,16 @@ Architecture (bottom-up):
   (skewed) query workloads.
 - :mod:`repro.core` — partition plans, cost model, planner, pipelined
   pruning engine, and the :class:`HarmonyDB` facade.
+- :mod:`repro.cache` — the result cache (:class:`ResultCache`): exact
+  byte-identical and opt-in semantic (ε-ball) hits for repeated,
+  skewed serving traffic.
 - :mod:`repro.serve` — the coalescing online-serving front end
   (:class:`HarmonyServer`) and its open-loop load harness.
 - :mod:`repro.baselines` — the Auncel-like comparator.
 - :mod:`repro.bench` — benchmark harness utilities.
 """
 
+from repro.cache import CacheHit, CacheStats, ResultCache
 from repro.cluster.faults import (
     FaultEvent,
     FaultSchedule,
@@ -64,6 +68,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Backend",
     "BuildReport",
+    "CacheHit",
+    "CacheStats",
     "DegradedReport",
     "ExactnessReport",
     "ExecutionReport",
@@ -77,6 +83,7 @@ __all__ = [
     "Mode",
     "RecoveryManager",
     "ReplicaDirectory",
+    "ResultCache",
     "ScanKernel",
     "SearchResult",
     "SerialBackend",

@@ -110,6 +110,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "(degraded mode) or the batch fails",
     )
     run.add_argument(
+        "--cache",
+        action="store_true",
+        help="attach the result cache: exact repeats replay cached "
+        "answers byte-identically, skipping routing and scanning",
+    )
+    run.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        dest="cache_size",
+        help="result-cache capacity in entries (segmented LRU)",
+    )
+    run.add_argument(
+        "--cache-epsilon",
+        type=float,
+        default=0.0,
+        dest="cache_epsilon",
+        metavar="EPSILON",
+        help="semantic hit radius (L2 over query embeddings); 0 "
+        "serves only exact byte matches, a positive value also "
+        "serves cached neighbors within the epsilon ball (bounded, "
+        "measured recall trade)",
+    )
+    run.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -286,6 +310,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scan_precision=args.scan_precision,
         scan_timeout=args.scan_timeout,
         scan_retries=args.scan_retries,
+        enable_cache=args.cache,
+        cache_size=args.cache_size,
+        cache_semantic_epsilon=args.cache_epsilon,
     )
     print(
         f"dataset {dataset.name}: {dataset.size:,} x {dataset.dim} vectors, "
@@ -321,6 +348,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"backend {args.backend}: host wall-clock "
             f"{report.simulated_seconds * 1e3:.1f} ms "
             f"({report.qps:,.0f} QPS)"
+        )
+    if db.result_cache is not None:
+        stats = db.result_cache.stats()
+        print(
+            f"result cache: {stats.hits} hits / {stats.misses} misses "
+            f"({stats.semantic_hits} semantic), {stats.entries} entries, "
+            f"{stats.bytes:,} bytes"
         )
     _export_observability(db, report, args.trace, args.metrics)
     db.close()

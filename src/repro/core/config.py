@@ -166,6 +166,27 @@ class HarmonyConfig:
             overload-admitted requests at half the requested nprobe
             (flagged on the response, like degraded mode), shedding
             the oldest beyond the hard cap.
+        enable_cache: attach a :class:`repro.cache.ResultCache` to the
+            deployment. Exact hits replay finished answers
+            byte-identically and skip routing + scanning entirely;
+            entries are invalidated whenever the index version or
+            packed-layout generation moves, and degraded /
+            partial-coverage answers are never cached. Off by default —
+            caching is a serving-workload decision.
+        cache_size: result-cache capacity in entries (segmented LRU:
+            repeat-hit entries are protected from one-hit-wonder
+            floods).
+        cache_semantic_epsilon: opt-in semantic hit radius (L2 over
+            query embeddings). ``0.0`` (default) serves only exact byte
+            matches — results stay byte-identical to an uncached run;
+            a positive ε also serves a cached *neighbor's* answer when
+            a new query falls inside its ε-ball, trading bounded recall
+            loss (measured and reported per hit, never silent) for hit
+            rate.
+        routing_cache_size: capacity of the kernel's planner-level
+            :class:`~repro.core.routing.RoutingCache` (LRU entries per
+            internal map); hot probe rows skip shard routing and
+            candidate-list splitting.
         serve_deadline_policy: what the server does when executing a
             batch would blow a request's end-to-end deadline
             (``t_submit + serve_slo_ms``): ``"block"`` (default)
@@ -214,6 +235,10 @@ class HarmonyConfig:
     serve_queue_depth: int = 256
     serve_shed_policy: str = "reject"
     serve_deadline_policy: str = "block"
+    enable_cache: bool = False
+    cache_size: int = 1024
+    cache_semantic_epsilon: float = 0.0
+    routing_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         self.metric = resolve_metric(self.metric)
@@ -334,6 +359,21 @@ class HarmonyConfig:
                 f"unknown serve_deadline_policy "
                 f"{self.serve_deadline_policy!r}; supported policies: "
                 f"{', '.join(sorted(DEADLINE_POLICIES))}"
+            )
+        self.enable_cache = bool(self.enable_cache)
+        if self.cache_size <= 0:
+            raise ValueError(
+                f"cache_size must be positive, got {self.cache_size}"
+            )
+        if self.cache_semantic_epsilon < 0:
+            raise ValueError(
+                f"cache_semantic_epsilon must be non-negative, got "
+                f"{self.cache_semantic_epsilon}"
+            )
+        if self.routing_cache_size <= 0:
+            raise ValueError(
+                f"routing_cache_size must be positive, got "
+                f"{self.routing_cache_size}"
             )
 
     def replace(self, **changes: object) -> "HarmonyConfig":

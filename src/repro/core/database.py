@@ -80,6 +80,14 @@ class HarmonyDB:
         self._backend_lock = threading.Lock()
         self._tracer = None
         self._metrics = None
+        self._result_cache = None
+        if self.config.enable_cache:
+            from repro.cache import ResultCache
+
+            self._result_cache = ResultCache(
+                max_entries=self.config.cache_size,
+                epsilon=self.config.cache_semantic_epsilon,
+            )
 
     @classmethod
     def from_trained_index(
@@ -139,6 +147,16 @@ class HarmonyDB:
         if self._decision is None:
             raise RuntimeError("build() has not been called")
         return self._decision.plan
+
+    @property
+    def result_cache(self):
+        """The attached :class:`repro.cache.ResultCache`, or None.
+
+        Built when the deployment was configured with
+        ``enable_cache=True``; inspect ``result_cache.stats()`` for
+        live hit/miss/invalidation counters.
+        """
+        return self._result_cache
 
     @property
     def plan_decision(self) -> PlanDecision:
@@ -202,6 +220,8 @@ class HarmonyDB:
             raise RuntimeError("build() must be called before add()")
         assert self._engine is not None
         self.index.add(vectors, labels=labels)
+        if self._result_cache is not None:
+            self._result_cache.invalidate()
         return self._refresh_engine()
 
     def remove(self, ids: np.ndarray) -> int:
@@ -214,6 +234,8 @@ class HarmonyDB:
             raise RuntimeError("build() must be called before remove()")
         removed = self.index.remove_ids(ids)
         if removed:
+            if self._result_cache is not None:
+                self._result_cache.invalidate()
             self._refresh_engine()
         return removed
 
@@ -233,6 +255,7 @@ class HarmonyDB:
             cluster=self.cluster,
             config=self.config,
         )
+        self._tune_engine_kernel()
         self._placement = self._engine.place_data()
         return self._placement
 
@@ -260,7 +283,12 @@ class HarmonyDB:
                 "delta_rows_merged": 0,
                 "tombstones_cleared": 0,
             }
-        return backend.kernel.compact()
+        stats = backend.kernel.compact()
+        if stats.get("compacted") and self._result_cache is not None:
+            # Compaction opens a new layout generation; cached entries
+            # must never be served across it.
+            self._result_cache.invalidate()
+        return stats
 
     def replan(
         self, sample_queries: np.ndarray, k: int = 10
@@ -327,8 +355,19 @@ class HarmonyDB:
             cluster=self.cluster,
             config=config,
         )
+        self._tune_engine_kernel()
         self._placement = self._engine.place_data()
         self._drop_host_backend()
+
+    def _tune_engine_kernel(self) -> None:
+        """Apply config knobs the engine doesn't thread through itself
+        (currently the routing-cache capacity)."""
+        assert self._engine is not None
+        from repro.core.routing import RoutingCache
+
+        self._engine.kernel.routing_cache = RoutingCache(
+            max_entries=self.config.routing_cache_size
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -364,6 +403,10 @@ class HarmonyDB:
         if not self.is_built:
             raise RuntimeError("build() must be called before search()")
         assert self._engine is not None
+        if self._result_cache is not None and arrival_times is None:
+            return self._cached_search(
+                queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+            )
         if self.config.backend == "sim":
             return self._engine.run(
                 queries,
@@ -380,6 +423,250 @@ class HarmonyDB:
         return self._host_search(
             queries, k=k, nprobe=nprobe, filter_labels=filter_labels
         )
+
+    def _uncached_search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int | None,
+        filter_labels: "np.ndarray | list[int] | None",
+    ) -> tuple[SearchResult, ExecutionReport]:
+        """The configured backend's search, bypassing the result cache."""
+        assert self._engine is not None
+        if self.config.backend == "sim":
+            return self._engine.run(
+                queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+            )
+        return self._host_search(
+            queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+        )
+
+    def _search_kernel(self):
+        """The scan kernel the configured backend searches through."""
+        assert self._engine is not None
+        if self.config.backend == "sim":
+            return self._engine.kernel
+        return self._get_host_backend().kernel
+
+    def _cache_generation(self) -> tuple:
+        """The ``(index uid, index version, layout generation)`` tuple
+        current cache entries must match. Mutations move the version,
+        compactions (and full rebuilds) move the layout generation, and
+        a whole new index object moves the uid — any of the three
+        invalidates the cache."""
+        if self.config.backend == "sim":
+            kernel = self._engine.kernel if self._engine is not None else None
+        else:
+            backend = self._host_backend
+            kernel = backend.kernel if backend is not None else None
+        layout_generation = (
+            kernel.layout_stats()["layout_generation"]
+            if kernel is not None
+            else 0
+        )
+        return (self.index.uid, self.index.version, layout_generation)
+
+    def cache_probe(
+        self,
+        query: np.ndarray,
+        k: int,
+        nprobe: int | None = None,
+        filter_labels: "np.ndarray | list[int] | None" = None,
+    ):
+        """Advisory single-query result-cache probe (serve fast path).
+
+        Returns a :class:`repro.cache.CacheHit` when the prepared query
+        can be answered from the cache right now, else None. Misses are
+        *not* counted — the authoritative lookup happens when the query
+        flows through :meth:`search`. Returns None when caching is
+        disabled.
+        """
+        cache = self._result_cache
+        if cache is None or not self.is_built:
+            return None
+        from repro.cache import make_filter_key
+
+        prepared = self._search_kernel().prepare_queries(query)
+        if prepared.shape[0] != 1:
+            raise ValueError(
+                f"cache_probe takes a single query, got "
+                f"{prepared.shape[0]}"
+            )
+        nprobe = nprobe if nprobe is not None else self.config.nprobe
+        return cache.lookup(
+            prepared[0],
+            k,
+            nprobe,
+            self.config.metric.value,
+            make_filter_key(filter_labels),
+            self._cache_generation(),
+            record_miss=False,
+        )
+
+    def _cached_search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        nprobe: int | None,
+        filter_labels: "np.ndarray | list[int] | None",
+    ) -> tuple[SearchResult, ExecutionReport]:
+        """Search through the result cache: serve hit rows from cached
+        answers, dispatch only the miss rows to the backend, and cache
+        fresh non-degraded answers for next time.
+
+        Exact hits are byte-identical by construction (the key includes
+        the prepared query bytes and every answer-shaping parameter);
+        semantic hits (ε > 0) serve a cached neighbor's answer and are
+        flagged in the report's ``result_cache_semantic_hits``.
+        """
+        import time
+
+        from repro.cache import make_filter_key
+        from repro.cache.result_cache import CACHE_LANE
+        from repro.cluster.stats import TimeBreakdown
+
+        cache = self._result_cache
+        assert cache is not None
+        nprobe = nprobe if nprobe is not None else self.config.nprobe
+        kernel = self._search_kernel()
+        prepared = kernel.prepare_queries(queries)
+        nq = prepared.shape[0]
+        if nq == 0:
+            return self._uncached_search(
+                queries, k=k, nprobe=nprobe, filter_labels=filter_labels
+            )
+        metric = self.config.metric.value
+        filter_key = make_filter_key(filter_labels)
+        stats_before = cache.stats()
+        generation = self._cache_generation()
+        lookup_start = time.perf_counter()
+        hits = [
+            cache.lookup(
+                prepared[i], k, nprobe, metric, filter_key, generation
+            )
+            for i in range(nq)
+        ]
+        lookup_end = time.perf_counter()
+        miss_rows = [i for i, hit in enumerate(hits) if hit is None]
+
+        if not miss_rows:
+            # Whole batch served from cache: no routing, no scan.
+            elapsed = lookup_end - lookup_start
+            if self._tracer is not None:
+                self._tracer.clear()
+                self._tracer.record(
+                    "cache-lookup", "other", CACHE_LANE,
+                    lookup_start, lookup_end,
+                    batch=nq, hits=nq,
+                )
+            stats_after = cache.stats()
+            report = ExecutionReport(
+                n_queries=nq,
+                k=k,
+                nprobe=nprobe,
+                simulated_seconds=elapsed,
+                breakdown=TimeBreakdown(other=elapsed),
+                worker_loads=np.zeros(
+                    self.config.n_machines, dtype=np.float64
+                ),
+                pruning=None,
+                peak_memory_bytes=0,
+                plan_summary=f"{self.plan.describe()} [result cache]",
+                trace=(
+                    self._tracer.trace()
+                    if self._tracer is not None
+                    else None
+                ),
+            )
+            self._fill_cache_report(report, stats_before, stats_after)
+            result = SearchResult(
+                distances=np.stack([hit.distances for hit in hits]),
+                ids=np.stack([hit.ids for hit in hits]),
+            )
+            return result, report
+
+        # Dispatch the misses as one sub-batch through the configured
+        # backend. Raw (unprepared) rows go in so the backend prepares
+        # them exactly as an uncached batch would — per-query results
+        # are independent of batch composition, so the merged batch is
+        # byte-identical to an uncached run.
+        raw = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        sub = np.ascontiguousarray(raw[miss_rows])
+        sub_result, report = self._uncached_search(
+            sub, k=k, nprobe=nprobe, filter_labels=filter_labels
+        )
+
+        # Only cache answers that are (a) fully covered — degraded
+        # partial results are wrong to replay once the cluster heals —
+        # and (b) still current: a concurrent mutation between lookup
+        # and completion moves uid/version, making these answers stale
+        # before they land.
+        post_generation = self._cache_generation()
+        if post_generation[:2] == generation[:2]:
+            coverage = (
+                report.degraded.coverage
+                if report.degraded is not None
+                else None
+            )
+            for j, row in enumerate(miss_rows):
+                if coverage is not None and coverage[j] < 1.0:
+                    continue
+                cache.insert(
+                    prepared[row], k, nprobe, metric, filter_key,
+                    post_generation,
+                    sub_result.ids[j], sub_result.distances[j],
+                )
+
+        if self._tracer is not None and self.config.backend != "sim":
+            # The backend cleared the tracer at sub-batch start, so the
+            # lookup span is stamped afterwards (host wall-clock lanes
+            # only — the sim trace runs on simulated time).
+            self._tracer.record(
+                "cache-lookup", "other", CACHE_LANE,
+                lookup_start, lookup_end,
+                batch=nq, hits=nq - len(miss_rows),
+            )
+            report.trace = self._tracer.trace()
+
+        stats_after = cache.stats()
+        self._fill_cache_report(report, stats_before, stats_after)
+        if len(miss_rows) == nq:
+            return sub_result, report
+
+        ids = np.empty((nq,) + sub_result.ids.shape[1:],
+                       dtype=sub_result.ids.dtype)
+        distances = np.empty(
+            (nq,) + sub_result.distances.shape[1:],
+            dtype=sub_result.distances.dtype,
+        )
+        for j, row in enumerate(miss_rows):
+            ids[row] = sub_result.ids[j]
+            distances[row] = sub_result.distances[j]
+        for i, hit in enumerate(hits):
+            if hit is not None:
+                ids[i] = hit.ids
+                distances[i] = hit.distances
+        report.n_queries = nq
+        return SearchResult(distances=distances, ids=ids), report
+
+    @staticmethod
+    def _fill_cache_report(report, stats_before, stats_after) -> None:
+        """Stamp per-batch result-cache deltas (+ bytes gauge) onto a
+        finished report."""
+        report.result_cache_hits = stats_after.hits - stats_before.hits
+        report.result_cache_misses = (
+            stats_after.misses - stats_before.misses
+        )
+        report.result_cache_semantic_hits = (
+            stats_after.semantic_hits - stats_before.semantic_hits
+        )
+        report.result_cache_evictions = (
+            stats_after.evictions - stats_before.evictions
+        )
+        report.result_cache_invalidations = (
+            stats_after.invalidations - stats_before.invalidations
+        )
+        report.result_cache_bytes = stats_after.bytes
 
     def _host_search(
         self,
@@ -410,10 +697,9 @@ class HarmonyDB:
         nprobe = nprobe if nprobe is not None else self.config.nprobe
         lstats_before = backend.kernel.layout_stats()
         routing_cache = backend.kernel.routing_cache
-        if routing_cache is not None:
-            hits_before, misses_before = routing_cache.counters()
-        else:
-            hits_before = misses_before = 0
+        rstats_before = (
+            routing_cache.stats() if routing_cache is not None else None
+        )
         dead: set[int] = set()
         if self.cluster.failed_workers:
             from repro.cluster.recovery import unavailable_shards
@@ -521,9 +807,16 @@ class HarmonyDB:
         ):
             setattr(report, key, lstats[key] - lstats_before[key])
         if routing_cache is not None:
-            hits_after, misses_after = routing_cache.counters()
-            report.routing_cache_hits = hits_after - hits_before
-            report.routing_cache_misses = misses_after - misses_before
+            rstats_after = routing_cache.stats()
+            report.routing_cache_hits = (
+                rstats_after["hits"] - rstats_before["hits"]
+            )
+            report.routing_cache_misses = (
+                rstats_after["misses"] - rstats_before["misses"]
+            )
+            report.routing_cache_evictions = (
+                rstats_after["evictions"] - rstats_before["evictions"]
+            )
         return result, report
 
     def _get_host_backend(self):
@@ -587,6 +880,11 @@ class HarmonyDB:
                     delta_compact_ratio=self.config.delta_compact_ratio,
                     auto_compact=self.config.auto_compact,
                 )
+            from repro.core.routing import RoutingCache
+
+            backend.kernel.routing_cache = RoutingCache(
+                max_entries=self.config.routing_cache_size
+            )
             backend.tracer = self._tracer
             backend.chaos = self._host_faults
             self._host_backend = backend
@@ -794,6 +1092,10 @@ class HarmonyDB:
                 "serve_queue_depth": config.serve_queue_depth,
                 "serve_shed_policy": config.serve_shed_policy,
                 "serve_deadline_policy": config.serve_deadline_policy,
+                "enable_cache": config.enable_cache,
+                "cache_size": config.cache_size,
+                "cache_semantic_epsilon": config.cache_semantic_epsilon,
+                "routing_cache_size": config.routing_cache_size,
             }
         )
         assignment = np.full(self.index.ntotal, -1, dtype=np.int64)
@@ -875,6 +1177,7 @@ class HarmonyDB:
         db._engine = PipelineEngine(
             index=index, plan=plan, cluster=db.cluster, config=config
         )
+        db._tune_engine_kernel()
         db._placement = db._engine.place_data()
         return db
 

@@ -80,6 +80,11 @@ class QueryState:
         query_norms: per-slice query norms (IP metrics only), computed
             once per query and shared by every shard scan's
             Cauchy-Schwarz bound.
+        route: the memoized :class:`~repro.core.routing.CachedRoute`
+            stashed by :meth:`ScanKernel.shards_for` when a routing
+            cache is attached; carries the per-shard candidate-list
+            splits so candidate gathering skips the planner too. None
+            when routing ran uncached.
     """
 
     query_index: int
@@ -89,6 +94,7 @@ class QueryState:
     prewarmed: np.ndarray
     prewarmed_mask: np.ndarray | None = None
     query_norms: np.ndarray | None = None
+    route: "object | None" = None
 
 
 class ScanKernel:
@@ -433,16 +439,33 @@ class ScanKernel:
         """Vector shards the query must visit, ascending.
 
         Served from the :class:`~repro.core.routing.RoutingCache` when
-        one is attached (the default): hot probe cells skip the
-        routing recomputation entirely, which matters exactly for the
-        repeated, skewed traffic the serving layer sees.
+        one is attached (the default): hot probe rows skip both the
+        shard-set recomputation *and* the per-shard candidate-list
+        split (the full :class:`~repro.core.routing.CachedRoute` is
+        stashed on the state for :meth:`_gather_candidates`), which
+        matters exactly for the repeated, skewed traffic the serving
+        layer sees.
         """
         cache = self.routing_cache
         if cache is None:
             return touched_shards(self.plan, state.probe_row)
-        return cache.shards_for(
+        route = cache.route_for(
             self.plan, state.probe_row, self.index.version
         )
+        state.route = route
+        return route.shards
+
+    def _lists_for(self, state: QueryState, shard: int) -> np.ndarray:
+        """The query's probed lists in ``shard``, probe-ordered.
+
+        Reuses the cached route split when :meth:`shards_for` stashed
+        one; identical to :func:`shard_candidate_lists` by
+        construction (the route is keyed on the exact probe order).
+        """
+        route = state.route
+        if route is not None:
+            return route.lists_for(shard)
+        return shard_candidate_lists(self.plan, state.probe_row, shard)
 
     def _gather_candidates(
         self,
@@ -459,7 +482,7 @@ class ScanKernel:
         falls back to the legacy full-base gather. Prewarmed ids are
         excluded via the precomputed boolean mask in all paths.
         """
-        lists_here = shard_candidate_lists(self.plan, state.probe_row, shard)
+        lists_here = self._lists_for(state, shard)
         packed = self.packed_base()
         if packed is not None:
             if self.scan_precision == "sq8":

@@ -203,6 +203,21 @@ class ExecutionReport:
             lookups served from / missing the memoized
             :class:`~repro.core.routing.RoutingCache` during the batch
             (both ``0`` when no cache is attached, e.g. sim backend).
+        routing_cache_evictions: routing-cache entries evicted under
+            capacity pressure during the batch.
+        result_cache_hits / result_cache_misses: queries answered from
+            / missing the deployment's :class:`repro.cache.ResultCache`
+            during the batch (all ``0`` when caching is disabled).
+        result_cache_semantic_hits: subset of ``result_cache_hits``
+            served by the ε-ball semantic tier rather than an exact
+            byte match.
+        result_cache_evictions: result-cache entries evicted under
+            capacity pressure during the batch.
+        result_cache_invalidations: cached entries dropped by index /
+            layout generation moves during the batch.
+        result_cache_bytes: resident bytes of the result cache at
+            batch end (queries + cached answers; a gauge, not a
+            delta).
         queue_seconds: time the batch's requests spent waiting in the
             serving layer's coalescing buffer, summed over requests;
             ``0.0`` outside the serving path.
@@ -243,6 +258,13 @@ class ExecutionReport:
     code_bytes: int = 0
     routing_cache_hits: int = 0
     routing_cache_misses: int = 0
+    routing_cache_evictions: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
+    result_cache_semantic_hits: int = 0
+    result_cache_evictions: int = 0
+    result_cache_invalidations: int = 0
+    result_cache_bytes: int = 0
     queue_seconds: float = 0.0
     layout_generation: int = 0
     delta_rows: int = 0
@@ -335,6 +357,17 @@ class ExecutionReport:
             "code_bytes": int(self.code_bytes),
             "routing_cache_hits": int(self.routing_cache_hits),
             "routing_cache_misses": int(self.routing_cache_misses),
+            "routing_cache_evictions": int(self.routing_cache_evictions),
+            "result_cache_hits": int(self.result_cache_hits),
+            "result_cache_misses": int(self.result_cache_misses),
+            "result_cache_semantic_hits": int(
+                self.result_cache_semantic_hits
+            ),
+            "result_cache_evictions": int(self.result_cache_evictions),
+            "result_cache_invalidations": int(
+                self.result_cache_invalidations
+            ),
+            "result_cache_bytes": int(self.result_cache_bytes),
             "queue_seconds": float(self.queue_seconds),
             "layout_generation": int(self.layout_generation),
             "delta_rows": int(self.delta_rows),

@@ -326,6 +326,50 @@ def report_metrics(
             "harmony_routing_cache_misses_total",
             "Probe-cell routing lookups that recomputed touched shards",
         ).inc(cache_misses)
+    routing_evictions = float(getattr(report, "routing_cache_evictions", 0))
+    if routing_evictions:
+        registry.counter(
+            "harmony_routing_cache_evictions_total",
+            "Routing-cache entries evicted under capacity pressure",
+        ).inc(routing_evictions)
+    result_hits = float(getattr(report, "result_cache_hits", 0))
+    if result_hits:
+        registry.counter(
+            "harmony_result_cache_hits_total",
+            "Queries answered from the result cache",
+        ).inc(result_hits)
+    result_misses = float(getattr(report, "result_cache_misses", 0))
+    if result_misses:
+        registry.counter(
+            "harmony_result_cache_misses_total",
+            "Queries that missed the result cache and were scanned",
+        ).inc(result_misses)
+    semantic_hits = float(
+        getattr(report, "result_cache_semantic_hits", 0)
+    )
+    if semantic_hits:
+        registry.counter(
+            "harmony_result_cache_semantic_hits_total",
+            "Result-cache hits served by the epsilon-ball semantic tier",
+        ).inc(semantic_hits)
+    result_evictions = float(getattr(report, "result_cache_evictions", 0))
+    if result_evictions:
+        registry.counter(
+            "harmony_result_cache_evictions_total",
+            "Result-cache entries evicted under capacity pressure",
+        ).inc(result_evictions)
+    result_invalidations = float(
+        getattr(report, "result_cache_invalidations", 0)
+    )
+    if result_invalidations:
+        registry.counter(
+            "harmony_result_cache_invalidations_total",
+            "Result-cache entries dropped by index/layout generation moves",
+        ).inc(result_invalidations)
+    registry.gauge(
+        "harmony_result_cache_bytes",
+        "Resident bytes of the result cache (queries + cached answers)",
+    ).set(float(getattr(report, "result_cache_bytes", 0)))
     registry.gauge(
         "harmony_delta_rows",
         "Mutation rows pending in the layout's delta segments",

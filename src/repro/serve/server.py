@@ -95,6 +95,11 @@ class ServeResponse:
             mid-execution and ``serve_deadline_policy="partial"``
             resolved it with an empty degraded payload (``ids`` all
             ``-1``, ``distances`` all ``+inf``) instead of blocking.
+        cache_hit: True when the answer came straight from the
+            deployment's result cache at submit time — the request
+            never entered the coalescing queue, so admission control
+            and the SLO machinery never saw it (``queue_seconds`` is
+            exactly ``0.0``).
     """
 
     ids: np.ndarray
@@ -106,6 +111,7 @@ class ServeResponse:
     service_seconds: float
     batch_size: int
     timed_out: bool = False
+    cache_hit: bool = False
 
     @property
     def e2e_seconds(self) -> float:
@@ -133,6 +139,7 @@ class ServeStats:
     service_seconds: float = 0.0
     slo_violations: int = 0
     deadline_exceeded: int = 0
+    cache_hits: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -155,6 +162,7 @@ class ServeStats:
             "service_seconds": float(self.service_seconds),
             "slo_violations": self.slo_violations,
             "deadline_exceeded": self.deadline_exceeded,
+            "cache_hits": self.cache_hits,
         }
 
 
@@ -322,6 +330,10 @@ class HarmonyServer:
         )
         if effective_nprobe <= 0:
             raise ValueError(f"nprobe must be positive, got {nprobe}")
+        if getattr(self.db, "result_cache", None) is not None:
+            future = self._try_cache_fast_path(query, int(k), effective_nprobe)
+            if future is not None:
+                return future
         request = _Request(
             query=query, k=int(k), nprobe=effective_nprobe, degraded=False
         )
@@ -382,6 +394,54 @@ class HarmonyServer:
                 RequestShed("evicted from the queue to admit newer traffic")
             )
         return request.future
+
+    def _try_cache_fast_path(
+        self, query: np.ndarray, k: int, nprobe: int
+    ) -> "Future | None":
+        """Resolve the request from the result cache before enqueueing.
+
+        A hit returns an already-resolved future: the request never
+        enters the pending queue, so it can neither be rejected nor
+        shed, dodges the SLO coalescing deadline entirely, and reports
+        ``queue_seconds == 0``. A miss (or probe failure) returns None
+        and the request takes the normal admission path — the miss is
+        not counted here; the authoritative cache lookup happens when
+        the batch flows through ``HarmonyDB.search``.
+        """
+        t_probe = time.perf_counter()
+        try:
+            hit = self.db.cache_probe(query, k=k, nprobe=nprobe)
+        except Exception:
+            return None
+        if hit is None:
+            return None
+        service = time.perf_counter() - t_probe
+        with self._cond:
+            if self._closing:
+                raise ServerClosed("submit() on a closed HarmonyServer")
+            self.stats.submitted += 1
+            self._count("harmony_serve_requests_total", "Requests submitted")
+            self.stats.completed += 1
+            self.stats.cache_hits += 1
+            self._count(
+                "harmony_serve_cache_hits_total",
+                "Requests answered from the result cache at submit",
+            )
+        future: Future = Future()
+        future.set_result(
+            ServeResponse(
+                ids=hit.ids,
+                distances=hit.distances,
+                k=k,
+                nprobe_used=nprobe,
+                degraded=False,
+                queue_seconds=0.0,
+                service_seconds=float(service),
+                batch_size=1,
+                cache_hit=True,
+            )
+        )
+        return future
 
     async def asubmit(
         self, query: np.ndarray, k: int = 10, nprobe: int | None = None

@@ -23,6 +23,7 @@ from repro.workload.skew import (
     cluster_histogram,
     load_imbalance,
     normalized_imbalance,
+    zipf_query_stream,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "poisson_arrivals",
     "skewed_workload",
     "uniform_workload",
+    "zipf_query_stream",
 ]

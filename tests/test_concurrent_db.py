@@ -222,3 +222,83 @@ class TestRoutingCache:
             assert report.routing_cache_misses > 0
         finally:
             db.close()
+
+    def test_lru_hot_cell_survives_cold_flood(self, tiny_data, tiny_queries):
+        """LRU regression: a periodically re-touched hot key outlives
+        any number of cold one-shot keys (FIFO evicted it)."""
+        db = make_db(tiny_data, backend="thread")
+        try:
+            cache = RoutingCache(max_entries=4)
+            kernel, _ = self._plan_and_probe(db, tiny_queries)
+            hot = np.array([0, 1, 2, 3])
+            cache.shards_for(kernel.plan, hot, version=1)
+            for i in range(4, 13):  # nine distinct cold cells
+                cold = np.arange(i, i + 4) % 16
+                cache.shards_for(kernel.plan, cold, version=1)
+                cache.shards_for(kernel.plan, hot, version=1)  # re-touch
+            stats = cache.stats()
+            assert stats["evictions"] > 0
+            hits_before = stats["hits"]
+            cache.shards_for(kernel.plan, hot, version=1)
+            assert cache.stats()["hits"] == hits_before + 1
+            assert len(cache) <= 4
+        finally:
+            db.close()
+
+    def test_route_for_keys_on_exact_probe_order(
+        self, tiny_data, tiny_queries
+    ):
+        """Full-route memoization: hits on the identical probe order,
+        distinct entries for permutations (scan order differs), and
+        candidate lists matching the uncached planner split."""
+        from repro.core.routing import shard_candidate_lists
+
+        db = make_db(tiny_data, backend="thread")
+        try:
+            cache = RoutingCache()
+            kernel, probes = self._plan_and_probe(db, tiny_queries)
+            row = probes[0]
+            version = db.index.version
+            first = cache.route_for(kernel.plan, row, version)
+            again = cache.route_for(kernel.plan, row, version)
+            assert again is first
+            assert cache.counters() == (1, 1)
+            for shard in first.shards:
+                np.testing.assert_array_equal(
+                    first.lists_for(int(shard)),
+                    shard_candidate_lists(kernel.plan, row, int(shard)),
+                )
+            # A permutation is a different route (scan order differs)…
+            reversed_row = row[::-1].copy()
+            other = cache.route_for(kernel.plan, reversed_row, version)
+            assert cache.counters() == (1, 2)
+            # …over the same shard set.
+            np.testing.assert_array_equal(
+                np.sort(other.shards), np.sort(first.shards)
+            )
+        finally:
+            db.close()
+
+    def test_stats_snapshot_exposes_evictions(self, tiny_data, tiny_queries):
+        db = make_db(tiny_data, backend="thread")
+        try:
+            cache = RoutingCache(max_entries=2)
+            kernel, _ = self._plan_and_probe(db, tiny_queries)
+            for i in range(5):
+                cache.shards_for(
+                    kernel.plan, np.arange(i, i + 4) % 16, version=1
+                )
+            stats = cache.stats()
+            assert set(stats) == {"hits", "misses", "evictions", "entries"}
+            assert stats["evictions"] == 3
+            assert stats["entries"] <= 2
+        finally:
+            db.close()
+
+    def test_capacity_comes_from_config(self, tiny_data):
+        db = make_db(tiny_data, backend="thread", routing_cache_size=7)
+        try:
+            backend = db._get_host_backend()
+            assert backend.kernel.routing_cache.max_entries == 7
+        finally:
+            db.close()

@@ -559,3 +559,84 @@ def test_deadline_metric_published(serve_db, serve_queries, monkeypatch):
     sample = registry.to_prometheus()
     assert "harmony_serve_deadline_exceeded_total 1" in sample
     assert server.stats.slo_violations >= 1
+
+
+# ---------------------------------------------------------------------------
+# Result-cache fast path: hits resolve at submit, ahead of admission
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cached_serve_db(request):
+    """A thread-backend deployment with the result cache attached."""
+    from repro.data.synthetic import gaussian_blobs
+
+    data = gaussian_blobs(1200, 32, n_blobs=10, cluster_std=0.4, seed=3)
+    db = make_db(
+        data, nlist=16, nprobe=4, backend="thread", enable_cache=True
+    )
+    request.addfinalizer(db.close)
+    return db
+
+
+def test_cache_hits_bypass_admission_control(cached_serve_db, serve_queries):
+    """Under a saturated queue, cached requests still complete: the
+    fast path answers at submit time (zero queue wait, ``cache_hit``
+    flagged) while cold requests past capacity are rejected."""
+    db = cached_serve_db
+    hot = serve_queries[:8]
+    warm, _ = db.search(hot, k=5)  # fill the cache
+    registry = MetricsRegistry()
+    with db.serve(
+        max_batch=4, queue_depth=2, shed_policy="reject", metrics=registry
+    ) as server:
+        server.pause()  # nothing drains: the queue saturates
+        cold_futures = [server.submit(q, k=7) for q in serve_queries[8:12]]
+        hot_responses = []
+        for q in hot:
+            # Resolved immediately, without resume() and with the
+            # queue already full.
+            hot_responses.append(server.submit(q, k=5).result(timeout=1))
+        server.resume()
+        for future in cold_futures[:2]:
+            assert future.result(timeout=30).ids.shape == (7,)
+        for future in cold_futures[2:]:
+            with pytest.raises(RequestRejected):
+                future.result(timeout=30)
+    for i, response in enumerate(hot_responses):
+        assert response.cache_hit
+        assert response.queue_seconds == 0.0
+        assert response.batch_size == 1
+        assert not response.degraded
+        np.testing.assert_array_equal(response.ids, warm.ids[i])
+        np.testing.assert_array_equal(response.distances, warm.distances[i])
+    assert server.stats.cache_hits == len(hot)
+    assert server.stats.completed == len(hot) + 2
+    assert server.stats.rejected == 2
+    sample = registry.to_prometheus()
+    assert "harmony_serve_cache_hits_total 8" in sample
+
+
+def test_cold_requests_take_the_batched_path(cached_serve_db, serve_queries):
+    """Misses flow through the micro-batch queue unchanged, and the
+    answers they produce seed the cache for later submits."""
+    db = cached_serve_db
+    queries = serve_queries[10:14]
+    with db.serve(max_batch=4, queue_depth=16) as server:
+        server.pause()
+        futures = [server.submit(q, k=9) for q in queries]
+        server.resume()
+        first = [f.result(timeout=30) for f in futures]
+        assert all(not r.cache_hit for r in first)
+        assert all(r.batch_size == 4 for r in first)
+        # Identical re-submits now hit at submit time.
+        second = [
+            server.submit(q, k=9).result(timeout=1) for q in queries
+        ]
+    for a, b in zip(first, second):
+        assert b.cache_hit
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.distances, b.distances)
+    oracle = make_serial_oracle(db)
+    assert verify_against_oracle(first, queries, oracle) == []
+    assert verify_against_oracle(second, queries, oracle) == []

@@ -8,6 +8,7 @@ from repro.workload.skew import (
     cluster_histogram,
     load_imbalance,
     normalized_imbalance,
+    zipf_query_stream,
 )
 
 
@@ -121,3 +122,56 @@ class TestSkewMeasurement:
             load_imbalance(np.array([]))
         with pytest.raises(ValueError):
             normalized_imbalance(np.array([]))
+
+
+class TestZipfQueryStream:
+    def test_stream_rows_come_from_pool(self, tiny_queries):
+        stream, picks = zipf_query_stream(tiny_queries, alpha=1.1, n=50,
+                                          seed=0)
+        assert stream.shape == (50, tiny_queries.shape[1])
+        assert stream.dtype == np.float32
+        assert picks.shape == (50,)
+        np.testing.assert_array_equal(stream, tiny_queries[picks])
+
+    def test_deterministic(self, tiny_queries):
+        a, picks_a = zipf_query_stream(tiny_queries, alpha=1.2, n=40, seed=5)
+        b, picks_b = zipf_query_stream(tiny_queries, alpha=1.2, n=40, seed=5)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(picks_a, picks_b)
+
+    def test_alpha_concentrates_popularity(self, tiny_queries):
+        _, flat = zipf_query_stream(tiny_queries, alpha=0.0, n=4000, seed=1)
+        _, skewed = zipf_query_stream(tiny_queries, alpha=1.5, n=4000, seed=1)
+        top_flat = np.bincount(flat).max()
+        top_skewed = np.bincount(skewed).max()
+        # Zipf(1.5) piles far more mass on the hottest query than
+        # alpha=0 (uniform) does.
+        assert top_skewed > 2 * top_flat
+
+    def test_jitter_preserves_first_occurrence(self, tiny_queries):
+        stream, picks = zipf_query_stream(
+            tiny_queries, alpha=1.2, n=60, seed=2, jitter=0.01
+        )
+        seen = set()
+        for i, pick in enumerate(picks):
+            pick = int(pick)
+            if pick not in seen:
+                # First occurrence stays byte-exact…
+                assert stream[i].tobytes() == tiny_queries[pick].tobytes()
+                seen.add(pick)
+            else:
+                # …repeats are perturbed but nearby.
+                assert not np.array_equal(stream[i], tiny_queries[pick])
+                assert np.linalg.norm(
+                    stream[i] - tiny_queries[pick]
+                ) < 1.0
+
+    def test_validation(self, tiny_queries):
+        with pytest.raises(ValueError, match="non-empty"):
+            zipf_query_stream(np.empty((0, 4), dtype=np.float32), 1.0, 5)
+        with pytest.raises(ValueError, match="alpha"):
+            zipf_query_stream(tiny_queries, alpha=-1.0, n=5)
+        with pytest.raises(ValueError, match="n must be"):
+            zipf_query_stream(tiny_queries, alpha=1.0, n=0)
+        with pytest.raises(ValueError, match="jitter"):
+            zipf_query_stream(tiny_queries, alpha=1.0, n=5, jitter=-0.1)
